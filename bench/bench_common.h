@@ -1,0 +1,63 @@
+#ifndef LCCS_BENCH_BENCH_COMMON_H_
+#define LCCS_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "eval/pareto.h"
+#include "eval/runner.h"
+#include "eval/workloads.h"
+#include "util/table.h"
+
+namespace lccs {
+namespace bench {
+
+/// The paper's five datasets (Table 2), overridable via
+/// LCCS_BENCH_DATASETS="sift,glove".
+inline std::vector<std::string> DatasetNames() {
+  const char* env = std::getenv("LCCS_BENCH_DATASETS");
+  if (env == nullptr || *env == '\0') {
+    return {"msong", "sift", "gist", "glove", "deep"};
+  }
+  std::vector<std::string> names;
+  std::string current;
+  for (const char* c = env; ; ++c) {
+    if (*c == ',' || *c == '\0') {
+      if (!current.empty()) names.push_back(current);
+      current.clear();
+      if (*c == '\0') break;
+    } else {
+      current += *c;
+    }
+  }
+  return names;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Standard row shape shared by the figure benches.
+inline void AddRunRow(util::Table* table, const std::string& dataset,
+                      const eval::RunResult& run) {
+  table->AddRow({dataset, run.method, run.params,
+                 util::FormatDouble(100.0 * run.recall, 1),
+                 util::FormatDouble(run.ratio, 3),
+                 util::FormatDouble(run.avg_query_ms, 3),
+                 util::FormatBytes(run.index_bytes),
+                 util::FormatDouble(run.build_seconds, 2)});
+}
+
+inline util::Table MakeRunTable() {
+  return util::Table({"dataset", "method", "params", "recall%", "ratio",
+                      "query_ms", "index", "build_s"});
+}
+
+}  // namespace bench
+}  // namespace lccs
+
+#endif  // LCCS_BENCH_BENCH_COMMON_H_

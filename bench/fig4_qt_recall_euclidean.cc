@@ -1,0 +1,37 @@
+// Figure 4: query time vs recall curves for top-10 NNS under Euclidean
+// distance, all seven methods, five dataset analogues. For each method the
+// parameter grid is swept and the Pareto frontier ("lowest query time under
+// each recall level", Section 6.4) is printed.
+//
+// Paper shape to reproduce: LCCS-LSH / MP-LCCS-LSH at or near the frontier
+// everywhere; C2LSH and SRS at least an order of magnitude slower at equal
+// recall; E2LSH / Multi-Probe LSH / QALSH in between.
+
+#include "bench_common.h"
+
+#include "dataset/ground_truth.h"
+#include "eval/grid.h"
+
+int main() {
+  using namespace lccs;
+  bench::PrintHeader(
+      "Figure 4 — query time vs recall, top-10, Euclidean distance");
+  const auto scale = eval::GetBenchScale();
+  std::printf("n=%zu per dataset, %zu queries, k=10\n", scale.n,
+              scale.num_queries);
+  auto table = bench::MakeRunTable();
+  for (const auto& name : bench::DatasetNames()) {
+    const auto data =
+        eval::LoadAnalogue(name, util::Metric::kEuclidean, scale);
+    const auto gt = dataset::GroundTruth::Compute(data, 10);
+    for (const auto& method : eval::MethodsFor(util::Metric::kEuclidean)) {
+      const auto runs = eval::SweepMethod(method, data, gt, 10);
+      for (const auto& run : eval::RecallTimeFrontier(runs)) {
+        bench::AddRunRow(&table, name, run);
+      }
+    }
+    std::printf("[%s done]\n", name.c_str());
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 6: query time vs index size and query time vs indexing time at the
+// 50% recall level, top-10, Euclidean distance. For each method, runs that
+// reach 50% recall are reduced to their (memory, time) and (build, time)
+// Pareto frontiers.
+//
+// Paper shape to reproduce: MP-LCCS-LSH dominates LCCS-LSH at small memory
+// budgets; Multi-Probe LSH competitive on memory; C2LSH/SRS/QALSH cheap to
+// build but unable to convert extra memory into query speed.
+
+#include "bench_common.h"
+
+#include "dataset/ground_truth.h"
+#include "eval/grid.h"
+
+int main() {
+  using namespace lccs;
+  bench::PrintHeader(
+      "Figure 6 — query time vs index size / indexing time at 50% recall, "
+      "Euclidean");
+  const auto scale = eval::GetBenchScale();
+  std::printf("n=%zu per dataset, %zu queries, k=10, min recall 50%%\n",
+              scale.n, scale.num_queries);
+  util::Table mem({"dataset", "method", "params", "recall%", "query_ms",
+                   "index_size"});
+  util::Table build({"dataset", "method", "params", "recall%", "query_ms",
+                     "indexing_s"});
+  for (const auto& name : bench::DatasetNames()) {
+    const auto data =
+        eval::LoadAnalogue(name, util::Metric::kEuclidean, scale);
+    const auto gt = dataset::GroundTruth::Compute(data, 10);
+    for (const auto& method : eval::MethodsFor(util::Metric::kEuclidean)) {
+      const auto runs = eval::SweepMethod(method, data, gt, 10);
+      for (const auto& run : eval::MemoryTimeFrontier(runs, 0.5)) {
+        mem.AddRow({name, run.method, run.params,
+                    util::FormatDouble(100.0 * run.recall, 1),
+                    util::FormatDouble(run.avg_query_ms, 3),
+                    util::FormatBytes(run.index_bytes)});
+      }
+      for (const auto& run : eval::BuildTimeFrontier(runs, 0.5)) {
+        build.AddRow({name, run.method, run.params,
+                      util::FormatDouble(100.0 * run.recall, 1),
+                      util::FormatDouble(run.avg_query_ms, 3),
+                      util::FormatDouble(run.build_seconds, 2)});
+      }
+    }
+    std::printf("[%s done]\n", name.c_str());
+  }
+  std::printf("\n-- query time vs index size --\n%s", mem.ToString().c_str());
+  std::printf("\n-- query time vs indexing time --\n%s",
+              build.ToString().c_str());
+  return 0;
+}

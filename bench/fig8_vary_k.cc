@@ -1,0 +1,51 @@
+// Figure 8: sensitivity to k on the Sift analogue — recall, ratio, and query
+// time for k in {1, 2, 5, 10, 20, 50, 100} under both metrics. For each k
+// the best (fastest) configuration reaching the 50% recall level is
+// reported, mirroring "best query performance vs k under similar recall
+// levels".
+//
+// Paper shape to reproduce: all methods' query time grows slowly in k (the
+// slopes are similar); LCCS-LSH / MP-LCCS-LSH retain the lowest query time
+// at every k; ratios stay close to 1 and close to each other.
+
+#include "bench_common.h"
+
+#include "dataset/ground_truth.h"
+#include "eval/grid.h"
+
+namespace {
+
+void RunMetric(lccs::util::Metric metric) {
+  using namespace lccs;
+  const auto scale = eval::GetBenchScale();
+  const auto data = eval::LoadAnalogue("sift", metric, scale);
+  util::Table table({"metric", "k", "method", "params", "recall%", "ratio",
+                     "query_ms"});
+  for (const size_t k : {1u, 2u, 5u, 10u, 20u, 50u, 100u}) {
+    const auto gt = dataset::GroundTruth::Compute(data, k);
+    for (const auto& method : eval::MethodsFor(metric)) {
+      const auto runs = eval::SweepMethod(method, data, gt, k);
+      const auto best = eval::BestAtRecall(runs, 0.5);
+      if (best.method.empty()) continue;  // did not reach the recall level
+      table.AddRow({util::MetricName(metric), std::to_string(k), best.method,
+                    best.params, util::FormatDouble(100.0 * best.recall, 1),
+                    util::FormatDouble(best.ratio, 3),
+                    util::FormatDouble(best.avg_query_ms, 3)});
+    }
+    std::printf("[%s k=%zu done]\n", util::MetricName(metric).c_str(), k);
+  }
+  std::printf("%s", table.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace lccs;
+  bench::PrintHeader("Figure 8 — query performance vs k (Sift analogue)");
+  const auto scale = eval::GetBenchScale();
+  std::printf("n=%zu, %zu queries, best config at 50%% recall per k\n",
+              scale.n, scale.num_queries);
+  RunMetric(util::Metric::kEuclidean);
+  RunMetric(util::Metric::kAngular);
+  return 0;
+}

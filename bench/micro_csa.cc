@@ -1,0 +1,90 @@
+// Microbenchmarks for the Circular Shift Array (Theorem 3.1): build time
+// O(mn log n), k-LCCS query time O(log n + (m + k) log m), against the
+// O(n m^2) brute-force LCCS scan.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/csa.h"
+#include "core/lccs.h"
+#include "util/random.h"
+
+namespace {
+
+using lccs::core::CircularShiftArray;
+using lccs::core::HashValue;
+
+std::vector<HashValue> RandomStrings(size_t n, size_t m, int alphabet,
+                                     uint64_t seed) {
+  lccs::util::Rng rng(seed);
+  std::vector<HashValue> data(n * m);
+  for (auto& v : data) {
+    v = static_cast<HashValue>(rng.NextBounded(alphabet));
+  }
+  return data;
+}
+
+void BM_CsaBuild(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto m = static_cast<size_t>(state.range(1));
+  const auto data = RandomStrings(n, m, 16, 1);
+  for (auto _ : state) {
+    CircularShiftArray csa;
+    csa.Build(data.data(), n, m);
+    benchmark::DoNotOptimize(csa);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_CsaBuild)
+    ->Args({1000, 32})
+    ->Args({10000, 32})
+    ->Args({10000, 64})
+    ->Args({10000, 128})
+    ->Args({50000, 64})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CsaSearch(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto m = static_cast<size_t>(state.range(1));
+  const auto k = static_cast<size_t>(state.range(2));
+  const auto data = RandomStrings(n, m, 16, 2);
+  CircularShiftArray csa;
+  csa.Build(data.data(), n, m);
+  lccs::util::Rng rng(3);
+  std::vector<HashValue> q(m);
+  for (auto _ : state) {
+    for (auto& v : q) v = static_cast<HashValue>(rng.NextBounded(16));
+    benchmark::DoNotOptimize(csa.Search(q.data(), k));
+  }
+}
+BENCHMARK(BM_CsaSearch)
+    ->Args({10000, 32, 10})
+    ->Args({10000, 64, 10})
+    ->Args({10000, 128, 10})
+    ->Args({50000, 64, 10})
+    ->Args({50000, 64, 100})
+    ->Args({50000, 64, 1000})
+    ->Unit(benchmark::kMicrosecond);
+
+// Brute-force k-LCCS for contrast: O(n m^2) vs the CSA's sublinear search.
+void BM_BruteForceKLccs(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const auto m = static_cast<size_t>(state.range(1));
+  const auto data = RandomStrings(n, m, 16, 4);
+  lccs::util::Rng rng(5);
+  std::vector<HashValue> q(m);
+  for (auto _ : state) {
+    for (auto& v : q) v = static_cast<HashValue>(rng.NextBounded(16));
+    benchmark::DoNotOptimize(
+        lccs::core::BruteForceKLccs(data.data(), n, m, q.data(), 10));
+  }
+}
+BENCHMARK(BM_BruteForceKLccs)
+    ->Args({10000, 32})
+    ->Args({10000, 64})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Microbenchmarks for the LSH families: η(d) per Section 5.2 — O(d) for
+// random projection, O(d log d) for cross-polytope (pseudo-rotations),
+// O(1) for bit sampling.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "lsh/family_factory.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace lccs;
+
+void RunHashBench(benchmark::State& state, lsh::FamilyKind kind) {
+  const auto d = static_cast<size_t>(state.range(0));
+  const auto m = static_cast<size_t>(state.range(1));
+  const auto family = lsh::MakeFamily(kind, d, m, 4.0, 11);
+  util::Rng rng(12);
+  std::vector<float> v(d);
+  rng.FillGaussian(v.data(), d);
+  std::vector<lsh::HashValue> out(m);
+  for (auto _ : state) {
+    family->Hash(v.data(), out.data());
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(m));
+}
+
+void BM_RandomProjection(benchmark::State& state) {
+  RunHashBench(state, lsh::FamilyKind::kRandomProjection);
+}
+void BM_CrossPolytope(benchmark::State& state) {
+  RunHashBench(state, lsh::FamilyKind::kCrossPolytope);
+}
+void BM_SignProjection(benchmark::State& state) {
+  RunHashBench(state, lsh::FamilyKind::kSignProjection);
+}
+void BM_BitSampling(benchmark::State& state) {
+  RunHashBench(state, lsh::FamilyKind::kBitSampling);
+}
+
+BENCHMARK(BM_RandomProjection)
+    ->Args({128, 64})
+    ->Args({960, 64})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_CrossPolytope)
+    ->Args({128, 64})
+    ->Args({960, 64})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SignProjection)
+    ->Args({128, 64})
+    ->Args({960, 64})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_BitSampling)
+    ->Args({128, 64})
+    ->Args({960, 64})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

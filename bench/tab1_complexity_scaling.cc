@@ -1,0 +1,129 @@
+// Table 1: space and time complexities of E2LSH, C2LSH, and LCCS-LSH under
+// the three canonical settings of α (Section 5.2). The paper's table is
+// analytical; this bench validates it *empirically* by measuring index size,
+// indexing time, and query time as n doubles, printing the observed growth
+// ratio next to each measurement.
+//
+// Expected shapes (per doubling of n):
+//   LCCS-LSH α=0      (m = O(1)):      space ~2.0x, query ~2.0x (linear scan)
+//   LCCS-LSH α=1      (m = n^ρ):       space ~2^(1+ρ)x, query sublinear
+//   LCCS-LSH α=1/(1-ρ) (λ = O(1)):     space fastest-growing, query ~flat
+//   E2LSH (fixed K, L):                space ~2x, query sublinear
+//   C2LSH:                             space ~2x, query ~2x (O(n log n))
+
+#include "bench_common.h"
+
+#include <cmath>
+
+#include "baselines/c2lsh.h"
+#include "baselines/lccs_adapter.h"
+#include "baselines/static_lsh.h"
+#include "dataset/ground_truth.h"
+#include "dataset/synthetic.h"
+#include "eval/runner.h"
+
+namespace {
+
+using namespace lccs;
+
+// The sweep assumes a representative hash quality; the random projection
+// family with w = 2 * (near-neighbor scale) has rho ~= 0.5 for c = 2.
+constexpr double kRho = 0.5;
+
+struct Row {
+  std::string method;
+  size_t n;
+  eval::RunResult run;
+};
+
+dataset::Dataset MakeData(size_t n) {
+  auto config = dataset::SiftAnalogue(n, 25);
+  config.dim = 64;  // keep hashing cost moderate across the n sweep
+  return dataset::GenerateClustered(config);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Table 1 — empirical space/time scaling of E2LSH, C2LSH, LCCS-LSH");
+  std::printf("growth columns show the factor per doubling of n\n");
+  std::vector<Row> rows;
+  const std::vector<size_t> ns = {2500, 5000, 10000, 20000};
+  for (const size_t n : ns) {
+    const auto data = MakeData(n);
+    const auto gt = dataset::GroundTruth::Compute(data, 10);
+    const double scale = eval::EstimateDistanceScale(data);
+
+    for (const double alpha : {0.0, 1.0, 1.0 / (1.0 - kRho)}) {
+      baselines::LccsLshIndex::Params params;
+      params.m = std::max<size_t>(
+          4, static_cast<size_t>(std::pow(static_cast<double>(n),
+                                          alpha * kRho)));
+      params.m = std::min<size_t>(params.m, 512);
+      params.w = 2.0 * scale;
+      // λ = Θ(m^{1-1/ρ} n): α=0 degenerates to Θ(n), α=1/(1-ρ) to Θ(1).
+      const double lambda_f = std::pow(static_cast<double>(params.m),
+                                       1.0 - 1.0 / kRho) *
+                              static_cast<double>(n);
+      params.lambda = std::max<size_t>(
+          10, std::min<size_t>(n, static_cast<size_t>(lambda_f)));
+      baselines::LccsLshIndex index(params);
+      char label[64];
+      std::snprintf(label, sizeof(label), "LCCS-LSH alpha=%.1f", alpha);
+      char desc[64];
+      std::snprintf(desc, sizeof(desc), "m=%zu lambda=%zu", params.m,
+                    params.lambda);
+      rows.push_back({label, n, eval::Evaluate(&index, data, gt, 10, desc)});
+    }
+    {
+      baselines::StaticLsh::Params params;
+      params.k_funcs = 8;
+      params.num_tables = 32;
+      params.w = 2.0 * scale;
+      baselines::StaticLsh index("E2LSH", lsh::FamilyKind::kRandomProjection,
+                                 params);
+      rows.push_back(
+          {"E2LSH", n, eval::Evaluate(&index, data, gt, 10, "K=8 L=32")});
+    }
+    {
+      baselines::C2Lsh::Params params;
+      params.num_functions = 64;
+      params.w = 0.5 * scale;
+      params.extra_candidates = std::max<size_t>(100, n / 100);
+      baselines::C2Lsh index(params);
+      rows.push_back(
+          {"C2LSH", n, eval::Evaluate(&index, data, gt, 10, "m=64")});
+    }
+    std::printf("[n=%zu done]\n", n);
+  }
+
+  util::Table table({"method", "n", "params", "recall%", "query_ms",
+                     "q_growth", "index", "sz_growth", "build_s",
+                     "b_growth"});
+  for (const auto& row : rows) {
+    // Find this method's measurement at n/2 for the growth columns.
+    const Row* prev = nullptr;
+    for (const auto& other : rows) {
+      if (other.method == row.method && other.n * 2 == row.n) prev = &other;
+    }
+    auto growth = [&](double cur, double before) {
+      return (prev != nullptr && before > 0.0)
+                 ? util::FormatDouble(cur / before, 2)
+                 : std::string("-");
+    };
+    table.AddRow(
+        {row.method, std::to_string(row.n), row.run.params,
+         util::FormatDouble(100.0 * row.run.recall, 1),
+         util::FormatDouble(row.run.avg_query_ms, 3),
+         growth(row.run.avg_query_ms,
+                prev ? prev->run.avg_query_ms : 0.0),
+         util::FormatBytes(row.run.index_bytes),
+         growth(static_cast<double>(row.run.index_bytes),
+                prev ? static_cast<double>(prev->run.index_bytes) : 0.0),
+         util::FormatDouble(row.run.build_seconds, 3),
+         growth(row.run.build_seconds, prev ? prev->run.build_seconds : 0.0)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}

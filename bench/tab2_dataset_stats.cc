@@ -1,0 +1,33 @@
+// Table 2: statistics of datasets and queries. The originals are public
+// million-scale downloads; offline we print the same table for the synthetic
+// analogues at the configured bench scale (see DESIGN.md §1.4 for the
+// substitution rationale).
+
+#include "bench_common.h"
+
+#include "eval/workloads.h"
+
+int main() {
+  using namespace lccs;
+  bench::PrintHeader("Table 2 — statistics of datasets and queries");
+  const auto scale = eval::GetBenchScale();
+  util::Table table(
+      {"dataset", "#objects", "#queries", "d", "data_size", "type"});
+  const char* types[] = {"Audio", "Image", "Image", "Text", "Deep"};
+  const auto names = bench::DatasetNames();
+  for (size_t i = 0; i < names.size(); ++i) {
+    const auto data =
+        eval::LoadAnalogue(names[i], util::Metric::kEuclidean, scale);
+    table.AddRow({names[i], std::to_string(data.n()),
+                  std::to_string(data.num_queries()),
+                  std::to_string(data.dim()),
+                  util::FormatBytes(data.data.SizeBytes()),
+                  i < 5 ? types[i] : "Synthetic"});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nPaper's originals: Msong 992272x420 (1.6GB), Sift 10^6x128 "
+      "(488MB),\nGist 10^6x960 (3.6GB), GloVe 1183514x100 (451MB), Deep "
+      "10^6x256 (977MB).\nScale with LCCS_BENCH_N / LCCS_BENCH_QUERIES.\n");
+  return 0;
+}

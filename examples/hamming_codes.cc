@@ -1,0 +1,57 @@
+// Hamming-space search with the original Indyk-Motwani bit-sampling family:
+// the eta(d) = O(1) regime of Section 5.2, where computing a hash value is a
+// single array read and LCCS-LSH can afford very long hash strings (large m,
+// alpha -> 1/(1-rho)) to verify only a handful of candidates.
+//
+// Scenario: near-duplicate detection over binary feature codes.
+
+#include <cstdio>
+#include <memory>
+
+#include "core/lccs_lsh.h"
+#include "dataset/ground_truth.h"
+#include "dataset/synthetic.h"
+#include "eval/metrics.h"
+#include "lsh/bit_sampling.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace lccs;
+
+  const size_t dim = 256;
+  const auto data = dataset::GenerateHamming(
+      /*n=*/20000, /*num_queries=*/50, dim, /*num_clusters=*/64,
+      /*flip_prob=*/0.03, /*seed=*/17);
+  std::printf("dataset: %zu binary codes of %zu bits, 64 prototypes, 3%% "
+              "bit noise\n",
+              data.n(), data.dim());
+  const auto gt = dataset::GroundTruth::Compute(data, 10);
+
+  for (const size_t m : {64u, 256u, 512u}) {
+    auto family = std::make_unique<lsh::BitSamplingFamily>(dim, m, 23);
+    core::LccsLsh index(std::move(family), util::Metric::kHamming);
+    util::Timer build_timer;
+    index.Build(data.data.data(), data.n(), data.dim());
+    const double build_s = build_timer.ElapsedSeconds();
+    // Larger m concentrates the LCCS signal: fewer candidates needed.
+    const size_t lambda = m >= 512 ? 25 : (m >= 256 ? 100 : 400);
+    double recall = 0.0;
+    util::Timer timer;
+    for (size_t q = 0; q < data.num_queries(); ++q) {
+      recall += eval::Recall(index.Query(data.queries.Row(q), 10, lambda),
+                             gt.ForQuery(q));
+    }
+    std::printf(
+        "  m=%4zu lambda=%4zu: recall@10=%5.1f%%  %7.3f ms/query  "
+        "(build %.2f s, index %zu MB)\n",
+        m, lambda,
+        100.0 * recall / static_cast<double>(data.num_queries()),
+        timer.ElapsedMillis() / static_cast<double>(data.num_queries()),
+        build_s, index.SizeBytes() >> 20);
+  }
+  std::printf(
+      "\nWith cheap O(1) hashes, growing m while shrinking lambda keeps\n"
+      "recall while verifying fewer candidates (Corollary 5.1, alpha near\n"
+      "1/(1-rho)).\n");
+  return 0;
+}

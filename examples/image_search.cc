@@ -1,0 +1,91 @@
+// Image-descriptor search (the Sift workload motivating the paper's intro):
+// builds single-probe and multi-probe LCCS-LSH indexes over a Sift-like
+// 128-d dataset, compares their recall/latency against exact search, and
+// shows how λ trades accuracy for time. Reads a real .fvecs file if you pass
+// one ("image_search path/to/sift_base.fvecs"), otherwise synthesizes.
+
+#include <cstdio>
+#include <memory>
+
+#include "baselines/lccs_adapter.h"
+#include "baselines/linear_scan.h"
+#include "dataset/ground_truth.h"
+#include "dataset/io.h"
+#include "dataset/synthetic.h"
+#include "eval/metrics.h"
+#include "eval/workloads.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace lccs;
+
+  dataset::Dataset data;
+  if (argc > 1) {
+    std::printf("loading %s ...\n", argv[1]);
+    data.data = dataset::ReadFvecs(argv[1]);
+    data.name = argv[1];
+    data.metric = util::Metric::kEuclidean;
+    // Hold out the last 50 rows as queries.
+    const size_t q = 50;
+    const size_t n = data.data.rows() - q;
+    data.queries.Resize(q, data.data.cols());
+    for (size_t i = 0; i < q; ++i) {
+      std::copy(data.data.Row(n + i), data.data.Row(n + i) + data.data.cols(),
+                data.queries.Row(i));
+    }
+  } else {
+    auto config = dataset::SiftAnalogue(30000, 50);
+    data = dataset::GenerateClustered(config);
+    std::printf("no .fvecs given; generated a %zux%zu Sift analogue\n",
+                data.n(), data.dim());
+  }
+
+  std::printf("computing exact ground truth (brute force)...\n");
+  const auto gt = dataset::GroundTruth::Compute(data, 10);
+
+  const double scale = eval::EstimateDistanceScale(data);
+  auto report = [&](const baselines::AnnIndex& index, const char* label) {
+    double recall = 0.0;
+    util::Timer timer;
+    for (size_t q = 0; q < data.num_queries(); ++q) {
+      const auto result = index.Query(data.queries.Row(q), 10);
+      recall += eval::Recall(result, gt.ForQuery(q));
+    }
+    const double ms = timer.ElapsedMillis() /
+                      static_cast<double>(data.num_queries());
+    recall /= static_cast<double>(data.num_queries());
+    std::printf("  %-28s recall@10=%5.1f%%  %8.3f ms/query\n", label,
+                100.0 * recall, ms);
+  };
+
+  std::printf("\nexact baseline:\n");
+  baselines::LinearScan scan;
+  scan.Build(data);
+  report(scan, "LinearScan");
+
+  std::printf("\nLCCS-LSH (m=128), sweeping lambda:\n");
+  baselines::LccsLshIndex::Params params;
+  params.m = 128;
+  params.w = 2.0 * scale;
+  baselines::LccsLshIndex index(params);
+  util::Timer build_timer;
+  index.Build(data);
+  std::printf("  built in %.2f s, %zu MB\n", build_timer.ElapsedSeconds(),
+              index.IndexSizeBytes() >> 20);
+  for (const size_t lambda : {25u, 100u, 400u, 1600u}) {
+    index.set_lambda(lambda);
+    char label[64];
+    std::snprintf(label, sizeof(label), "LCCS-LSH lambda=%zu", lambda);
+    report(index, label);
+  }
+
+  std::printf("\nMP-LCCS-LSH (m=128, 129 probes), same lambdas:\n");
+  index.set_num_probes(129);
+  for (const size_t lambda : {25u, 100u, 400u}) {
+    index.set_lambda(lambda);
+    char label[64];
+    std::snprintf(label, sizeof(label), "MP-LCCS-LSH lambda=%zu", lambda);
+    report(index, label);
+  }
+  return 0;
+}

@@ -1,0 +1,155 @@
+// lccs_tool — a small command-line frontend for building, persisting and
+// querying LCCS-LSH indexes over .fvecs files (the format the paper's
+// datasets ship in). What an OSS release of the system would install as its
+// CLI.
+//
+//   lccs_tool build <base.fvecs> <index.lccs> [m] [w] [metric]
+//       Builds an index over the base vectors and saves it.
+//       metric: euclidean (default) | angular.
+//
+//   lccs_tool query <base.fvecs> <index.lccs> <queries.fvecs> [k] [lambda]
+//       Loads the index, answers each query, prints ids and distances.
+//
+//   lccs_tool demo
+//       Self-contained round trip on synthetic data (no files needed).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/serialize.h"
+#include "dataset/io.h"
+#include "dataset/synthetic.h"
+#include "eval/workloads.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace lccs;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  lccs_tool build <base.fvecs> <index.lccs> [m=64] [w=auto] "
+               "[metric=euclidean]\n"
+               "  lccs_tool query <base.fvecs> <index.lccs> <queries.fvecs> "
+               "[k=10] [lambda=200]\n"
+               "  lccs_tool demo\n");
+  return 2;
+}
+
+util::Metric ParseMetric(const char* name) {
+  if (std::strcmp(name, "angular") == 0) return util::Metric::kAngular;
+  if (std::strcmp(name, "euclidean") == 0) return util::Metric::kEuclidean;
+  throw std::runtime_error(std::string("unsupported metric: ") + name);
+}
+
+int Build(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const std::string base_path = argv[2];
+  const std::string index_path = argv[3];
+  const size_t m = argc > 4 ? std::strtoul(argv[4], nullptr, 10) : 64;
+  double w = argc > 5 ? std::strtod(argv[5], nullptr) : 0.0;
+  const util::Metric metric =
+      argc > 6 ? ParseMetric(argv[6]) : util::Metric::kEuclidean;
+
+  std::printf("reading %s ...\n", base_path.c_str());
+  dataset::Dataset data;
+  data.data = dataset::ReadFvecs(base_path);
+  data.metric = metric;
+  if (metric == util::Metric::kAngular) data.NormalizeAll();
+  std::printf("%zu vectors, d=%zu\n", data.n(), data.dim());
+  if (w <= 0.0) {
+    w = 2.0 * eval::EstimateDistanceScale(data);
+    std::printf("auto bucket width w=%.3f\n", w);
+  }
+
+  core::IndexDescriptor descriptor;
+  descriptor.family = lsh::DefaultFamilyFor(metric);
+  descriptor.metric = metric;
+  descriptor.dim = data.dim();
+  descriptor.m = m;
+  descriptor.w = w;
+  descriptor.seed = 42;
+
+  auto family = lsh::MakeFamily(descriptor.family, data.dim(), m, w,
+                                descriptor.seed);
+  core::MpLccsLsh index(std::move(family), metric, descriptor.probes);
+  util::Timer timer;
+  index.Build(data.data.data(), data.n(), data.dim());
+  std::printf("built in %.2f s (index %.1f MB)\n", timer.ElapsedSeconds(),
+              static_cast<double>(index.SizeBytes()) / (1024.0 * 1024.0));
+  core::SaveIndex(index_path, descriptor, index.csa());
+  std::printf("saved to %s\n", index_path.c_str());
+  return 0;
+}
+
+int QueryCmd(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  const std::string base_path = argv[2];
+  const std::string index_path = argv[3];
+  const std::string query_path = argv[4];
+  const size_t k = argc > 5 ? std::strtoul(argv[5], nullptr, 10) : 10;
+  const size_t lambda = argc > 6 ? std::strtoul(argv[6], nullptr, 10) : 200;
+
+  dataset::Dataset data;
+  data.data = dataset::ReadFvecs(base_path);
+  const auto queries = dataset::ReadFvecs(query_path);
+  auto index = core::LoadIndex(index_path, data.data.data(), data.data.rows(),
+                               data.data.cols());
+  if (index->metric() == util::Metric::kAngular) data.NormalizeAll();
+  std::printf("loaded index: n=%zu m=%zu metric=%s\n", index->n(), index->m(),
+              util::MetricName(index->metric()).c_str());
+
+  util::Timer timer;
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    const auto answers = index->Query(queries.Row(q), k, lambda);
+    std::printf("query %zu:", q);
+    for (const auto& nb : answers) {
+      std::printf(" (%d, %.4f)", nb.id, nb.dist);
+    }
+    std::printf("\n");
+  }
+  std::printf("%.3f ms/query average\n",
+              timer.ElapsedMillis() / static_cast<double>(queries.rows()));
+  return 0;
+}
+
+int Demo() {
+  std::printf("demo: synthetic 5000x32 dataset, save + load round trip\n");
+  auto config = dataset::SiftAnalogue(5000, 5);
+  config.dim = 32;
+  const auto data = dataset::GenerateClustered(config);
+  const std::string base = "/tmp/lccs_demo_base.fvecs";
+  const std::string queries = "/tmp/lccs_demo_queries.fvecs";
+  const std::string index = "/tmp/lccs_demo.lccs";
+  dataset::WriteFvecs(base, data.data);
+  dataset::WriteFvecs(queries, data.queries);
+  char* build_argv[] = {const_cast<char*>("lccs_tool"),
+                        const_cast<char*>("build"),
+                        const_cast<char*>(base.c_str()),
+                        const_cast<char*>(index.c_str())};
+  if (Build(4, build_argv) != 0) return 1;
+  char* query_argv[] = {const_cast<char*>("lccs_tool"),
+                        const_cast<char*>("query"),
+                        const_cast<char*>(base.c_str()),
+                        const_cast<char*>(index.c_str()),
+                        const_cast<char*>(queries.c_str())};
+  return QueryCmd(5, query_argv);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) return Usage();
+    if (std::strcmp(argv[1], "build") == 0) return Build(argc, argv);
+    if (std::strcmp(argv[1], "query") == 0) return QueryCmd(argc, argv);
+    if (std::strcmp(argv[1], "demo") == 0) return Demo();
+    return Usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

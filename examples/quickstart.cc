@@ -1,0 +1,42 @@
+// Quickstart: index a synthetic Euclidean dataset with LCCS-LSH and answer a
+// top-10 query in a dozen lines of API.
+//
+//   build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/lccs_lsh.h"
+#include "dataset/synthetic.h"
+#include "lsh/random_projection.h"
+
+int main() {
+  using namespace lccs;
+
+  // 1. Data: 10k points in 64 dimensions (bring your own float array —
+  //    anything row-major works; here we synthesize clustered data).
+  dataset::SyntheticConfig config;
+  config.n = 10000;
+  config.num_queries = 1;
+  config.dim = 64;
+  const auto data = dataset::GenerateClustered(config);
+
+  // 2. Index: m = 64 random projection functions (Euclidean), hash strings
+  //    into a Circular Shift Array. `w` is the bucket width; ~2x the
+  //    near-neighbor distance is a good default.
+  auto family = std::make_unique<lsh::RandomProjectionFamily>(
+      /*dim=*/64, /*num_functions=*/64, /*w=*/8.0, /*seed=*/42);
+  core::LccsLsh index(std::move(family), util::Metric::kEuclidean);
+  index.Build(data.data.data(), data.n(), data.dim());
+  std::printf("indexed %zu points, index size %.1f MB\n", index.n(),
+              static_cast<double>(index.SizeBytes()) / (1024.0 * 1024.0));
+
+  // 3. Query: verify λ = 200 candidates from the k-LCCS search and return
+  //    the 10 nearest.
+  const float* query = data.queries.Row(0);
+  const auto neighbors = index.Query(query, /*k=*/10, /*lambda=*/200);
+  std::printf("top-10 neighbors of the query:\n");
+  for (const auto& nb : neighbors) {
+    std::printf("  id=%6d  dist=%.4f\n", nb.id, nb.dist);
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Text-embedding search under Angular distance (the GloVe workload):
+// demonstrates LSH-family-independence — the *same* LccsLsh class, handed a
+// cross-polytope family instead of random projections, answers angular
+// queries over unit-norm embedding vectors. Also contrasts with the
+// hyperplane (SimHash) family to show the cross-polytope advantage the paper
+// cites (Section 2.2).
+
+#include <cstdio>
+#include <memory>
+
+#include "core/lccs_lsh.h"
+#include "dataset/ground_truth.h"
+#include "dataset/synthetic.h"
+#include "eval/metrics.h"
+#include "lsh/cross_polytope.h"
+#include "lsh/sign_projection.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace lccs;
+
+  // 100-d unit-norm "embeddings" with GloVe-like cluster structure.
+  auto config = dataset::GloveAnalogue(20000, 50);
+  config.metric = util::Metric::kAngular;
+  config.normalize = true;
+  const auto data = dataset::GenerateClustered(config);
+  std::printf("dataset: %zu embeddings, d=%zu, angular metric\n", data.n(),
+              data.dim());
+  const auto gt = dataset::GroundTruth::Compute(data, 10);
+
+  auto evaluate = [&](std::unique_ptr<lsh::HashFamily> family,
+                      const char* label) {
+    core::LccsLsh index(std::move(family), util::Metric::kAngular);
+    util::Timer build_timer;
+    index.Build(data.data.data(), data.n(), data.dim());
+    const double build_s = build_timer.ElapsedSeconds();
+    for (const size_t lambda : {50u, 200u, 800u}) {
+      double recall = 0.0, ratio = 0.0;
+      util::Timer timer;
+      for (size_t q = 0; q < data.num_queries(); ++q) {
+        const auto result = index.Query(data.queries.Row(q), 10, lambda);
+        recall += eval::Recall(result, gt.ForQuery(q));
+        ratio += eval::OverallRatio(result, gt.ForQuery(q));
+      }
+      const double per_query =
+          timer.ElapsedMillis() / static_cast<double>(data.num_queries());
+      std::printf(
+          "  %-24s lambda=%4zu  recall=%5.1f%%  ratio=%.3f  %7.3f ms/query"
+          "  (built in %.2f s)\n",
+          label, lambda,
+          100.0 * recall / static_cast<double>(data.num_queries()),
+          ratio / static_cast<double>(data.num_queries()), per_query,
+          build_s);
+    }
+  };
+
+  std::printf("\ncross-polytope family (FALCONN's family, Eq. (3)):\n");
+  evaluate(std::make_unique<lsh::CrossPolytopeFamily>(data.dim(), 64, 7),
+           "LCCS-LSH x cross-polytope");
+
+  std::printf("\nhyperplane family (SimHash) for contrast:\n");
+  evaluate(std::make_unique<lsh::SignProjectionFamily>(data.dim(), 64, 7),
+           "LCCS-LSH x hyperplane");
+
+  std::printf(
+      "\nThe cross-polytope family reaches higher recall at equal lambda —\n"
+      "its hash quality rho is asymptotically optimal (Section 2.2).\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+#ifndef LCCS_BASELINES_ANN_INDEX_H_
+#define LCCS_BASELINES_ANN_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "dataset/dataset.h"
+#include "util/topk.h"
+
+namespace lccs {
+namespace baselines {
+
+/// Uniform interface over every c-k-ANNS method in the repository — the
+/// paper's LCCS-LSH / MP-LCCS-LSH and all seven competitors — so the
+/// evaluation harness can sweep them interchangeably (Section 6.3).
+class AnnIndex {
+ public:
+  virtual ~AnnIndex() = default;
+
+  /// Builds the index. The dataset must outlive the index: methods verify
+  /// candidates against the original vectors.
+  virtual void Build(const dataset::Dataset& data) = 0;
+
+  /// c-k-ANNS query: returns up to k neighbors sorted by ascending distance.
+  virtual std::vector<util::Neighbor> Query(const float* query,
+                                            size_t k) const = 0;
+
+  /// Memory held by the index structures (excluding the raw dataset, which
+  /// all methods share).
+  virtual size_t IndexSizeBytes() const = 0;
+
+  /// Display name, e.g. "LCCS-LSH" or "C2LSH".
+  virtual std::string name() const = 0;
+};
+
+}  // namespace baselines
+}  // namespace lccs
+
+#endif  // LCCS_BASELINES_ANN_INDEX_H_

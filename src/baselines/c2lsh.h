@@ -1,0 +1,76 @@
+#ifndef LCCS_BASELINES_C2LSH_H_
+#define LCCS_BASELINES_C2LSH_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "baselines/ann_index.h"
+#include "lsh/family_factory.h"
+
+namespace lccs {
+namespace baselines {
+
+/// C2LSH (Gan et al., SIGMOD 2012): the dynamic collision counting framework
+/// the paper compares against.
+///
+/// Indexing: m *individual* LSH functions, each with its own hash table. We
+/// store, per function, the points sorted by base bucket id — the sorted
+/// order makes virtual rehashing a pair of pointer extensions per round.
+///
+/// Query: round r widens every function's bucket to granularity ~c^r around
+/// the query's bucket (virtual rehashing) and counts collisions; a point
+/// becomes a candidate once its collision count reaches the threshold
+/// l = ceil(alpha * m), and the query terminates when k + extra_candidates
+/// candidates have been verified (the paper's beta*n budget) or the windows
+/// exhaust the data. Worst-case query cost is O(n log n), which is exactly
+/// the scalability limitation Section 1 attributes to this framework.
+///
+/// For angular experiments the functions are drawn from the cross-polytope
+/// family instead (Section 6.3); virtual rehashing then degenerates to
+/// exact-bucket counting since polytope vertices have no linear order, so we
+/// expand by allowing matches in the query's top-r alternative vertices.
+class C2Lsh : public AnnIndex {
+ public:
+  struct Params {
+    size_t num_functions = 128;     ///< m
+    double alpha = 0.55;            ///< collision threshold ratio l = ⌈αm⌉
+    double approx_ratio = 2.0;      ///< c of virtual rehashing
+    double w = 1.0;                 ///< base bucket width (Euclidean)
+    size_t extra_candidates = 100;  ///< β·n candidate budget beyond k
+    size_t max_rounds = 40;
+    uint64_t seed = 3;
+  };
+
+  explicit C2Lsh(Params params);
+
+  void Build(const dataset::Dataset& data) override;
+  std::vector<util::Neighbor> Query(const float* query,
+                                    size_t k) const override;
+  size_t IndexSizeBytes() const override;
+  std::string name() const override { return "C2LSH"; }
+
+  size_t collision_threshold() const { return threshold_; }
+
+ private:
+  struct Entry {
+    lsh::HashValue bucket;
+    int32_t id;
+    friend bool operator<(const Entry& a, const Entry& b) {
+      if (a.bucket != b.bucket) return a.bucket < b.bucket;
+      return a.id < b.id;
+    }
+  };
+
+  Params params_;
+  size_t threshold_ = 0;
+  std::unique_ptr<lsh::HashFamily> family_;
+  const dataset::Dataset* data_ = nullptr;
+  // entries_[f] = points sorted by their bucket under function f.
+  std::vector<std::vector<Entry>> entries_;
+};
+
+}  // namespace baselines
+}  // namespace lccs
+
+#endif  // LCCS_BASELINES_C2LSH_H_

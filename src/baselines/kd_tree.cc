@@ -1,0 +1,129 @@
+#include "baselines/kd_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+namespace lccs {
+namespace baselines {
+
+void KdTree::Build(const util::Matrix& points, size_t leaf_size) {
+  assert(points.rows() > 0 && leaf_size >= 1);
+  points_ = points;
+  perm_.resize(points.rows());
+  std::iota(perm_.begin(), perm_.end(), 0);
+  nodes_.clear();
+  bboxes_.clear();
+  nodes_.reserve(2 * points.rows() / leaf_size + 2);
+  root_ = BuildNode(0, static_cast<int32_t>(points.rows()), leaf_size);
+}
+
+int32_t KdTree::BuildNode(int32_t begin, int32_t end, size_t leaf_size) {
+  const size_t d = points_.cols();
+  const auto node_id = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  Node node;
+  node.begin = begin;
+  node.end = end;
+  node.bbox_offset = static_cast<int32_t>(bboxes_.size());
+
+  // Bounding box of the points in [begin, end).
+  std::vector<float> lo(d, std::numeric_limits<float>::max());
+  std::vector<float> hi(d, std::numeric_limits<float>::lowest());
+  for (int32_t i = begin; i < end; ++i) {
+    const float* p = points_.Row(perm_[i]);
+    for (size_t j = 0; j < d; ++j) {
+      lo[j] = std::min(lo[j], p[j]);
+      hi[j] = std::max(hi[j], p[j]);
+    }
+  }
+  bboxes_.insert(bboxes_.end(), lo.begin(), lo.end());
+  bboxes_.insert(bboxes_.end(), hi.begin(), hi.end());
+
+  const auto count = end - begin;
+  if (static_cast<size_t>(count) <= leaf_size) {
+    nodes_[node_id] = node;  // leaf
+    return node_id;
+  }
+
+  // Split the widest dimension at the median.
+  size_t split_dim = 0;
+  float widest = -1.0f;
+  for (size_t j = 0; j < d; ++j) {
+    const float extent = hi[j] - lo[j];
+    if (extent > widest) {
+      widest = extent;
+      split_dim = j;
+    }
+  }
+  const int32_t mid = begin + count / 2;
+  std::nth_element(perm_.begin() + begin, perm_.begin() + mid,
+                   perm_.begin() + end,
+                   [this, split_dim](int32_t a, int32_t b) {
+                     return points_.At(a, split_dim) < points_.At(b, split_dim);
+                   });
+  node.left = BuildNode(begin, mid, leaf_size);
+  node.right = BuildNode(mid, end, leaf_size);
+  nodes_[node_id] = node;
+  return node_id;
+}
+
+double KdTree::MinDistSq(int32_t node, const float* query) const {
+  const size_t d = points_.cols();
+  const float* lo = bboxes_.data() + nodes_[node].bbox_offset;
+  const float* hi = lo + d;
+  double s = 0.0;
+  for (size_t j = 0; j < d; ++j) {
+    double excess = 0.0;
+    if (query[j] < lo[j]) {
+      excess = static_cast<double>(lo[j]) - query[j];
+    } else if (query[j] > hi[j]) {
+      excess = static_cast<double>(query[j]) - hi[j];
+    }
+    s += excess * excess;
+  }
+  return s;
+}
+
+KdTree::IncrementalSearch::IncrementalSearch(const KdTree& tree,
+                                             const float* query)
+    : tree_(tree), query_(query) {
+  if (tree_.root_ >= 0) {
+    heap_.push({tree_.MinDistSq(tree_.root_, query_), tree_.root_, -1});
+  }
+}
+
+bool KdTree::IncrementalSearch::Next(int32_t* id, double* dist) {
+  const size_t d = tree_.points_.cols();
+  while (!heap_.empty()) {
+    const Item item = heap_.top();
+    heap_.pop();
+    if (item.node < 0) {
+      *id = item.point;
+      *dist = std::sqrt(item.dist_sq);
+      return true;
+    }
+    const Node& node = tree_.nodes_[item.node];
+    if (node.left < 0) {  // leaf: enqueue its points with exact distances
+      for (int32_t i = node.begin; i < node.end; ++i) {
+        const int32_t pid = tree_.perm_[i];
+        heap_.push(
+            {util::SquaredL2(tree_.points_.Row(pid), query_, d), -1, pid});
+      }
+    } else {
+      heap_.push({tree_.MinDistSq(node.left, query_), node.left, -1});
+      heap_.push({tree_.MinDistSq(node.right, query_), node.right, -1});
+    }
+  }
+  return false;
+}
+
+size_t KdTree::SizeBytes() const {
+  return points_.SizeBytes() + perm_.size() * sizeof(int32_t) +
+         nodes_.size() * sizeof(Node) + bboxes_.size() * sizeof(float);
+}
+
+}  // namespace baselines
+}  // namespace lccs

@@ -1,0 +1,79 @@
+#ifndef LCCS_BASELINES_KD_TREE_H_
+#define LCCS_BASELINES_KD_TREE_H_
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "util/matrix.h"
+
+namespace lccs {
+namespace baselines {
+
+/// A kd-tree over low-dimensional points with *incremental* (best-first)
+/// nearest-neighbor enumeration: points are produced one at a time in exact
+/// ascending Euclidean-distance order. This is the in-memory index SRS
+/// queries its projected space with (the original uses an R-tree; any
+/// incremental-NN spatial index is interchangeable here, and a kd-tree is
+/// the standard in-memory choice for d' <= 10).
+class KdTree {
+ public:
+  /// Builds over `points` (copied). Splits on the widest dimension at the
+  /// median; leaves hold up to `leaf_size` points.
+  void Build(const util::Matrix& points, size_t leaf_size = 16);
+
+  size_t size() const { return points_.rows(); }
+  size_t dim() const { return points_.cols(); }
+  size_t SizeBytes() const;
+
+  /// Stateful enumerator of points in exact ascending distance from a query.
+  class IncrementalSearch {
+   public:
+    IncrementalSearch(const KdTree& tree, const float* query);
+
+    /// Produces the next closest point. Returns false when exhausted.
+    /// `dist` receives the Euclidean distance (not squared).
+    bool Next(int32_t* id, double* dist);
+
+   private:
+    struct Item {
+      double dist_sq;
+      int32_t node;   // -1 when the item is a concrete point
+      int32_t point;  // point id when node == -1
+      friend bool operator>(const Item& a, const Item& b) {
+        if (a.dist_sq != b.dist_sq) return a.dist_sq > b.dist_sq;
+        return a.point > b.point;
+      }
+    };
+
+    const KdTree& tree_;
+    const float* query_;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap_;
+  };
+
+ private:
+  friend class IncrementalSearch;
+
+  struct Node {
+    int32_t left = -1;   // child node index, -1 for leaf
+    int32_t right = -1;
+    int32_t begin = 0;   // permutation range for leaves
+    int32_t end = 0;
+    // Axis-aligned bounding box of the subtree (dim() lows then highs).
+    int32_t bbox_offset = 0;
+  };
+
+  int32_t BuildNode(int32_t begin, int32_t end, size_t leaf_size);
+  double MinDistSq(int32_t node, const float* query) const;
+
+  util::Matrix points_;
+  std::vector<int32_t> perm_;   // point ids, partitioned by the tree
+  std::vector<Node> nodes_;
+  std::vector<float> bboxes_;   // 2 * dim() floats per node
+  int32_t root_ = -1;
+};
+
+}  // namespace baselines
+}  // namespace lccs
+
+#endif  // LCCS_BASELINES_KD_TREE_H_

@@ -1,0 +1,61 @@
+#ifndef LCCS_BASELINES_LCCS_ADAPTER_H_
+#define LCCS_BASELINES_LCCS_ADAPTER_H_
+
+#include <memory>
+#include <optional>
+
+#include "baselines/ann_index.h"
+#include "core/mp_lccs_lsh.h"
+#include "lsh/family_factory.h"
+
+namespace lccs {
+namespace baselines {
+
+/// AnnIndex adapter over the paper's contribution so the evaluation harness
+/// can sweep LCCS-LSH / MP-LCCS-LSH next to the baselines. With
+/// num_probes == 1 this *is* single-probe LCCS-LSH (Section 4.1); with more
+/// probes it is MP-LCCS-LSH (Section 4.2).
+class LccsLshIndex : public AnnIndex {
+ public:
+  struct Params {
+    size_t m = 64;          ///< hash string length (the one tuning knob)
+    size_t lambda = 100;    ///< candidates verified per query
+    size_t num_probes = 1;  ///< 1 = LCCS-LSH, >1 = MP-LCCS-LSH
+    int max_gap = 2;
+    size_t num_alternatives = 4;
+    double w = 4.0;  ///< bucket width when the family is random projection
+    /// Family override; defaults to the metric's standard family.
+    std::optional<lsh::FamilyKind> family;
+    uint64_t seed = 7;
+  };
+
+  explicit LccsLshIndex(Params params);
+
+  void Build(const dataset::Dataset& data) override;
+  std::vector<util::Neighbor> Query(const float* query,
+                                    size_t k) const override;
+  size_t IndexSizeBytes() const override;
+  std::string name() const override {
+    return params_.num_probes > 1 ? "MP-LCCS-LSH" : "LCCS-LSH";
+  }
+
+  const Params& params() const { return params_; }
+
+  /// λ can be swept at query time without rebuilding (it only affects how
+  /// many candidates are verified).
+  void set_lambda(size_t lambda) { params_.lambda = lambda; }
+  /// Likewise the probe count (the CSA is probe-agnostic).
+  void set_num_probes(size_t num_probes);
+
+  /// Access to the wrapped scheme (tests and diagnostics).
+  const core::MpLccsLsh& scheme() const { return *scheme_; }
+
+ private:
+  Params params_;
+  std::unique_ptr<core::MpLccsLsh> scheme_;
+};
+
+}  // namespace baselines
+}  // namespace lccs
+
+#endif  // LCCS_BASELINES_LCCS_ADAPTER_H_

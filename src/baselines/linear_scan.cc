@@ -1,0 +1,23 @@
+#include "baselines/linear_scan.h"
+
+#include <cassert>
+
+namespace lccs {
+namespace baselines {
+
+void LinearScan::Build(const dataset::Dataset& data) { data_ = &data; }
+
+std::vector<util::Neighbor> LinearScan::Query(const float* query,
+                                              size_t k) const {
+  assert(data_ != nullptr);
+  const size_t d = data_->dim();
+  util::TopK topk(k);
+  for (size_t i = 0; i < data_->n(); ++i) {
+    topk.Push(static_cast<int32_t>(i),
+              util::Distance(data_->metric, data_->data.Row(i), query, d));
+  }
+  return topk.Sorted();
+}
+
+}  // namespace baselines
+}  // namespace lccs

@@ -1,0 +1,27 @@
+#ifndef LCCS_BASELINES_LINEAR_SCAN_H_
+#define LCCS_BASELINES_LINEAR_SCAN_H_
+
+#include "baselines/ann_index.h"
+
+namespace lccs {
+namespace baselines {
+
+/// Exact brute-force scan. The accuracy ceiling for every experiment and the
+/// query-time floor LSH methods must beat; also the α = 0 row of Table 1
+/// (LCCS-LSH with O(1) hash functions degenerates to linear-scan cost).
+class LinearScan : public AnnIndex {
+ public:
+  void Build(const dataset::Dataset& data) override;
+  std::vector<util::Neighbor> Query(const float* query,
+                                    size_t k) const override;
+  size_t IndexSizeBytes() const override { return 0; }
+  std::string name() const override { return "LinearScan"; }
+
+ private:
+  const dataset::Dataset* data_ = nullptr;
+};
+
+}  // namespace baselines
+}  // namespace lccs
+
+#endif  // LCCS_BASELINES_LINEAR_SCAN_H_

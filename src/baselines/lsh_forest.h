@@ -1,0 +1,69 @@
+#ifndef LCCS_BASELINES_LSH_FOREST_H_
+#define LCCS_BASELINES_LSH_FOREST_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/ann_index.h"
+#include "lsh/family_factory.h"
+
+namespace lccs {
+namespace baselines {
+
+/// LSH-Forest (Bawa et al., WWW 2005) — the self-tuning static-framework
+/// variant the paper's related work singles out as the closest ancestor of
+/// LCCS-LSH: hash values are concatenated into a *sequence* and candidates
+/// are ranked by the longest common *prefix* with the query's sequence, so
+/// the effective K adapts per query.
+///
+/// Implemented the way practical forests are: each of the L trees keeps its
+/// points sorted lexicographically by hash string (a sorted array is a
+/// flattened trie); a query binary-searches its own string and expands
+/// outward, and candidates from all trees are merged through one priority
+/// queue keyed by prefix length — precisely the non-circular single-shift
+/// special case of the CSA search. The contrast with LCCS-LSH isolates the
+/// paper's core idea: a circular match can start at any of the m positions,
+/// so one LCCS index reuses its hash values m ways, while a forest tree only
+/// ever matches from position 1 (see bench/ablation_circular_vs_prefix).
+class LshForest : public AnnIndex {
+ public:
+  struct Params {
+    size_t num_trees = 8;    ///< L
+    size_t depth = 16;       ///< hash string length per tree (max prefix)
+    size_t candidates = 100; ///< points verified per query (like λ)
+    double w = 4.0;          ///< bucket width (random projection family)
+    uint64_t seed = 13;
+  };
+
+  LshForest(lsh::FamilyKind family, Params params);
+
+  void Build(const dataset::Dataset& data) override;
+  std::vector<util::Neighbor> Query(const float* query,
+                                    size_t k) const override;
+  size_t IndexSizeBytes() const override;
+  std::string name() const override { return "LSH-Forest"; }
+
+  const Params& params() const { return params_; }
+  /// Candidate budget is a query-time knob.
+  void set_candidates(size_t candidates) { params_.candidates = candidates; }
+
+ private:
+  /// Longest common prefix of the query's hash string and point `id`'s, in
+  /// tree `tree`, capped at depth.
+  int32_t Lcp(size_t tree, int32_t id, const lsh::HashValue* hq) const;
+
+  /// Three-way lexicographic compare of point `id`'s string vs the query's.
+  int Compare(size_t tree, int32_t id, const lsh::HashValue* hq) const;
+
+  lsh::FamilyKind family_kind_;
+  Params params_;
+  std::unique_ptr<lsh::HashFamily> family_;  // num_trees * depth functions
+  const dataset::Dataset* data_ = nullptr;
+  std::vector<lsh::HashValue> strings_;      // n x (num_trees * depth)
+  std::vector<std::vector<int32_t>> sorted_;  // per tree: ids sorted lexicog.
+};
+
+}  // namespace baselines
+}  // namespace lccs
+
+#endif  // LCCS_BASELINES_LSH_FOREST_H_

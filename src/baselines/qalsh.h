@@ -1,0 +1,73 @@
+#ifndef LCCS_BASELINES_QALSH_H_
+#define LCCS_BASELINES_QALSH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/ann_index.h"
+#include "util/matrix.h"
+
+namespace lccs {
+namespace baselines {
+
+/// QALSH (Huang et al., VLDB 2015): query-aware dynamic collision counting,
+/// the in-memory variant the paper benchmarks (QALSH+ uses the same core
+/// search over dataset blocks; at bench scale a single block is the faithful
+/// configuration).
+///
+/// Indexing: m query-aware functions h_a(o) = a·o with *no* random offset;
+/// each function keeps the points sorted by projection value (the in-memory
+/// stand-in for the paper's B+-trees).
+///
+/// Query: the bucket of radius-R search is the interval
+/// [a·q - w·c^r/2, a·q + w·c^r/2], centred on the query (query-aware).
+/// Every round doubles the virtual radius and extends two pointers per
+/// function outward, counting collisions; points whose count reaches
+/// l = ceil(alpha*m) are verified, and the search stops at the k + β·n
+/// candidate budget, mirroring C2LSH's termination conditions.
+///
+/// QALSH is Euclidean-only (its hash needs a linear order on projections);
+/// the harness only runs it under Euclidean distance, as the paper does.
+class QaLsh : public AnnIndex {
+ public:
+  struct Params {
+    size_t num_functions = 96;      ///< m
+    double alpha = 0.55;            ///< collision threshold ratio
+    double approx_ratio = 2.0;      ///< c of virtual radius expansion
+    double w = 1.0;                 ///< base bucket width
+    size_t extra_candidates = 100;  ///< β·n candidate budget beyond k
+    size_t max_rounds = 40;
+    uint64_t seed = 5;
+  };
+
+  explicit QaLsh(Params params);
+
+  void Build(const dataset::Dataset& data) override;
+  std::vector<util::Neighbor> Query(const float* query,
+                                    size_t k) const override;
+  size_t IndexSizeBytes() const override;
+  std::string name() const override { return "QALSH"; }
+
+  size_t collision_threshold() const { return threshold_; }
+
+ private:
+  struct Entry {
+    float projection;
+    int32_t id;
+    friend bool operator<(const Entry& a, const Entry& b) {
+      if (a.projection != b.projection) return a.projection < b.projection;
+      return a.id < b.id;
+    }
+  };
+
+  Params params_;
+  size_t threshold_ = 0;
+  const dataset::Dataset* data_ = nullptr;
+  util::Matrix projections_;  // m x d Gaussian directions
+  std::vector<std::vector<Entry>> columns_;  // per function, sorted
+};
+
+}  // namespace baselines
+}  // namespace lccs
+
+#endif  // LCCS_BASELINES_QALSH_H_

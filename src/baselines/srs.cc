@@ -1,0 +1,85 @@
+#include "baselines/srs.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/thread_pool.h"
+
+namespace lccs {
+namespace baselines {
+
+Srs::Srs(Params params) : params_(params) {
+  assert(params_.projected_dim >= 1);
+  assert(params_.candidate_fraction > 0.0);
+  assert(params_.approx_ratio > 1.0);
+}
+
+void Srs::Project(const float* v, float* out) const {
+  projection_.MatVec(v, out);
+}
+
+void Srs::Build(const dataset::Dataset& data) {
+  assert(data.metric == util::Metric::kEuclidean);
+  data_ = &data;
+  const size_t dp = params_.projected_dim;
+  projection_.Resize(dp, data.dim());
+  util::Rng rng(params_.seed);
+  rng.FillGaussian(projection_.data(), dp * data.dim());
+
+  util::Matrix projected(data.n(), dp);
+  util::ParallelFor(data.n(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      Project(data.data.Row(i), projected.Row(i));
+    }
+  });
+  tree_.Build(projected);
+}
+
+std::vector<util::Neighbor> Srs::Query(const float* query, size_t k) const {
+  assert(data_ != nullptr);
+  const size_t d = data_->dim();
+  const auto dp = static_cast<int>(params_.projected_dim);
+  std::vector<float> pq(params_.projected_dim);
+  Project(query, pq.data());
+
+  const size_t budget = std::max(
+      k, static_cast<size_t>(params_.candidate_fraction *
+                             static_cast<double>(data_->n())));
+  util::TopK topk(k);
+  KdTree::IncrementalSearch search(tree_, pq.data());
+  int32_t id = -1;
+  double proj_dist = 0.0;
+  size_t examined = 0;
+  while (search.Next(&id, &proj_dist)) {
+    // Early termination (test (b) in the header comment): once the k-th best
+    // verified distance is b, any point at true distance <= b/c would have
+    // projected distance <= δ with probability early_stop_confidence — so if
+    // the stream already advanced past δ, stop.
+    if (topk.full()) {
+      const double b = topk.Threshold();
+      const double better = b / params_.approx_ratio;
+      if (better > 0.0) {
+        const double ratio_sq =
+            (proj_dist * proj_dist) / (better * better);
+        if (util::ChiSquaredCdf(ratio_sq, dp) >
+            params_.early_stop_confidence) {
+          break;
+        }
+      }
+    }
+    topk.Push(id, util::Distance(data_->metric, data_->data.Row(id), query,
+                                 d));
+    if (++examined >= budget) break;
+  }
+  return topk.Sorted();
+}
+
+size_t Srs::IndexSizeBytes() const {
+  return projection_.SizeBytes() + tree_.SizeBytes();
+}
+
+}  // namespace baselines
+}  // namespace lccs

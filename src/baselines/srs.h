@@ -1,0 +1,60 @@
+#ifndef LCCS_BASELINES_SRS_H_
+#define LCCS_BASELINES_SRS_H_
+
+#include <cstdint>
+
+#include "baselines/ann_index.h"
+#include "baselines/kd_tree.h"
+#include "util/matrix.h"
+
+namespace lccs {
+namespace baselines {
+
+/// SRS (Sun et al., VLDB 2014): project to d' in {4..10} Gaussian dimensions
+/// and answer c-k-ANNS with a tiny in-memory index over the projection.
+///
+/// The key fact: for a point at true distance τ, its projected squared
+/// distance is distributed as τ²·χ²_{d'}. SRS therefore enumerates points in
+/// ascending *projected* distance (incremental NN on a kd-tree here, memory
+/// version with cover-tree/R-tree in the original — interchangeable), verifies
+/// each in the original space, and stops when either
+///   (a) t·n points have been verified (the candidate budget), or
+///   (b) the early-termination test fires: the next projected distance δ
+///       satisfies χ²_{d'}-CDF(δ² / (b/c)²) > p_τ, where b is the current
+///       k-th best verified distance — i.e. a point c-times better than b
+///       would almost surely have already appeared in the projection stream.
+class Srs : public AnnIndex {
+ public:
+  struct Params {
+    size_t projected_dim = 6;          ///< d'
+    double candidate_fraction = 0.15;  ///< t: budget = max(k, t*n)
+    /// c of the early-termination guarantee. Large c stops aggressively and
+    /// only promises c-approximate answers; values near 1 approach exact
+    /// search (the paper's SRS sweeps toward small c to reach high recall).
+    double approx_ratio = 1.5;
+    double early_stop_confidence = 0.9;  ///< p_τ threshold of test (b)
+    uint64_t seed = 11;
+  };
+
+  explicit Srs(Params params);
+
+  void Build(const dataset::Dataset& data) override;
+  std::vector<util::Neighbor> Query(const float* query,
+                                    size_t k) const override;
+  size_t IndexSizeBytes() const override;
+  std::string name() const override { return "SRS"; }
+
+  /// Projects `v` into the d'-dimensional space (exposed for tests).
+  void Project(const float* v, float* out) const;
+
+ private:
+  Params params_;
+  const dataset::Dataset* data_ = nullptr;
+  util::Matrix projection_;  // d' x d
+  KdTree tree_;
+};
+
+}  // namespace baselines
+}  // namespace lccs
+
+#endif  // LCCS_BASELINES_SRS_H_

@@ -1,0 +1,244 @@
+#include "core/csa.h"
+
+#include <algorithm>
+#include <cassert>
+#include <istream>
+#include <numeric>
+#include <ostream>
+#include <queue>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace lccs {
+namespace core {
+
+void CircularShiftArray::Build(const HashValue* strings, size_t n, size_t m) {
+  assert(n >= 1 && m >= 1);
+  n_ = n;
+  m_ = m;
+  data_.assign(strings, strings + n * m);
+  sorted_.assign(m * n, 0);
+  next_.assign(m * n, 0);
+
+  // Shift 0 is sorted directly with the circular comparator (ties by id so
+  // builds are deterministic).
+  int32_t* order0 = sorted_.data();
+  std::iota(order0, order0 + n, 0);
+  std::sort(order0, order0 + n, [this](int32_t a, int32_t b) {
+    int32_t lcp = 0;
+    const int cmp = CompareShifted(String(a), String(b), m_, 0, &lcp);
+    if (cmp != 0) return cmp < 0;
+    return a < b;
+  });
+
+  // rank[id] = position of id in the most recently computed sorted index.
+  std::vector<int32_t> rank(n);
+  for (size_t pos = 0; pos < n; ++pos) rank[order0[pos]] = static_cast<int32_t>(pos);
+
+  // Derive the remaining shift orders from their successors, in decreasing
+  // shift order: shift(T, i) = [t_i] ++ (shift(T, i+1) minus its last
+  // element), so sorting by the pair (t_i, rank at shift i+1) reproduces the
+  // shift-i lexicographic order (see class comment).
+  std::vector<int32_t> succ_rank = rank;  // rank at shift (i+1) % m
+  for (size_t i = m; i-- > 1;) {
+    int32_t* order = sorted_.data() + i * n;
+    std::iota(order, order + n, 0);
+    const HashValue* column_base = data_.data() + i;
+    std::sort(order, order + n,
+              [this, column_base, &succ_rank](int32_t a, int32_t b) {
+                const HashValue ca = column_base[static_cast<size_t>(a) * m_];
+                const HashValue cb = column_base[static_cast<size_t>(b) * m_];
+                if (ca != cb) return ca < cb;
+                return succ_rank[a] < succ_rank[b];
+              });
+    for (size_t pos = 0; pos < n; ++pos) {
+      succ_rank[order[pos]] = static_cast<int32_t>(pos);
+    }
+  }
+
+  // Next links: N_i[pos] = position in I_{(i+1) % m} of the string at
+  // position pos of I_i (Algorithm 1, lines 3-7).
+  for (size_t i = 0; i < m; ++i) {
+    const int32_t* cur = sorted_.data() + i * n;
+    const int32_t* nxt = sorted_.data() + ((i + 1) % m) * n;
+    for (size_t pos = 0; pos < n; ++pos) rank[nxt[pos]] = static_cast<int32_t>(pos);
+    int32_t* link = next_.data() + i * n;
+    for (size_t pos = 0; pos < n; ++pos) link[pos] = rank[cur[pos]];
+  }
+}
+
+int CircularShiftArray::Compare(int32_t id, const HashValue* query,
+                                size_t shift, int32_t* lcp) const {
+  return CompareShifted(String(id), query, m_, shift, lcp);
+}
+
+CircularShiftArray::ShiftBounds CircularShiftArray::SearchShift(
+    const HashValue* query, size_t shift, int32_t lo, int32_t hi) const {
+  assert(lo >= 0 && hi < static_cast<int32_t>(n_) && lo <= hi);
+  // Find the first position in [lo, hi] whose string compares greater than
+  // shift(Q, shift); everything before it is <= Q.
+  int32_t left = lo;
+  int32_t right = hi + 1;
+  while (left < right) {
+    const int32_t mid = left + (right - left) / 2;
+    int32_t lcp = 0;
+    const int cmp = Compare(SortedId(shift, mid), query, shift, &lcp);
+    if (cmp > 0) {
+      right = mid;
+    } else {
+      left = mid + 1;
+    }
+  }
+  ShiftBounds b;
+  b.pos_lo = left - 1;
+  b.pos_hi = left;
+  if (b.pos_lo >= 0) {
+    b.len_lo = Lcp(SortedId(shift, b.pos_lo), query, shift);
+  }
+  if (b.pos_hi < static_cast<int32_t>(n_)) {
+    b.len_hi = Lcp(SortedId(shift, b.pos_hi), query, shift);
+  }
+  return b;
+}
+
+std::vector<LccsCandidate> CircularShiftArray::Search(const HashValue* query,
+                                                      size_t k) const {
+  std::vector<ShiftBounds> state;
+  return Search(query, k, &state);
+}
+
+std::vector<LccsCandidate> CircularShiftArray::Search(
+    const HashValue* query, size_t k, std::vector<ShiftBounds>* state) const {
+  assert(!empty());
+  const auto n = static_cast<int32_t>(n_);
+  state->assign(m_, ShiftBounds{});
+  std::priority_queue<HeapEntry> pq;
+
+  auto push_bounds = [&](size_t shift, const ShiftBounds& b) {
+    if (b.pos_lo >= 0) {
+      pq.push({b.len_lo, b.pos_lo, static_cast<int32_t>(shift), 0, -1});
+    }
+    if (b.pos_hi < n) {
+      pq.push({b.len_hi, b.pos_hi, static_cast<int32_t>(shift), 0, +1});
+    }
+  };
+
+  // Line 2 of Algorithm 2: one full binary search on I_0.
+  (*state)[0] = SearchShift(query, 0, 0, n - 1);
+  push_bounds(0, (*state)[0]);
+
+  // Lines 5-11: narrowed binary searches driven by the next links
+  // (Corollary 3.2); fall back to a full search when the previous shift
+  // matched less than one symbol.
+  for (size_t i = 1; i < m_; ++i) {
+    const ShiftBounds& prev = (*state)[i - 1];
+    ShiftBounds b;
+    if (use_narrowing_ && prev.pos_lo >= 0 && prev.pos_hi < n &&
+        prev.len_lo >= 1 && prev.len_hi >= 1) {
+      const int32_t lo = NextPosition(i - 1, prev.pos_lo);
+      const int32_t hi = NextPosition(i - 1, prev.pos_hi);
+      if (lo <= hi) {
+        b = SearchShift(query, i, lo, hi);
+      } else {
+        b = SearchShift(query, i, 0, n - 1);
+      }
+    } else {
+      b = SearchShift(query, i, 0, n - 1);
+    }
+    (*state)[i] = b;
+    push_bounds(i, b);
+  }
+
+  // Lines 12-15: pop the frontier in non-increasing LCP order; per shift and
+  // direction the LCP is monotone non-increasing away from the query
+  // position (Fact 3.2), so the first pop of an id yields |LCCS(T_id, Q)|.
+  std::vector<LccsCandidate> result;
+  result.reserve(std::min<size_t>(k, n_));
+  std::unordered_set<int32_t> seen;
+  seen.reserve(2 * k);
+  while (result.size() < k && !pq.empty()) {
+    const HeapEntry e = pq.top();
+    pq.pop();
+    const int32_t id = SortedId(e.shift, e.pos);
+    if (seen.insert(id).second) {
+      result.push_back({id, e.len});
+    }
+    const int32_t npos = e.pos + e.dir;
+    if (npos >= 0 && npos < n) {
+      pq.push({Lcp(SortedId(e.shift, npos), query, e.shift), npos, e.shift, 0,
+               e.dir});
+    }
+  }
+  return result;
+}
+
+namespace {
+
+constexpr char kMagic[8] = {'L', 'C', 'C', 'S', 'C', 'S', 'A', '1'};
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void ReadPod(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  if (!in) throw std::runtime_error("truncated CSA stream");
+}
+
+template <typename T>
+void WriteVector(std::ostream& out, const std::vector<T>& v) {
+  WritePod(out, static_cast<uint64_t>(v.size()));
+  out.write(reinterpret_cast<const char*>(v.data()), v.size() * sizeof(T));
+}
+
+template <typename T>
+void ReadVector(std::istream& in, std::vector<T>* v, uint64_t expected) {
+  uint64_t size = 0;
+  ReadPod(in, &size);
+  if (size != expected) {
+    throw std::runtime_error("CSA stream: unexpected array size");
+  }
+  v->resize(size);
+  in.read(reinterpret_cast<char*>(v->data()), size * sizeof(T));
+  if (!in) throw std::runtime_error("truncated CSA stream");
+}
+
+}  // namespace
+
+void CircularShiftArray::Serialize(std::ostream& out) const {
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, static_cast<uint64_t>(n_));
+  WritePod(out, static_cast<uint64_t>(m_));
+  WriteVector(out, data_);
+  WriteVector(out, sorted_);
+  WriteVector(out, next_);
+}
+
+CircularShiftArray CircularShiftArray::Deserialize(std::istream& in) {
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || !std::equal(magic, magic + sizeof(magic), kMagic)) {
+    throw std::runtime_error("not a CSA stream (bad magic)");
+  }
+  uint64_t n = 0, m = 0;
+  ReadPod(in, &n);
+  ReadPod(in, &m);
+  if (n == 0 || m == 0) throw std::runtime_error("CSA stream: empty index");
+  CircularShiftArray csa;
+  csa.n_ = n;
+  csa.m_ = m;
+  ReadVector(in, &csa.data_, n * m);
+  ReadVector(in, &csa.sorted_, m * n);
+  ReadVector(in, &csa.next_, m * n);
+  for (const int32_t pos : csa.next_) {
+    if (pos < 0 || pos >= static_cast<int32_t>(n)) {
+      throw std::runtime_error("CSA stream: corrupt next link");
+    }
+  }
+  return csa;
+}
+
+}  // namespace core
+}  // namespace lccs

@@ -1,0 +1,160 @@
+#ifndef LCCS_CORE_CSA_H_
+#define LCCS_CORE_CSA_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "core/lccs.h"
+
+namespace lccs {
+namespace core {
+
+/// One answer of a k-LCCS search: a string id and the LCP length at the shift
+/// through which the search surfaced it (a lower bound on |LCCS(T_id, Q)|,
+/// and equal to it for the first time an id is popped).
+struct LccsCandidate {
+  int32_t id = -1;
+  int32_t len = 0;
+};
+
+/// Circular Shift Array (Section 3.2, Algorithms 1 and 2).
+///
+/// Indexes n strings of identical length m so that k-LCCS queries
+/// (Definition 3.3) run in O(log n + (m + k) log m) expected time
+/// (Theorem 3.1). The structure stores, for every shift i in [0, m):
+///
+///   * I_i — the ids of all strings sorted by shift(T, i) lexicographically
+///           (the "sorted indices" of Algorithm 1), and
+///   * N_i — the "next links": N_i[pos] is the position in I_{(i+1) % m} of
+///           the string stored at position pos of I_i.
+///
+/// Build cost is O(m n log n): shift 0 is sorted with a circular comparator,
+/// and every other shift order is derived from its successor in O(n log n)
+/// with O(1)-cost comparisons — shift(T, i) equals [t_i] ++ shift(T, i+1)
+/// minus its last element, so sorting by the pair (t_i, rank at shift i+1)
+/// reproduces the shift-i order exactly (equal-through-prefix strings can
+/// only be permuted when fully equal, where order is immaterial; we break
+/// such ties by id for determinism).
+///
+/// The low-level primitives (per-shift binary search, LCP, next links) are
+/// public so that MP-LCCS-LSH (Section 4.2) can drive its multi-probe search
+/// over the same arrays.
+class CircularShiftArray {
+ public:
+  CircularShiftArray() = default;
+
+  /// Builds the CSA over `n` strings of length `m` stored row-major in
+  /// `strings` (Algorithm 1). The data is copied. Requires n >= 1, m >= 1.
+  void Build(const HashValue* strings, size_t n, size_t m);
+
+  size_t n() const { return n_; }
+  size_t m() const { return m_; }
+  bool empty() const { return n_ == 0; }
+
+  /// Id of the string at position `pos` of sorted index I_shift.
+  int32_t SortedId(size_t shift, size_t pos) const {
+    return sorted_[shift * n_ + pos];
+  }
+
+  /// Next link: position in I_{(shift+1) % m} of the string at position
+  /// `pos` of I_shift.
+  int32_t NextPosition(size_t shift, size_t pos) const {
+    return next_[shift * n_ + pos];
+  }
+
+  /// Pointer to the m hash values of string `id`.
+  const HashValue* String(int32_t id) const {
+    return data_.data() + static_cast<size_t>(id) * m_;
+  }
+
+  /// Result of locating shift(Q, shift) within the sorted index I_shift.
+  struct ShiftBounds {
+    int32_t pos_lo = -1;  ///< position of T_l = max{T <= Q}; -1 if Q < min
+    int32_t pos_hi = 0;   ///< position of T_u = min{T > Q}; n if Q >= max
+    int32_t len_lo = 0;   ///< |LCP(shift(T_l, shift), shift(Q, shift))|
+    int32_t len_hi = 0;   ///< |LCP(shift(T_u, shift), shift(Q, shift))|
+  };
+
+  /// Binary search of shift(Q, shift) over positions [lo, hi] of I_shift
+  /// (inclusive bounds; pass 0, n-1 for a full search). Returns the
+  /// lower/upper bounding positions and their LCP lengths.
+  ShiftBounds SearchShift(const HashValue* query, size_t shift, int32_t lo,
+                          int32_t hi) const;
+
+  /// LCP between shift(T_id, shift) and shift(Q, shift), capped at m.
+  int32_t Lcp(int32_t id, const HashValue* query, size_t shift) const {
+    return CircularLcp(String(id), query, m_, shift);
+  }
+
+  /// k-LCCS search (Algorithm 2): returns up to k distinct string ids in
+  /// non-increasing order of |LCCS(T, Q)|.
+  std::vector<LccsCandidate> Search(const HashValue* query, size_t k) const;
+
+  /// Same as Search but also exposes the per-shift bounds computed during
+  /// the narrowed binary-search cascade (needed by MP-LCCS-LSH to skip
+  /// unaffected positions, Section 4.2).
+  std::vector<LccsCandidate> Search(const HashValue* query, size_t k,
+                                    std::vector<ShiftBounds>* state) const;
+
+  /// Memory footprint of the index (data + sorted indices + next links).
+  size_t SizeBytes() const {
+    return data_.size() * sizeof(HashValue) +
+           sorted_.size() * sizeof(int32_t) + next_.size() * sizeof(int32_t);
+  }
+
+  /// Ablation switch: when disabled, Search performs a full-range binary
+  /// search on every shift instead of the next-link-narrowed cascade of
+  /// Corollary 3.2. Results are identical; only the query cost changes
+  /// (exercised by bench/ablation_csa and the equivalence property test).
+  void set_use_narrowing(bool enabled) { use_narrowing_ = enabled; }
+  bool use_narrowing() const { return use_narrowing_; }
+
+  /// Writes the complete structure (n, m, hash strings, sorted indices,
+  /// next links) to a binary stream; little-endian, versioned magic header.
+  void Serialize(std::ostream& out) const;
+
+  /// Reconstructs a CSA previously written by Serialize. Throws
+  /// std::runtime_error on malformed input.
+  static CircularShiftArray Deserialize(std::istream& in);
+
+  /// Entry of the shared candidate priority queue of Algorithm 2. Public so
+  /// the multi-probe scheme can merge entries from several probe strings
+  /// into one queue (the `probe` tag selects the query string to extend
+  /// LCPs against).
+  struct HeapEntry {
+    int32_t len = 0;
+    int32_t pos = 0;
+    int32_t shift = 0;
+    int32_t probe = 0;
+    int8_t dir = 0;  // -1 expands downward, +1 upward
+
+    friend bool operator<(const HeapEntry& a, const HeapEntry& b) {
+      // std::priority_queue is a max-heap: order by len, deterministic
+      // tie-breaks so query results are reproducible.
+      if (a.len != b.len) return a.len < b.len;
+      if (a.shift != b.shift) return a.shift > b.shift;
+      if (a.pos != b.pos) return a.pos > b.pos;
+      if (a.probe != b.probe) return a.probe > b.probe;
+      return a.dir > b.dir;
+    }
+  };
+
+ private:
+  /// Three-way compare of shift(T_id, shift) against shift(Q, shift),
+  /// setting *lcp to the common-prefix length.
+  int Compare(int32_t id, const HashValue* query, size_t shift,
+              int32_t* lcp) const;
+
+  size_t n_ = 0;
+  size_t m_ = 0;
+  bool use_narrowing_ = true;
+  std::vector<HashValue> data_;  // n x m, row-major
+  std::vector<int32_t> sorted_;  // m x n: I_i
+  std::vector<int32_t> next_;    // m x n: N_i
+};
+
+}  // namespace core
+}  // namespace lccs
+
+#endif  // LCCS_CORE_CSA_H_

@@ -1,0 +1,76 @@
+#include "core/lccs.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lccs {
+namespace core {
+
+int32_t CircularLcp(const HashValue* t, const HashValue* q, size_t m,
+                    size_t shift) {
+  assert(shift < m);
+  int32_t len = 0;
+  for (size_t j = 0; j < m; ++j) {
+    const size_t idx = (shift + j) % m;
+    if (t[idx] != q[idx]) break;
+    ++len;
+  }
+  return len;
+}
+
+int32_t LccsLength(const HashValue* t, const HashValue* q, size_t m) {
+  int32_t best = 0;
+  for (size_t s = 0; s < m; ++s) {
+    best = std::max(best, CircularLcp(t, q, m, s));
+    if (best == static_cast<int32_t>(m)) break;
+  }
+  return best;
+}
+
+bool IsCircularCoSubstring(const HashValue* t, const HashValue* q, size_t m,
+                           size_t start, size_t len) {
+  assert(start < m);
+  if (len == 0) return true;
+  if (len > m) return false;
+  for (size_t j = 0; j < len; ++j) {
+    const size_t idx = (start + j) % m;
+    if (t[idx] != q[idx]) return false;
+  }
+  return true;
+}
+
+int CompareShifted(const HashValue* t, const HashValue* q, size_t m,
+                   size_t shift, int32_t* lcp) {
+  assert(shift < m);
+  int32_t len = 0;
+  int cmp = 0;
+  for (size_t j = 0; j < m; ++j) {
+    const size_t idx = (shift + j) % m;
+    if (t[idx] != q[idx]) {
+      cmp = t[idx] < q[idx] ? -1 : 1;
+      break;
+    }
+    ++len;
+  }
+  if (lcp != nullptr) *lcp = len;
+  return cmp;
+}
+
+std::vector<int32_t> BruteForceKLccs(const HashValue* strings, size_t n,
+                                     size_t m, const HashValue* q, size_t k) {
+  std::vector<std::pair<int32_t, int32_t>> scored;  // (-len, id)
+  scored.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    scored.emplace_back(-LccsLength(strings + i * m, q, m),
+                        static_cast<int32_t>(i));
+  }
+  const size_t keep = std::min(k, n);
+  std::partial_sort(scored.begin(), scored.begin() + keep, scored.end());
+  std::vector<int32_t> ids;
+  ids.reserve(keep);
+  for (size_t i = 0; i < keep; ++i) ids.push_back(scored[i].second);
+  return ids;
+}
+
+}  // namespace core
+}  // namespace lccs

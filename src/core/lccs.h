@@ -1,0 +1,50 @@
+#ifndef LCCS_CORE_LCCS_H_
+#define LCCS_CORE_LCCS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lsh/hash_family.h"
+
+namespace lccs {
+namespace core {
+
+using lsh::HashValue;
+
+/// Reference (brute-force) implementations of the paper's Definitions 3.1 and
+/// 3.2 plus Fact 3.1. These are O(m²) per pair and exist as the executable
+/// specification that the CSA fast path is property-tested against; they are
+/// also handy for small-scale debugging.
+
+/// Length of the longest common prefix of shift(T, s) and shift(Q, s), where
+/// both strings have length m and shift(X, s) = [x_{s+1}, ..., x_m, x_1, ...,
+/// x_s] (0-based: starts at index s).
+int32_t CircularLcp(const HashValue* t, const HashValue* q, size_t m,
+                    size_t shift);
+
+/// |LCCS(T, Q)| computed via Fact 3.1:
+///   LCCS(T, Q) = max_{s in {0..m-1}} LCP(shift(T, s), shift(Q, s)).
+int32_t LccsLength(const HashValue* t, const HashValue* q, size_t m);
+
+/// Checks Definition 3.1 directly: returns true iff the substring of length
+/// `len` starting at 0-based position `start` (wrapping circularly) matches
+/// between T and Q at the *same* positions. An empty substring (len == 0) is
+/// always a circular co-substring.
+bool IsCircularCoSubstring(const HashValue* t, const HashValue* q, size_t m,
+                           size_t start, size_t len);
+
+/// Lexicographic three-way comparison of shift(T, s) vs shift(Q, s),
+/// returning {-1, 0, +1} and the LCP length via `lcp` (may be null).
+int CompareShifted(const HashValue* t, const HashValue* q, size_t m,
+                   size_t shift, int32_t* lcp);
+
+/// Brute-force k-LCCS search (Definition 3.3) over a row-major collection of
+/// n strings of length m: returns the ids of the k strings with the largest
+/// |LCCS(T_i, Q)|, ties broken by smaller id. O(n·m²); test oracle only.
+std::vector<int32_t> BruteForceKLccs(const HashValue* strings, size_t n,
+                                     size_t m, const HashValue* q, size_t k);
+
+}  // namespace core
+}  // namespace lccs
+
+#endif  // LCCS_CORE_LCCS_H_

@@ -1,0 +1,66 @@
+#include "core/lccs_lsh.h"
+
+#include <cassert>
+
+#include "util/thread_pool.h"
+
+namespace lccs {
+namespace core {
+
+LccsLsh::LccsLsh(std::unique_ptr<lsh::HashFamily> family, util::Metric metric)
+    : family_(std::move(family)), metric_(metric) {
+  assert(family_ != nullptr);
+}
+
+void LccsLsh::Build(const float* data, size_t n, size_t d) {
+  assert(data != nullptr && n >= 1);
+  assert(d == family_->dim());
+  data_ = data;
+  n_ = n;
+  d_ = d;
+  const size_t m = family_->num_functions();
+  // Hashing is embarrassingly parallel; the CSA build itself is sequential,
+  // mirroring the paper's single-thread indexing cost model.
+  std::vector<HashValue> strings(n * m);
+  util::ParallelFor(n, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      family_->Hash(data + i * d_, strings.data() + i * m);
+    }
+  });
+  csa_.Build(strings.data(), n, m);
+}
+
+void LccsLsh::AttachPrebuilt(const float* data, size_t n, size_t d,
+                             CircularShiftArray csa) {
+  assert(data != nullptr);
+  assert(d == family_->dim());
+  assert(csa.n() == n && csa.m() == family_->num_functions());
+  data_ = data;
+  n_ = n;
+  d_ = d;
+  csa_ = std::move(csa);
+}
+
+std::vector<LccsCandidate> LccsLsh::Candidates(const float* query,
+                                               size_t count) const {
+  assert(data_ != nullptr);
+  const size_t m = family_->num_functions();
+  std::vector<HashValue> hq(m);
+  family_->Hash(query, hq.data());
+  return csa_.Search(hq.data(), count);
+}
+
+std::vector<util::Neighbor> LccsLsh::Query(const float* query, size_t k,
+                                           size_t lambda) const {
+  assert(data_ != nullptr);
+  const size_t count = lambda + (k > 0 ? k - 1 : 0);
+  const std::vector<LccsCandidate> candidates = Candidates(query, count);
+  util::TopK topk(k);
+  for (const LccsCandidate& c : candidates) {
+    topk.Push(c.id, util::Distance(metric_, data_ + c.id * d_, query, d_));
+  }
+  return topk.Sorted();
+}
+
+}  // namespace core
+}  // namespace lccs

@@ -1,0 +1,82 @@
+#ifndef LCCS_CORE_LCCS_LSH_H_
+#define LCCS_CORE_LCCS_LSH_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/csa.h"
+#include "lsh/hash_family.h"
+#include "util/metric.h"
+#include "util/topk.h"
+
+namespace lccs {
+namespace core {
+
+/// Single-probe LCCS-LSH (Section 4.1).
+///
+/// Indexing phase: draw m i.i.d. LSH functions from the injected family,
+/// convert every data object o into the hash string
+/// H(o) = [h_1(o), ..., h_m(o)], and build a Circular Shift Array over the n
+/// hash strings.
+///
+/// Query phase: compute H(q), run a (λ + k - 1)-LCCS search on the CSA, and
+/// verify the returned candidates with the true distance metric, keeping the
+/// best k.
+///
+/// The scheme is LSH-family-independent: any HashFamily works, which is how
+/// the same class serves Euclidean (random projection), Angular
+/// (cross-polytope / hyperplane) and Hamming (bit sampling) queries.
+class LccsLsh {
+ public:
+  /// Takes ownership of the hash family (which fixes m = family->
+  /// num_functions()); `metric` is used only for candidate verification.
+  LccsLsh(std::unique_ptr<lsh::HashFamily> family, util::Metric metric);
+
+  /// Builds the index over `n` row-major `d`-dimensional vectors. The data
+  /// is *referenced*, not copied — it must outlive the index (verification
+  /// reads it). `d` must equal family->dim().
+  void Build(const float* data, size_t n, size_t d);
+
+  /// c-k-ANNS query: verifies (λ + k - 1) candidates from the k-LCCS search
+  /// of H(q) and returns the k nearest by true distance (ascending).
+  std::vector<util::Neighbor> Query(const float* query, size_t k,
+                                    size_t lambda) const;
+
+  /// Raw LCCS candidates of H(q) without distance verification (exposes the
+  /// k-LCCS search itself; used by tests and diagnostics).
+  std::vector<LccsCandidate> Candidates(const float* query,
+                                        size_t count) const;
+
+  size_t n() const { return n_; }
+  size_t dim() const { return d_; }
+  size_t m() const { return family_->num_functions(); }
+  util::Metric metric() const { return metric_; }
+  const lsh::HashFamily& family() const { return *family_; }
+  const CircularShiftArray& csa() const { return csa_; }
+
+  /// Index memory: CSA arrays plus the family's parameters.
+  size_t SizeBytes() const { return csa_.SizeBytes() + family_->SizeBytes(); }
+
+  /// Ablation switch forwarded to the CSA (see
+  /// CircularShiftArray::set_use_narrowing).
+  void set_use_narrowing(bool enabled) { csa_.set_use_narrowing(enabled); }
+
+  /// Binds a previously serialized CSA instead of hashing + rebuilding
+  /// (see core/serialize.h). The CSA must have been built over exactly this
+  /// data with this index's family; n/m consistency is checked.
+  void AttachPrebuilt(const float* data, size_t n, size_t d,
+                      CircularShiftArray csa);
+
+ protected:
+  std::unique_ptr<lsh::HashFamily> family_;
+  util::Metric metric_;
+  const float* data_ = nullptr;  // not owned
+  size_t n_ = 0;
+  size_t d_ = 0;
+  CircularShiftArray csa_;
+};
+
+}  // namespace core
+}  // namespace lccs
+
+#endif  // LCCS_CORE_LCCS_LSH_H_

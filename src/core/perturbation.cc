@@ -1,0 +1,71 @@
+#include "core/perturbation.h"
+
+#include <cassert>
+
+namespace lccs {
+namespace core {
+
+PerturbationGenerator::PerturbationGenerator(
+    const std::vector<std::vector<lsh::AltHash>>* alternatives, int max_gap)
+    : alts_(alternatives), max_gap_(max_gap) {
+  assert(alternatives != nullptr);
+  assert(max_gap >= 1);
+  // Seed the heap with every single-modification vector {(i, alt_0)}
+  // (Algorithm 3, lines 3-5).
+  const size_t m = alts_->size();
+  for (size_t i = 0; i < m; ++i) {
+    if ((*alts_)[i].empty()) continue;
+    PerturbationVector vec{{static_cast<int32_t>(i), (*alts_)[i][0].value, 0}};
+    heap_.push({Score(vec), std::move(vec)});
+  }
+}
+
+double PerturbationGenerator::Score(const PerturbationVector& vec) const {
+  double s = 0.0;
+  for (const Perturbation& p : vec) {
+    s += (*alts_)[p.pos][p.alt_index].score;
+  }
+  return s;
+}
+
+bool PerturbationGenerator::Next(PerturbationVector* out) {
+  // Line 1 of Algorithm 3: the "no perturbation" probe comes first.
+  if (!emitted_empty_) {
+    emitted_empty_ = true;
+    last_score_ = 0.0;
+    out->clear();
+    return true;
+  }
+  if (heap_.empty()) return false;
+
+  HeapItem item = heap_.top();
+  heap_.pop();
+  last_score_ = item.score;
+  *out = item.vec;
+
+  const auto m = static_cast<int32_t>(alts_->size());
+  const Perturbation& last = item.vec.back();
+
+  // p_shift: advance the last modification to its next alternative.
+  if (last.alt_index + 1 < static_cast<int32_t>((*alts_)[last.pos].size())) {
+    PerturbationVector shifted = item.vec;
+    shifted.back().alt_index = last.alt_index + 1;
+    shifted.back().value = (*alts_)[last.pos][last.alt_index + 1].value;
+    heap_.push({Score(shifted), std::move(shifted)});
+  }
+
+  // p_expand: append the first alternative of position last.pos + gap for
+  // every gap up to MAX_GAP (Algorithm 3, lines 11-13).
+  for (int gap = 1; gap <= max_gap_; ++gap) {
+    const int32_t pos = last.pos + gap;
+    if (pos >= m) break;
+    if ((*alts_)[pos].empty()) continue;
+    PerturbationVector expanded = item.vec;
+    expanded.push_back({pos, (*alts_)[pos][0].value, 0});
+    heap_.push({Score(expanded), std::move(expanded)});
+  }
+  return true;
+}
+
+}  // namespace core
+}  // namespace lccs

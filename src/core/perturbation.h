@@ -1,0 +1,89 @@
+#ifndef LCCS_CORE_PERTURBATION_H_
+#define LCCS_CORE_PERTURBATION_H_
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "lsh/hash_family.h"
+
+namespace lccs {
+namespace core {
+
+/// One modification inside a perturbation vector δ (Section 4.2): replace
+/// the hash value at `pos` with `value`, which is the `alt_index`-th
+/// alternative of that position (0-based into the alternatives list).
+struct Perturbation {
+  int32_t pos = 0;
+  lsh::HashValue value = 0;
+  int32_t alt_index = 0;
+};
+
+/// A perturbation vector: modifications at strictly increasing positions.
+using PerturbationVector = std::vector<Perturbation>;
+
+/// Generates perturbation vectors in ascending order of score
+/// (Algorithm 3 of the paper), where score(δ) is the sum of the per-position
+/// alternative scores supplied by the LSH family, via the p_shift and
+/// p_expand operations:
+///
+///   p_shift(δ)        — advance the last modification to the next
+///                       alternative of the same position;
+///   p_expand(δ, gap)  — append the first alternative of position
+///                       (last_pos + gap), for gap in [1, MAX_GAP].
+///
+/// The gap cap (MAX_GAP, default 2 as in the paper) keeps adjacent modified
+/// positions close so that a probe's new candidates are not dominated by
+/// probes with fewer modifications (the redundancy problem of Example 4.1).
+///
+/// The first vector returned is always the empty "no perturbation" vector.
+/// Generation is lazy; at most `#probes` vectors are ever materialized.
+class PerturbationGenerator {
+ public:
+  /// `alternatives[i]` is the score-ascending alternative list of position i
+  /// (as produced by HashFamily::Alternatives); not owned, must outlive the
+  /// generator.
+  PerturbationGenerator(const std::vector<std::vector<lsh::AltHash>>* alternatives,
+                        int max_gap = 2);
+
+  /// Produces the next perturbation vector in score order. Returns false
+  /// when the space of vectors (bounded by the alternative lists and the
+  /// gap constraint) is exhausted.
+  bool Next(PerturbationVector* out);
+
+  /// Score of the vector most recently returned by Next() (0 for the empty
+  /// vector).
+  double last_score() const { return last_score_; }
+
+ private:
+  struct HeapItem {
+    double score;
+    PerturbationVector vec;
+    friend bool operator>(const HeapItem& a, const HeapItem& b) {
+      if (a.score != b.score) return a.score > b.score;
+      // Deterministic tie-breaks: shorter vectors first, then lexicographic
+      // by (pos, alt_index).
+      if (a.vec.size() != b.vec.size()) return a.vec.size() > b.vec.size();
+      for (size_t i = 0; i < a.vec.size(); ++i) {
+        if (a.vec[i].pos != b.vec[i].pos) return a.vec[i].pos > b.vec[i].pos;
+        if (a.vec[i].alt_index != b.vec[i].alt_index) {
+          return a.vec[i].alt_index > b.vec[i].alt_index;
+        }
+      }
+      return false;
+    }
+  };
+
+  double Score(const PerturbationVector& vec) const;
+
+  const std::vector<std::vector<lsh::AltHash>>* alts_;
+  int max_gap_;
+  bool emitted_empty_ = false;
+  double last_score_ = 0.0;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap_;
+};
+
+}  // namespace core
+}  // namespace lccs
+
+#endif  // LCCS_CORE_PERTURBATION_H_

@@ -1,0 +1,97 @@
+#include "core/rc_nns.h"
+
+#include <cassert>
+#include <algorithm>
+
+#include "core/theory.h"
+
+namespace lccs {
+namespace core {
+
+RcNearNeighbor::RcNearNeighbor(Params params, util::Metric metric)
+    : params_(params), metric_(metric) {
+  assert(params_.c > 1.0);
+  assert(params_.radius > 0.0);
+  assert(params_.m >= 1 && params_.repetitions >= 1);
+}
+
+void RcNearNeighbor::Build(const float* data, size_t n, size_t d) {
+  const lsh::FamilyKind kind =
+      params_.family.value_or(lsh::DefaultFamilyFor(metric_));
+  replicas_.clear();
+  for (size_t rep = 0; rep < params_.repetitions; ++rep) {
+    auto family = lsh::MakeFamily(kind, d, params_.m, params_.w,
+                                  params_.seed + 1000003 * rep);
+    if (rep == 0) {
+      // λ from Theorem 5.1, using the family's own collision probability
+      // curve at R and cR. Clamp p1/p2 away from {0, 1} so the formula stays
+      // finite for extreme radii.
+      p1_ = std::clamp(family->CollisionProbability(params_.radius), 1e-9,
+                       1.0 - 1e-9);
+      p2_ = std::clamp(
+          family->CollisionProbability(params_.c * params_.radius), 1e-9,
+          p1_ - 1e-12);
+      lambda_ = theory::LambdaForGuarantee(n, params_.m, p1_, p2_);
+    }
+    auto replica = std::make_unique<LccsLsh>(std::move(family), metric_);
+    replica->Build(data, n, d);
+    replicas_.push_back(std::move(replica));
+  }
+}
+
+std::optional<util::Neighbor> RcNearNeighbor::Query(
+    const float* query) const {
+  assert(!replicas_.empty());
+  const double c_radius = params_.c * params_.radius;
+  std::optional<util::Neighbor> best;
+  for (const auto& replica : replicas_) {
+    const auto answers = replica->Query(query, 1, lambda_);
+    if (answers.empty()) continue;
+    if (!best.has_value() || answers[0].dist < best->dist) best = answers[0];
+    // Early exit once the decision is settled.
+    if (best->dist <= c_radius) return best;
+  }
+  if (best.has_value() && best->dist <= c_radius) return best;
+  return std::nullopt;
+}
+
+size_t RcNearNeighbor::SizeBytes() const {
+  size_t bytes = 0;
+  for (const auto& replica : replicas_) bytes += replica->SizeBytes();
+  return bytes;
+}
+
+CAnnsDriver::CAnnsDriver(Params params, util::Metric metric)
+    : params_(params), metric_(metric) {
+  assert(params_.c > 1.0);
+  assert(params_.r_min > 0.0 && params_.r_min <= params_.r_max);
+}
+
+void CAnnsDriver::Build(const float* data, size_t n, size_t d) {
+  levels_.clear();
+  size_t level_idx = 0;
+  for (double radius = params_.r_min; radius <= params_.r_max * (1.0 + 1e-12);
+       radius *= params_.c) {
+    RcNearNeighbor::Params level;
+    level.radius = radius;
+    level.c = params_.c;
+    level.m = params_.m;
+    level.repetitions = params_.repetitions;
+    level.w = params_.w;
+    level.seed = params_.seed + 7919 * level_idx++;
+    auto rc = std::make_unique<RcNearNeighbor>(level, metric_);
+    rc->Build(data, n, d);
+    levels_.push_back(std::move(rc));
+  }
+}
+
+std::optional<util::Neighbor> CAnnsDriver::Query(const float* query) const {
+  for (const auto& level : levels_) {
+    const auto hit = level->Query(query);
+    if (hit.has_value()) return hit;
+  }
+  return std::nullopt;
+}
+
+}  // namespace core
+}  // namespace lccs

@@ -1,0 +1,97 @@
+#ifndef LCCS_CORE_RC_NNS_H_
+#define LCCS_CORE_RC_NNS_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/lccs_lsh.h"
+#include "lsh/family_factory.h"
+
+namespace lccs {
+namespace core {
+
+/// The decision problem the theory is stated for: (R, c)-Near Neighbor
+/// Search (Definition 2.2), answered with Theorem 5.1's guarantee.
+///
+/// One replica = an LCCS-LSH index whose λ is set by Theorem 5.1 from the
+/// family's collision probabilities p1 = p(R) and p2 = p(cR), giving success
+/// probability >= 1/4; `repetitions` independent replicas boost it to
+/// 1 - (3/4)^t. Query semantics match the definition:
+///   * some point within R  -> returns a point within cR (w.h.p.);
+///   * nothing within cR    -> returns nullopt;
+///   * otherwise            -> either outcome is acceptable.
+class RcNearNeighbor {
+ public:
+  struct Params {
+    double radius = 1.0;    ///< R
+    double c = 2.0;         ///< approximation ratio (> 1)
+    size_t m = 64;          ///< hash string length per replica
+    size_t repetitions = 4; ///< independent replicas (success 1 - (3/4)^t)
+    double w = 4.0;         ///< bucket width (random projection only)
+    std::optional<lsh::FamilyKind> family;  ///< default: metric's family
+    uint64_t seed = 31;
+  };
+
+  RcNearNeighbor(Params params, util::Metric metric);
+
+  /// Builds all replicas over n row-major d-dimensional vectors (referenced,
+  /// not copied).
+  void Build(const float* data, size_t n, size_t d);
+
+  /// Decision query (see class comment).
+  std::optional<util::Neighbor> Query(const float* query) const;
+
+  /// λ chosen by Theorem 5.1 for this configuration (after Build).
+  size_t lambda() const { return lambda_; }
+  double p1() const { return p1_; }
+  double p2() const { return p2_; }
+  size_t SizeBytes() const;
+
+ private:
+  Params params_;
+  util::Metric metric_;
+  double p1_ = 0.0;
+  double p2_ = 0.0;
+  size_t lambda_ = 1;
+  std::vector<std::unique_ptr<LccsLsh>> replicas_;
+};
+
+/// c-ANNS via the standard reduction (Section 2.1): a geometric series of
+/// (R, c)-NNS structures with R in {r_min, c·r_min, c²·r_min, ...} up to
+/// r_max; a query walks the series from the smallest radius and returns the
+/// first hit, which is then within c·R <= c²·(true NN distance) — i.e. the
+/// reduction answers c²-ANNS, at a log_c(r_max/r_min) space/time factor.
+class CAnnsDriver {
+ public:
+  struct Params {
+    double r_min = 1.0;
+    double r_max = 16.0;
+    double c = 2.0;
+    size_t m = 64;
+    size_t repetitions = 4;
+    double w = 4.0;
+    uint64_t seed = 37;
+  };
+
+  CAnnsDriver(Params params, util::Metric metric);
+
+  void Build(const float* data, size_t n, size_t d);
+
+  /// Returns the first level's hit (nullopt if every level misses — the
+  /// query is farther than ~r_max from everything).
+  std::optional<util::Neighbor> Query(const float* query) const;
+
+  size_t num_levels() const { return levels_.size(); }
+  const RcNearNeighbor& level(size_t i) const { return *levels_[i]; }
+
+ private:
+  Params params_;
+  util::Metric metric_;
+  std::vector<std::unique_ptr<RcNearNeighbor>> levels_;
+};
+
+}  // namespace core
+}  // namespace lccs
+
+#endif  // LCCS_CORE_RC_NNS_H_

@@ -1,0 +1,48 @@
+#ifndef LCCS_CORE_SERIALIZE_H_
+#define LCCS_CORE_SERIALIZE_H_
+
+#include <memory>
+#include <string>
+
+#include "core/mp_lccs_lsh.h"
+#include "lsh/family_factory.h"
+
+namespace lccs {
+namespace core {
+
+/// Index persistence.
+///
+/// A saved index is (a) a small descriptor of the hash family — kind, dim,
+/// m, bucket width and seed — and (b) the serialized CSA. Because every
+/// family in this library is bit-reproducible from its seed, the descriptor
+/// regenerates functions identical to the ones the CSA was built with; only
+/// the CSA arrays (the expensive part) are stored verbatim. The raw dataset
+/// is *not* stored: like the in-memory index, a loaded index references the
+/// caller's vectors for candidate verification.
+struct IndexDescriptor {
+  lsh::FamilyKind family = lsh::FamilyKind::kRandomProjection;
+  util::Metric metric = util::Metric::kEuclidean;
+  uint64_t dim = 0;
+  uint64_t m = 0;
+  double w = 4.0;
+  uint64_t seed = 0;
+  ProbeParams probes;
+};
+
+/// Writes descriptor + CSA to `path`. Throws std::runtime_error on IO
+/// failure.
+void SaveIndex(const std::string& path, const IndexDescriptor& descriptor,
+               const CircularShiftArray& csa);
+
+/// Loads an index saved by SaveIndex and binds it to `data` (n row-major
+/// d-dimensional vectors — must be the same data the index was built over;
+/// n and d are validated against the stored CSA). Returns a ready-to-query
+/// MP-LCCS-LSH (probe params restored; use num_probes = 1 for the
+/// single-probe scheme).
+std::unique_ptr<MpLccsLsh> LoadIndex(const std::string& path,
+                                     const float* data, size_t n, size_t d);
+
+}  // namespace core
+}  // namespace lccs
+
+#endif  // LCCS_CORE_SERIALIZE_H_

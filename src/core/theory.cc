@@ -1,0 +1,94 @@
+#include "core/theory.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "core/lccs.h"
+#include "util/random.h"
+
+namespace lccs {
+namespace core {
+namespace theory {
+
+double Rho(double p1, double p2) {
+  assert(p1 > p2 && p2 > 0.0 && p1 < 1.0);
+  return std::log(1.0 / p1) / std::log(1.0 / p2);
+}
+
+double ExtremeValueCdf(double x, double p) {
+  assert(p > 0.0 && p < 1.0);
+  return std::exp(-std::pow(p, x));
+}
+
+double LccsCdfModel(double x, size_t m, double p) {
+  // Classical longest-run extreme-value form: Pr[|LCCS| <= x] ≈
+  // exp(-m (1-p) p^{x+1}) = F̂_p(x + 1 - log_{1/p}(m(1-p))). The paper's
+  // Lemma 5.2 omits the "+1" (a run longer than x must extend past x+1
+  // symbols from its start); the constant shift cancels in every quantile
+  // *difference* used by Theorem 5.1, and this form matches Monte-Carlo
+  // simulation of circular strings to within ~0.03 absolute error already at
+  // m = 64 (see test_theory.cc).
+  const double shift =
+      std::log(static_cast<double>(m) * (1.0 - p)) / std::log(1.0 / p);
+  return ExtremeValueCdf(x + 1.0 - shift, p);
+}
+
+double MedianLccsLength(size_t m, double p) {
+  // Eq. (6) under the same "+1" convention as LccsCdfModel:
+  // log_p(ln 2) + log_{1/p}(m (1 - p)) - 1.
+  const double log_p = std::log(p);
+  return std::log(std::log(2.0)) / log_p +
+         std::log(static_cast<double>(m) * (1.0 - p)) / -log_p - 1.0;
+}
+
+double QuantileLccsLength(size_t m, double p, double tail_fraction) {
+  assert(tail_fraction > 0.0 && tail_fraction < 1.0);
+  // Eq. (7) with k/n = tail_fraction, same convention as above.
+  const double log_p = std::log(p);
+  return std::log(-std::log(1.0 - tail_fraction)) / log_p +
+         std::log(static_cast<double>(m) * (1.0 - p)) / -log_p - 1.0;
+}
+
+size_t LambdaForGuarantee(size_t n, size_t m, double p1, double p2) {
+  const double rho = Rho(p1, p2);
+  const double lambda = std::pow(static_cast<double>(m), 1.0 - 1.0 / rho) *
+                        static_cast<double>(n) *
+                        std::pow(1.0 - p1, -1.0 / rho) * (1.0 - p2) *
+                        std::pow(std::log(2.0), 1.0 / rho) / p2;
+  if (!std::isfinite(lambda) || lambda < 1.0) return 1;
+  return static_cast<size_t>(
+      std::min(lambda, static_cast<double>(n)));
+}
+
+size_t MForAlpha(double alpha, size_t n, double rho) {
+  assert(alpha >= 0.0);
+  const double m = std::pow(static_cast<double>(n), alpha * rho);
+  if (!std::isfinite(m) || m < 1.0) return 1;
+  return static_cast<size_t>(m);
+}
+
+double EstimateLccsCdf(int32_t x, size_t m, double p, size_t trials,
+                       uint64_t seed) {
+  assert(m >= 1 && trials >= 1);
+  util::Rng rng(seed);
+  std::vector<HashValue> t(m), q(m);
+  size_t at_most = 0;
+  for (size_t trial = 0; trial < trials; ++trial) {
+    for (size_t i = 0; i < m; ++i) {
+      q[i] = static_cast<HashValue>(i);
+      // Symbol matches with probability p; mismatches use a symbol outside
+      // the query alphabet so they never accidentally match.
+      t[i] = rng.UniformDouble() < p
+                 ? q[i]
+                 : static_cast<HashValue>(i + m + 1 + (trial % 7));
+    }
+    if (LccsLength(t.data(), q.data(), m) <= x) ++at_most;
+  }
+  return static_cast<double>(at_most) / static_cast<double>(trials);
+}
+
+}  // namespace theory
+}  // namespace core
+}  // namespace lccs

@@ -1,0 +1,53 @@
+#ifndef LCCS_CORE_THEORY_H_
+#define LCCS_CORE_THEORY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lccs {
+namespace core {
+namespace theory {
+
+/// Analytical companions to Section 5 of the paper. Everything here is pure
+/// math — used for parameter selection (λ, m), for the quality-guarantee
+/// bench (Table 1) and for the property tests that validate Lemma 5.2's
+/// extreme-value approximation against Monte-Carlo simulation.
+
+/// Hash quality ρ = ln(1/p1) / ln(1/p2) (Theorem 2.1).
+double Rho(double p1, double p2);
+
+/// Extreme-value CDF F̂_p(x) = exp(-p^x) (Lemma 5.2).
+double ExtremeValueCdf(double x, double p);
+
+/// Asymptotic model of F_{m,p}(x) = Pr[|LCCS(T,Q)| <= x] for hash strings of
+/// length m whose symbols match independently with probability p:
+/// F̂_{m,p}(x) = F̂_p(x - log_{1/p}(m (1 - p))).
+double LccsCdfModel(double x, size_t m, double p);
+
+/// Median of F̂_{m,p} (Eq. (6)): x_{1/2,p} = log_p(ln 2) + log_{1/p}(m(1-p)).
+double MedianLccsLength(size_t m, double p);
+
+/// (1 - k/n)-quantile of F̂_{m,p} (Eq. (7)):
+/// x_{1-k/n,p} = log_p(-ln(1 - k/n)) + log_{1/p}(m(1-p)).
+double QuantileLccsLength(size_t m, double p, double tail_fraction);
+
+/// The λ of Theorem 5.1 guaranteeing (R, c)-NNS success probability >= 1/4:
+/// λ = m^{1-1/ρ} · n · (1-p1)^{-1/ρ} · (1-p2) · (ln 2)^{1/ρ} / p2.
+/// The result is clamped to [1, n].
+size_t LambdaForGuarantee(size_t n, size_t m, double p1, double p2);
+
+/// Corollary 5.1's m = Θ(n^{αρ}) for a trade-off knob α in [0, 1/(1-ρ)].
+/// Clamped below by 1.
+size_t MForAlpha(double alpha, size_t n, double rho);
+
+/// Monte-Carlo estimate of Pr[|LCCS(T, Q)| <= x] over `trials` random string
+/// pairs with i.i.d. per-symbol match probability p. Test oracle for
+/// Lemma 5.2.
+double EstimateLccsCdf(int32_t x, size_t m, double p, size_t trials,
+                       uint64_t seed);
+
+}  // namespace theory
+}  // namespace core
+}  // namespace lccs
+
+#endif  // LCCS_CORE_THEORY_H_

@@ -1,0 +1,16 @@
+#include "dataset/dataset.h"
+
+namespace lccs {
+namespace dataset {
+
+void Dataset::NormalizeAll() {
+  for (size_t i = 0; i < data.rows(); ++i) {
+    util::NormalizeInPlace(data.Row(i), data.cols());
+  }
+  for (size_t i = 0; i < queries.rows(); ++i) {
+    util::NormalizeInPlace(queries.Row(i), queries.cols());
+  }
+}
+
+}  // namespace dataset
+}  // namespace lccs

@@ -1,0 +1,33 @@
+#ifndef LCCS_DATASET_DATASET_H_
+#define LCCS_DATASET_DATASET_H_
+
+#include <string>
+
+#include "util/matrix.h"
+#include "util/metric.h"
+
+namespace lccs {
+namespace dataset {
+
+/// A benchmark dataset: n base vectors, a held-out query set, and the
+/// distance metric under which it is evaluated (Table 2 of the paper).
+struct Dataset {
+  std::string name;
+  util::Metric metric = util::Metric::kEuclidean;
+  util::Matrix data;     ///< n x d base vectors
+  util::Matrix queries;  ///< num_queries x d query vectors
+
+  size_t n() const { return data.rows(); }
+  size_t dim() const { return data.cols(); }
+  size_t num_queries() const { return queries.rows(); }
+  size_t SizeBytes() const { return data.SizeBytes() + queries.SizeBytes(); }
+
+  /// Scales every base and query vector to unit norm (used for angular
+  /// experiments, where the cross-polytope family expects unit vectors).
+  void NormalizeAll();
+};
+
+}  // namespace dataset
+}  // namespace lccs
+
+#endif  // LCCS_DATASET_DATASET_H_

@@ -1,0 +1,32 @@
+#include "dataset/ground_truth.h"
+
+#include <cassert>
+
+#include "util/thread_pool.h"
+
+namespace lccs {
+namespace dataset {
+
+GroundTruth GroundTruth::Compute(const Dataset& dataset, size_t k) {
+  assert(k >= 1 && k <= dataset.n());
+  GroundTruth gt;
+  gt.k_ = k;
+  gt.neighbors_.resize(dataset.num_queries());
+  const size_t d = dataset.dim();
+  util::ParallelFor(dataset.num_queries(), [&](size_t begin, size_t end) {
+    for (size_t q = begin; q < end; ++q) {
+      const float* query = dataset.queries.Row(q);
+      util::TopK topk(k);
+      for (size_t i = 0; i < dataset.n(); ++i) {
+        topk.Push(static_cast<int32_t>(i),
+                  util::Distance(dataset.metric, dataset.data.Row(i), query,
+                                 d));
+      }
+      gt.neighbors_[q] = topk.Sorted();
+    }
+  });
+  return gt;
+}
+
+}  // namespace dataset
+}  // namespace lccs

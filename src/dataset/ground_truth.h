@@ -1,0 +1,37 @@
+#ifndef LCCS_DATASET_GROUND_TRUTH_H_
+#define LCCS_DATASET_GROUND_TRUTH_H_
+
+#include <vector>
+
+#include "dataset/dataset.h"
+#include "util/topk.h"
+
+namespace lccs {
+namespace dataset {
+
+/// Exact k-nearest-neighbor answers for every query of a dataset, computed
+/// by (multi-threaded) brute force. All recall/ratio numbers in the
+/// evaluation harness are measured against this.
+class GroundTruth {
+ public:
+  /// Computes the exact top-`k` neighbors of each query under the dataset's
+  /// metric.
+  static GroundTruth Compute(const Dataset& dataset, size_t k);
+
+  size_t k() const { return k_; }
+  size_t num_queries() const { return neighbors_.size(); }
+
+  /// Exact neighbors of query `q`, ascending by distance, exactly k entries.
+  const std::vector<util::Neighbor>& ForQuery(size_t q) const {
+    return neighbors_[q];
+  }
+
+ private:
+  size_t k_ = 0;
+  std::vector<std::vector<util::Neighbor>> neighbors_;
+};
+
+}  // namespace dataset
+}  // namespace lccs
+
+#endif  // LCCS_DATASET_GROUND_TRUTH_H_

@@ -1,0 +1,144 @@
+#include "dataset/io.h"
+
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+namespace lccs {
+namespace dataset {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+FilePtr OpenOrThrow(const std::string& path, const char* mode) {
+  FilePtr f(std::fopen(path.c_str(), mode));
+  if (f == nullptr) {
+    throw std::runtime_error("cannot open file: " + path);
+  }
+  return f;
+}
+
+int32_t ReadDimOrEof(std::FILE* f, const std::string& path, bool* eof) {
+  int32_t dim = 0;
+  const size_t got = std::fread(&dim, sizeof(dim), 1, f);
+  if (got != 1) {
+    if (std::feof(f)) {
+      *eof = true;
+      return 0;
+    }
+    throw std::runtime_error("read error in " + path);
+  }
+  *eof = false;
+  if (dim <= 0) {
+    throw std::runtime_error("non-positive vector dimension in " + path);
+  }
+  return dim;
+}
+
+}  // namespace
+
+util::Matrix ReadFvecs(const std::string& path) {
+  FilePtr f = OpenOrThrow(path, "rb");
+  std::vector<float> flat;
+  int32_t dim = -1;
+  size_t rows = 0;
+  for (;;) {
+    bool eof = false;
+    const int32_t this_dim = ReadDimOrEof(f.get(), path, &eof);
+    if (eof) break;
+    if (dim == -1) dim = this_dim;
+    if (this_dim != dim) {
+      throw std::runtime_error("inconsistent dimensions in " + path);
+    }
+    const size_t old = flat.size();
+    flat.resize(old + static_cast<size_t>(dim));
+    if (std::fread(flat.data() + old, sizeof(float),
+                   static_cast<size_t>(dim),
+                   f.get()) != static_cast<size_t>(dim)) {
+      throw std::runtime_error("truncated vector in " + path);
+    }
+    ++rows;
+  }
+  if (rows == 0) return util::Matrix();
+  util::Matrix out(rows, static_cast<size_t>(dim));
+  std::copy(flat.begin(), flat.end(), out.data());
+  return out;
+}
+
+void WriteFvecs(const std::string& path, const util::Matrix& matrix) {
+  FilePtr f = OpenOrThrow(path, "wb");
+  const auto dim = static_cast<int32_t>(matrix.cols());
+  for (size_t i = 0; i < matrix.rows(); ++i) {
+    if (std::fwrite(&dim, sizeof(dim), 1, f.get()) != 1 ||
+        std::fwrite(matrix.Row(i), sizeof(float), matrix.cols(), f.get()) !=
+            matrix.cols()) {
+      throw std::runtime_error("write error in " + path);
+    }
+  }
+}
+
+std::vector<std::vector<int32_t>> ReadIvecs(const std::string& path) {
+  FilePtr f = OpenOrThrow(path, "rb");
+  std::vector<std::vector<int32_t>> rows;
+  for (;;) {
+    bool eof = false;
+    const int32_t dim = ReadDimOrEof(f.get(), path, &eof);
+    if (eof) break;
+    std::vector<int32_t> row(static_cast<size_t>(dim));
+    if (std::fread(row.data(), sizeof(int32_t), row.size(), f.get()) !=
+        row.size()) {
+      throw std::runtime_error("truncated vector in " + path);
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void WriteIvecs(const std::string& path,
+                const std::vector<std::vector<int32_t>>& rows) {
+  FilePtr f = OpenOrThrow(path, "wb");
+  for (const auto& row : rows) {
+    const auto dim = static_cast<int32_t>(row.size());
+    if (std::fwrite(&dim, sizeof(dim), 1, f.get()) != 1 ||
+        std::fwrite(row.data(), sizeof(int32_t), row.size(), f.get()) !=
+            row.size()) {
+      throw std::runtime_error("write error in " + path);
+    }
+  }
+}
+
+util::Matrix ReadBvecs(const std::string& path) {
+  FilePtr f = OpenOrThrow(path, "rb");
+  std::vector<float> flat;
+  int32_t dim = -1;
+  size_t rows = 0;
+  std::vector<uint8_t> buf;
+  for (;;) {
+    bool eof = false;
+    const int32_t this_dim = ReadDimOrEof(f.get(), path, &eof);
+    if (eof) break;
+    if (dim == -1) dim = this_dim;
+    if (this_dim != dim) {
+      throw std::runtime_error("inconsistent dimensions in " + path);
+    }
+    buf.resize(static_cast<size_t>(dim));
+    if (std::fread(buf.data(), 1, buf.size(), f.get()) != buf.size()) {
+      throw std::runtime_error("truncated vector in " + path);
+    }
+    for (uint8_t b : buf) flat.push_back(static_cast<float>(b));
+    ++rows;
+  }
+  if (rows == 0) return util::Matrix();
+  util::Matrix out(rows, static_cast<size_t>(dim));
+  std::copy(flat.begin(), flat.end(), out.data());
+  return out;
+}
+
+}  // namespace dataset
+}  // namespace lccs

@@ -1,0 +1,39 @@
+#ifndef LCCS_DATASET_IO_H_
+#define LCCS_DATASET_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/matrix.h"
+
+namespace lccs {
+namespace dataset {
+
+/// Readers/writers for the standard TEXMEX vector formats used by the
+/// paper's datasets (http://corpus-texmex.irisa.fr/): every vector is stored
+/// as a little-endian int32 dimension followed by `dim` payload elements
+/// (float for .fvecs, int32 for .ivecs, uint8 for .bvecs). These allow the
+/// real Sift/Gist/etc. files to replace the synthetic analogues when
+/// available. All functions throw std::runtime_error on malformed input.
+
+/// Reads an entire .fvecs file into a row-major matrix.
+util::Matrix ReadFvecs(const std::string& path);
+
+/// Writes a matrix as .fvecs.
+void WriteFvecs(const std::string& path, const util::Matrix& matrix);
+
+/// Reads an .ivecs file (e.g. ground-truth neighbor ids).
+std::vector<std::vector<int32_t>> ReadIvecs(const std::string& path);
+
+/// Writes an .ivecs file.
+void WriteIvecs(const std::string& path,
+                const std::vector<std::vector<int32_t>>& rows);
+
+/// Reads a .bvecs file, widening bytes to floats.
+util::Matrix ReadBvecs(const std::string& path);
+
+}  // namespace dataset
+}  // namespace lccs
+
+#endif  // LCCS_DATASET_IO_H_

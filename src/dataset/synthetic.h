@@ -1,0 +1,62 @@
+#ifndef LCCS_DATASET_SYNTHETIC_H_
+#define LCCS_DATASET_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "dataset/dataset.h"
+
+namespace lccs {
+namespace dataset {
+
+/// Synthetic analogues of the paper's five real-life datasets (Table 2).
+///
+/// The originals (Msong, Sift, Gist, GloVe, Deep) are public downloads that
+/// are unavailable offline, so the generators below produce Gaussian-mixture
+/// data with the same dimensionality and qualitatively similar structure:
+/// clustered mass with heavier or lighter cluster overlap per dataset, plus a
+/// uniform background fraction. LSH behaviour is governed by the pairwise
+/// distance distribution (relative contrast), which these knobs control, so
+/// the *relative* ordering of methods — the paper's claim — is preserved.
+/// Real data in .fvecs format can be substituted via dataset/io.h.
+struct SyntheticConfig {
+  std::string name = "synthetic";
+  util::Metric metric = util::Metric::kEuclidean;
+  size_t n = 10000;          ///< number of base vectors
+  size_t num_queries = 50;   ///< held-out queries, same distribution
+  size_t dim = 64;
+  size_t num_clusters = 50;
+  double center_scale = 10.0;    ///< stddev of cluster centers
+  double cluster_stddev = 1.0;   ///< within-cluster stddev per coordinate
+  double noise_fraction = 0.05;  ///< fraction of uniform background points
+  bool normalize = false;        ///< scale vectors to the unit sphere
+  uint64_t seed = 42;
+};
+
+/// Draws a clustered Gaussian-mixture dataset. Queries are drawn from the
+/// same mixture (held out from the base set), matching the paper's protocol
+/// of sampling queries from the datasets' test sets.
+Dataset GenerateClustered(const SyntheticConfig& config);
+
+/// Binary dataset for Hamming-distance experiments: cluster prototypes in
+/// {0,1}^dim with per-bit flip probability `flip_prob`.
+Dataset GenerateHamming(size_t n, size_t num_queries, size_t dim,
+                        size_t num_clusters, double flip_prob, uint64_t seed);
+
+/// Configs mimicking Table 2. `n` / `num_queries` scale the instance (the
+/// paper uses n ≈ 10^6 and 100 queries; benches default lower for CI).
+SyntheticConfig MsongAnalogue(size_t n, size_t num_queries);  // 420-d audio
+SyntheticConfig SiftAnalogue(size_t n, size_t num_queries);   // 128-d image
+SyntheticConfig GistAnalogue(size_t n, size_t num_queries);   // 960-d image
+SyntheticConfig GloveAnalogue(size_t n, size_t num_queries);  // 100-d text
+SyntheticConfig DeepAnalogue(size_t n, size_t num_queries);   // 256-d deep
+
+/// Lookup by lower-case name ("msong", "sift", "gist", "glove", "deep");
+/// throws std::invalid_argument on unknown names.
+SyntheticConfig AnalogueByName(const std::string& name, size_t n,
+                               size_t num_queries);
+
+}  // namespace dataset
+}  // namespace lccs
+
+#endif  // LCCS_DATASET_SYNTHETIC_H_

@@ -1,0 +1,230 @@
+#include "eval/grid.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <stdexcept>
+
+#include "baselines/c2lsh.h"
+#include "baselines/lccs_adapter.h"
+#include "baselines/qalsh.h"
+#include "baselines/srs.h"
+#include "baselines/static_lsh.h"
+#include "eval/workloads.h"
+#include "util/timer.h"
+
+namespace lccs {
+namespace eval {
+
+namespace {
+
+std::string Desc(const char* fmt, ...) {
+  char buf[160];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return buf;
+}
+
+std::vector<size_t> LambdaGrid(size_t n, bool quick) {
+  std::vector<double> fractions =
+      quick ? std::vector<double>{0.01}
+            : std::vector<double>{0.001, 0.005, 0.02, 0.08};
+  std::vector<size_t> lambdas;
+  for (const double f : fractions) {
+    lambdas.push_back(std::max<size_t>(
+        10, static_cast<size_t>(f * static_cast<double>(n))));
+  }
+  return lambdas;
+}
+
+std::vector<RunResult> SweepLccs(const dataset::Dataset& data,
+                                 const dataset::GroundTruth& gt, size_t k,
+                                 bool quick, bool multi_probe) {
+  const double scale = EstimateDistanceScale(data);
+  const std::vector<size_t> ms =
+      quick ? std::vector<size_t>{32}
+            : (multi_probe ? std::vector<size_t>{16, 32, 64}
+                           : std::vector<size_t>{16, 32, 64, 128});
+  const std::vector<size_t> lambdas = LambdaGrid(data.n(), quick);
+  std::vector<RunResult> results;
+  for (const size_t m : ms) {
+    baselines::LccsLshIndex::Params params;
+    params.m = m;
+    params.w = 2.0 * scale;
+    params.num_probes = 1;
+    baselines::LccsLshIndex index(params);
+    util::Timer timer;
+    index.Build(data);
+    const double build_seconds = timer.ElapsedSeconds();
+    const size_t bytes = index.IndexSizeBytes();
+    const std::vector<size_t> probe_counts =
+        multi_probe ? (quick ? std::vector<size_t>{m + 1}
+                             : std::vector<size_t>{m + 1, 2 * m + 1})
+                    : std::vector<size_t>{1};
+    for (const size_t probes : probe_counts) {
+      index.set_num_probes(probes);
+      for (const size_t lambda : lambdas) {
+        index.set_lambda(lambda);
+        results.push_back(EvaluateQueries(
+            index, data, gt, k, build_seconds, bytes,
+            Desc("m=%zu lambda=%zu probes=%zu", m, lambda, probes)));
+      }
+    }
+  }
+  return results;
+}
+
+std::vector<RunResult> SweepStatic(const dataset::Dataset& data,
+                                   const dataset::GroundTruth& gt, size_t k,
+                                   bool quick, const std::string& name,
+                                   lsh::FamilyKind family,
+                                   std::vector<std::pair<size_t, size_t>> kls,
+                                   std::vector<size_t> probe_counts) {
+  const double scale = EstimateDistanceScale(data);
+  if (quick) {
+    kls.resize(1);
+    probe_counts.resize(1);
+  }
+  std::vector<RunResult> results;
+  for (const auto& [kf, tables] : kls) {
+    baselines::StaticLsh::Params params;
+    params.k_funcs = kf;
+    params.num_tables = tables;
+    params.w = 2.0 * scale;
+    params.num_probes = 1;
+    baselines::StaticLsh index(name, family, params);
+    util::Timer timer;
+    index.Build(data);
+    const double build_seconds = timer.ElapsedSeconds();
+    const size_t bytes = index.IndexSizeBytes();
+    for (const size_t probes : probe_counts) {
+      index.set_num_probes(probes);
+      results.push_back(EvaluateQueries(
+          index, data, gt, k, build_seconds, bytes,
+          Desc("K=%zu L=%zu probes=%zu", kf, tables, probes)));
+    }
+  }
+  return results;
+}
+
+std::vector<RunResult> SweepC2Lsh(const dataset::Dataset& data,
+                                  const dataset::GroundTruth& gt, size_t k,
+                                  bool quick) {
+  const double scale = EstimateDistanceScale(data);
+  const std::vector<size_t> ms =
+      quick ? std::vector<size_t>{64} : std::vector<size_t>{64, 128};
+  const std::vector<double> w_factors =
+      quick ? std::vector<double>{0.5} : std::vector<double>{0.5, 1.0};
+  std::vector<RunResult> results;
+  for (const size_t m : ms) {
+    for (const double wf : w_factors) {
+      baselines::C2Lsh::Params params;
+      params.num_functions = m;
+      params.w = wf * scale;
+      params.extra_candidates =
+          std::max<size_t>(100, data.n() / 100);
+      baselines::C2Lsh index(params);
+      results.push_back(Evaluate(&index, data, gt, k,
+                                 Desc("m=%zu w=%.2f", m, params.w)));
+    }
+  }
+  return results;
+}
+
+std::vector<RunResult> SweepQaLsh(const dataset::Dataset& data,
+                                  const dataset::GroundTruth& gt, size_t k,
+                                  bool quick) {
+  const double scale = EstimateDistanceScale(data);
+  const std::vector<size_t> ms =
+      quick ? std::vector<size_t>{64} : std::vector<size_t>{64, 96};
+  std::vector<RunResult> results;
+  for (const size_t m : ms) {
+    baselines::QaLsh::Params params;
+    params.num_functions = m;
+    params.w = 1.0 * scale;
+    params.extra_candidates = std::max<size_t>(100, data.n() / 100);
+    baselines::QaLsh index(params);
+    results.push_back(
+        Evaluate(&index, data, gt, k, Desc("m=%zu w=%.2f", m, params.w)));
+  }
+  return results;
+}
+
+std::vector<RunResult> SweepSrs(const dataset::Dataset& data,
+                                const dataset::GroundTruth& gt, size_t k,
+                                bool quick) {
+  const std::vector<size_t> dims =
+      quick ? std::vector<size_t>{6} : std::vector<size_t>{6, 8};
+  const std::vector<double> fractions =
+      quick ? std::vector<double>{0.05} : std::vector<double>{0.02, 0.1};
+  const std::vector<double> ratios =
+      quick ? std::vector<double>{1.5} : std::vector<double>{1.2, 2.0};
+  std::vector<RunResult> results;
+  for (const size_t dp : dims) {
+    for (const double frac : fractions) {
+      for (const double c : ratios) {
+        baselines::Srs::Params params;
+        params.projected_dim = dp;
+        params.candidate_fraction = frac;
+        params.approx_ratio = c;
+        baselines::Srs index(params);
+        results.push_back(Evaluate(&index, data, gt, k,
+                                   Desc("d'=%zu t=%.2f c=%.1f", dp, frac, c)));
+      }
+    }
+  }
+  return results;
+}
+
+}  // namespace
+
+std::vector<RunResult> SweepMethod(const std::string& method,
+                                   const dataset::Dataset& data,
+                                   const dataset::GroundTruth& gt, size_t k,
+                                   bool quick) {
+  const bool angular = data.metric == util::Metric::kAngular;
+  const lsh::FamilyKind family = lsh::DefaultFamilyFor(data.metric);
+  if (method == "LCCS-LSH") {
+    return SweepLccs(data, gt, k, quick, /*multi_probe=*/false);
+  }
+  if (method == "MP-LCCS-LSH") {
+    return SweepLccs(data, gt, k, quick, /*multi_probe=*/true);
+  }
+  if (method == "E2LSH") {
+    // Section 6.3 adapts E2LSH to angular with cross-polytope functions.
+    auto kls = angular
+                   ? std::vector<std::pair<size_t, size_t>>{{1, 16}, {2, 32}}
+                   : std::vector<std::pair<size_t, size_t>>{
+                         {4, 16}, {4, 64}, {8, 32}};
+    return SweepStatic(data, gt, k, quick, "E2LSH", family, std::move(kls),
+                       {1});
+  }
+  if (method == "Multi-Probe LSH") {
+    return SweepStatic(data, gt, k, quick, "Multi-Probe LSH", family,
+                       {{8, 8}, {10, 16}}, {8, 32, 128});
+  }
+  if (method == "FALCONN") {
+    return SweepStatic(data, gt, k, quick, "FALCONN", family,
+                       {{1, 8}, {2, 16}}, {4, 16, 64});
+  }
+  if (method == "C2LSH") return SweepC2Lsh(data, gt, k, quick);
+  if (method == "QALSH") return SweepQaLsh(data, gt, k, quick);
+  if (method == "SRS") return SweepSrs(data, gt, k, quick);
+  throw std::invalid_argument("unknown method: " + method);
+}
+
+std::vector<std::string> MethodsFor(util::Metric metric) {
+  if (metric == util::Metric::kAngular) {
+    // Figure 5's five methods.
+    return {"LCCS-LSH", "MP-LCCS-LSH", "E2LSH", "FALCONN", "C2LSH"};
+  }
+  // Figure 4's seven methods.
+  return {"LCCS-LSH", "MP-LCCS-LSH", "E2LSH",
+          "Multi-Probe LSH", "C2LSH",  "SRS",
+          "QALSH"};
+}
+
+}  // namespace eval
+}  // namespace lccs

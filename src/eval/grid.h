@@ -1,0 +1,35 @@
+#ifndef LCCS_EVAL_GRID_H_
+#define LCCS_EVAL_GRID_H_
+
+#include <string>
+#include <vector>
+
+#include "dataset/ground_truth.h"
+#include "eval/runner.h"
+
+namespace lccs {
+namespace eval {
+
+/// Parameter-grid sweeps for every method of Section 6.3. The grids are
+/// scaled-down but shape-preserving versions of the paper's
+/// (K ≤ 10, KL ≤ 512; m ∈ {8..512}; #probes ∈ {1, m+1, 2m+1, ...}), sized so
+/// that the full bench suite completes in minutes at the default
+/// LCCS_BENCH_N. Query-time-only parameters (λ, #probes) are swept without
+/// rebuilding the index, mirroring how the paper grid-searches per recall
+/// level. Bucket widths derive from EstimateDistanceScale — the automated
+/// stand-in for the paper's per-dataset fine-tuned w.
+///
+/// `quick` shrinks every grid to one or two configurations (used by tests
+/// and smoke runs).
+std::vector<RunResult> SweepMethod(const std::string& method,
+                                   const dataset::Dataset& data,
+                                   const dataset::GroundTruth& gt, size_t k,
+                                   bool quick = false);
+
+/// The method set the paper evaluates under each metric (Figure 4 vs 5).
+std::vector<std::string> MethodsFor(util::Metric metric);
+
+}  // namespace eval
+}  // namespace lccs
+
+#endif  // LCCS_EVAL_GRID_H_

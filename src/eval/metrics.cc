@@ -1,0 +1,40 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace lccs {
+namespace eval {
+
+double Recall(const std::vector<util::Neighbor>& returned,
+              const std::vector<util::Neighbor>& exact) {
+  if (exact.empty()) return 1.0;
+  std::unordered_set<int32_t> truth;
+  truth.reserve(exact.size() * 2);
+  for (const auto& nb : exact) truth.insert(nb.id);
+  size_t hits = 0;
+  for (const auto& nb : returned) {
+    if (truth.count(nb.id) > 0) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(exact.size());
+}
+
+double OverallRatio(const std::vector<util::Neighbor>& returned,
+                    const std::vector<util::Neighbor>& exact) {
+  if (exact.empty()) return 1.0;
+  const size_t k = exact.size();
+  const size_t got = std::min(returned.size(), k);
+  double sum = 0.0;
+  for (size_t i = 0; i < got; ++i) {
+    if (exact[i].dist <= 0.0) {
+      sum += returned[i].dist <= 0.0 ? 1.0 : 2.0;  // degenerate zero-distance
+    } else {
+      sum += returned[i].dist / exact[i].dist;
+    }
+  }
+  sum += static_cast<double>(k - got) * kMissingRatioPenalty;
+  return sum / static_cast<double>(k);
+}
+
+}  // namespace eval
+}  // namespace lccs

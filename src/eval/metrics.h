@@ -1,0 +1,31 @@
+#ifndef LCCS_EVAL_METRICS_H_
+#define LCCS_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "util/topk.h"
+
+namespace lccs {
+namespace eval {
+
+/// Accuracy measures of Section 6.2.
+
+/// Recall: fraction of the exact k NNs that appear in `returned`
+/// (set intersection by id; |exact| = k).
+double Recall(const std::vector<util::Neighbor>& returned,
+              const std::vector<util::Neighbor>& exact);
+
+/// Overall ratio: (1/k) Σ_i Dist(o_i, q) / Dist(o*_i, q), where o_i is the
+/// i-th returned neighbor and o*_i the exact i-th NN (k = |exact|). Zero
+/// exact distances contribute ratio 1 when the returned distance is also
+/// zero. A method that returns fewer than k answers is charged
+/// kMissingRatioPenalty per missing slot, so under-filled answers can never
+/// look *better* than complete ones.
+inline constexpr double kMissingRatioPenalty = 2.0;
+double OverallRatio(const std::vector<util::Neighbor>& returned,
+                    const std::vector<util::Neighbor>& exact);
+
+}  // namespace eval
+}  // namespace lccs
+
+#endif  // LCCS_EVAL_METRICS_H_

@@ -1,0 +1,93 @@
+#include "eval/pareto.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace lccs {
+namespace eval {
+
+namespace {
+
+// Generic frontier: sort by `x` ascending and keep runs whose `y` is a new
+// strict minimum scanning from the best x side.
+template <typename GetX, typename GetY>
+std::vector<RunResult> Frontier(std::vector<RunResult> runs, GetX x, GetY y,
+                                bool maximize_x) {
+  std::sort(runs.begin(), runs.end(),
+            [&](const RunResult& a, const RunResult& b) {
+              if (x(a) != x(b)) {
+                return maximize_x ? x(a) > x(b) : x(a) < x(b);
+              }
+              return y(a) < y(b);
+            });
+  std::vector<RunResult> kept;
+  double best_y = std::numeric_limits<double>::infinity();
+  for (const auto& run : runs) {
+    if (y(run) < best_y) {
+      best_y = y(run);
+      kept.push_back(run);
+    }
+  }
+  return kept;
+}
+
+}  // namespace
+
+std::vector<RunResult> RecallTimeFrontier(std::vector<RunResult> runs) {
+  // A run survives if no other run has >= recall and <= time: scan from the
+  // highest recall down, keeping strict time improvements; then re-sort
+  // ascending for presentation.
+  auto kept = Frontier(
+      std::move(runs), [](const RunResult& r) { return r.recall; },
+      [](const RunResult& r) { return r.avg_query_ms; }, /*maximize_x=*/true);
+  std::sort(kept.begin(), kept.end(),
+            [](const RunResult& a, const RunResult& b) {
+              return a.recall < b.recall;
+            });
+  return kept;
+}
+
+std::vector<RunResult> MemoryTimeFrontier(std::vector<RunResult> runs,
+                                          double min_recall) {
+  runs.erase(std::remove_if(runs.begin(), runs.end(),
+                            [min_recall](const RunResult& r) {
+                              return r.recall < min_recall;
+                            }),
+             runs.end());
+  return Frontier(
+      std::move(runs),
+      [](const RunResult& r) { return static_cast<double>(r.index_bytes); },
+      [](const RunResult& r) { return r.avg_query_ms; },
+      /*maximize_x=*/false);
+}
+
+std::vector<RunResult> BuildTimeFrontier(std::vector<RunResult> runs,
+                                         double min_recall) {
+  runs.erase(std::remove_if(runs.begin(), runs.end(),
+                            [min_recall](const RunResult& r) {
+                              return r.recall < min_recall;
+                            }),
+             runs.end());
+  return Frontier(
+      std::move(runs),
+      [](const RunResult& r) { return r.build_seconds; },
+      [](const RunResult& r) { return r.avg_query_ms; },
+      /*maximize_x=*/false);
+}
+
+RunResult BestAtRecall(const std::vector<RunResult>& runs,
+                       double min_recall) {
+  RunResult best;
+  best.avg_query_ms = std::numeric_limits<double>::infinity();
+  for (const auto& run : runs) {
+    if (run.recall >= min_recall && run.avg_query_ms < best.avg_query_ms) {
+      best = run;
+    }
+  }
+  if (!std::isfinite(best.avg_query_ms)) best = RunResult{};
+  return best;
+}
+
+}  // namespace eval
+}  // namespace lccs

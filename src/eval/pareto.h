@@ -1,0 +1,35 @@
+#ifndef LCCS_EVAL_PARETO_H_
+#define LCCS_EVAL_PARETO_H_
+
+#include <vector>
+
+#include "eval/runner.h"
+
+namespace lccs {
+namespace eval {
+
+/// "Lowest query time for all combinations of parameters under each certain
+/// recall level" (Section 6.4): keeps the runs that are not dominated —
+/// no other run has both >= recall and <= query time — sorted by ascending
+/// recall. This is the curve every query-time/recall figure plots.
+std::vector<RunResult> RecallTimeFrontier(std::vector<RunResult> runs);
+
+/// Frontier over (index size, query time) among runs whose recall reaches
+/// `min_recall` (Figures 6 and 7 use min_recall = 0.5). Sorted by ascending
+/// index size.
+std::vector<RunResult> MemoryTimeFrontier(std::vector<RunResult> runs,
+                                          double min_recall);
+
+/// Frontier over (indexing time, query time) among runs reaching
+/// `min_recall`, sorted by ascending indexing time.
+std::vector<RunResult> BuildTimeFrontier(std::vector<RunResult> runs,
+                                         double min_recall);
+
+/// The run with the lowest query time whose recall reaches `min_recall`;
+/// returns runs.end()-like sentinel (method empty) when none qualifies.
+RunResult BestAtRecall(const std::vector<RunResult>& runs, double min_recall);
+
+}  // namespace eval
+}  // namespace lccs
+
+#endif  // LCCS_EVAL_PARETO_H_

@@ -1,0 +1,48 @@
+#include "eval/runner.h"
+
+#include "eval/metrics.h"
+#include "util/timer.h"
+
+namespace lccs {
+namespace eval {
+
+RunResult Evaluate(baselines::AnnIndex* index, const dataset::Dataset& data,
+                   const dataset::GroundTruth& gt, size_t k,
+                   const std::string& params_desc) {
+  util::Timer timer;
+  index->Build(data);
+  const double build_seconds = timer.ElapsedSeconds();
+  return EvaluateQueries(*index, data, gt, k, build_seconds,
+                         index->IndexSizeBytes(), params_desc);
+}
+
+RunResult EvaluateQueries(const baselines::AnnIndex& index,
+                          const dataset::Dataset& data,
+                          const dataset::GroundTruth& gt, size_t k,
+                          double build_seconds, size_t index_bytes,
+                          const std::string& params_desc) {
+  RunResult result;
+  result.method = index.name();
+  result.params = params_desc;
+  result.build_seconds = build_seconds;
+  result.index_bytes = index_bytes;
+
+  const size_t q = data.num_queries();
+  double recall_sum = 0.0;
+  double ratio_sum = 0.0;
+  double total_ms = 0.0;
+  for (size_t i = 0; i < q; ++i) {
+    util::Timer timer;  // time the query only, not the scoring
+    const auto answers = index.Query(data.queries.Row(i), k);
+    total_ms += timer.ElapsedMillis();
+    recall_sum += Recall(answers, gt.ForQuery(i));
+    ratio_sum += OverallRatio(answers, gt.ForQuery(i));
+  }
+  result.avg_query_ms = q > 0 ? total_ms / static_cast<double>(q) : 0.0;
+  result.recall = q > 0 ? recall_sum / static_cast<double>(q) : 0.0;
+  result.ratio = q > 0 ? ratio_sum / static_cast<double>(q) : 0.0;
+  return result;
+}
+
+}  // namespace eval
+}  // namespace lccs

@@ -1,0 +1,43 @@
+#ifndef LCCS_EVAL_RUNNER_H_
+#define LCCS_EVAL_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/ann_index.h"
+#include "dataset/ground_truth.h"
+
+namespace lccs {
+namespace eval {
+
+/// One measured configuration of one method on one dataset: everything the
+/// paper's figures plot.
+struct RunResult {
+  std::string method;
+  std::string params;          ///< human-readable parameter description
+  double recall = 0.0;         ///< average over queries, in [0, 1]
+  double ratio = 0.0;          ///< average overall ratio (>= 1)
+  double avg_query_ms = 0.0;   ///< wall-clock per query, milliseconds
+  double build_seconds = 0.0;  ///< indexing time
+  size_t index_bytes = 0;      ///< index size
+};
+
+/// Builds `index` on `data` (timed), answers every query (timed,
+/// single-thread as in Section 6) and scores against the ground truth.
+RunResult Evaluate(baselines::AnnIndex* index, const dataset::Dataset& data,
+                   const dataset::GroundTruth& gt, size_t k,
+                   const std::string& params_desc = "");
+
+/// Query-phase-only evaluation for sweeps that reuse a built index (e.g.
+/// sweeping λ or #probes of LCCS-LSH, which do not touch the CSA). The
+/// caller supplies the build cost measured once.
+RunResult EvaluateQueries(const baselines::AnnIndex& index,
+                          const dataset::Dataset& data,
+                          const dataset::GroundTruth& gt, size_t k,
+                          double build_seconds, size_t index_bytes,
+                          const std::string& params_desc = "");
+
+}  // namespace eval
+}  // namespace lccs
+
+#endif  // LCCS_EVAL_RUNNER_H_

@@ -1,0 +1,63 @@
+#include "eval/workloads.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "dataset/synthetic.h"
+#include "util/random.h"
+
+namespace lccs {
+namespace eval {
+
+namespace {
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  const long long parsed = std::atoll(value);
+  return parsed > 0 ? static_cast<size_t>(parsed) : fallback;
+}
+
+}  // namespace
+
+BenchScale GetBenchScale() {
+  BenchScale scale;
+  scale.n = EnvSize("LCCS_BENCH_N", scale.n);
+  scale.num_queries = EnvSize("LCCS_BENCH_QUERIES", scale.num_queries);
+  return scale;
+}
+
+dataset::Dataset LoadAnalogue(const std::string& name, util::Metric metric,
+                              const BenchScale& scale) {
+  dataset::SyntheticConfig config =
+      dataset::AnalogueByName(name, scale.n, scale.num_queries);
+  config.metric = metric;
+  if (metric == util::Metric::kAngular) config.normalize = true;
+  return dataset::GenerateClustered(config);
+}
+
+double EstimateDistanceScale(const dataset::Dataset& data, double quantile,
+                             size_t sample, uint64_t seed) {
+  util::Rng rng(seed);
+  const size_t take = std::min(sample, data.n());
+  std::vector<size_t> ids(take);
+  for (auto& id : ids) id = rng.NextBounded(data.n());
+  std::vector<double> dists;
+  dists.reserve(take * (take - 1) / 2);
+  for (size_t i = 0; i < take; ++i) {
+    for (size_t j = i + 1; j < take; ++j) {
+      dists.push_back(util::Distance(data.metric, data.data.Row(ids[i]),
+                                     data.data.Row(ids[j]), data.dim()));
+    }
+  }
+  if (dists.empty()) return 1.0;
+  std::sort(dists.begin(), dists.end());
+  const auto idx = static_cast<size_t>(
+      quantile * static_cast<double>(dists.size() - 1));
+  const double v = dists[idx];
+  return v > 0.0 ? v : 1.0;
+}
+
+}  // namespace eval
+}  // namespace lccs

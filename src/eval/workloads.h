@@ -1,0 +1,42 @@
+#ifndef LCCS_EVAL_WORKLOADS_H_
+#define LCCS_EVAL_WORKLOADS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "dataset/dataset.h"
+
+namespace lccs {
+namespace eval {
+
+/// Bench-scale knobs, overridable via environment so the same binaries run
+/// the paper's full 10^6-point experiments:
+///   LCCS_BENCH_N        — base vectors per dataset (default 10000)
+///   LCCS_BENCH_QUERIES  — queries per dataset (default 50; paper uses 100)
+///   LCCS_BENCH_DATASETS — comma list of dataset analogues (bench binaries)
+struct BenchScale {
+  size_t n = 10000;
+  size_t num_queries = 50;
+};
+
+/// Reads the environment (with the defaults above).
+BenchScale GetBenchScale();
+
+/// Materializes the named dataset analogue ("msong", "sift", "gist",
+/// "glove", "deep") at bench scale under the requested metric. Angular
+/// datasets are normalized to the unit sphere, as the cross-polytope family
+/// expects.
+dataset::Dataset LoadAnalogue(const std::string& name, util::Metric metric,
+                              const BenchScale& scale);
+
+/// Low-quantile pairwise distance of a sample of the data — the scale from
+/// which bucket widths w are derived (the paper fine-tunes w per dataset;
+/// this estimator is the automated equivalent).
+double EstimateDistanceScale(const dataset::Dataset& data,
+                             double quantile = 0.05, size_t sample = 256,
+                             uint64_t seed = 99);
+
+}  // namespace eval
+}  // namespace lccs
+
+#endif  // LCCS_EVAL_WORKLOADS_H_

@@ -1,0 +1,50 @@
+#include "lsh/bit_sampling.h"
+
+#include <cassert>
+
+#include "util/random.h"
+
+namespace lccs {
+namespace lsh {
+
+BitSamplingFamily::BitSamplingFamily(size_t dim, size_t num_functions,
+                                     uint64_t seed)
+    : dim_(dim), m_(num_functions) {
+  assert(dim > 0 && num_functions > 0);
+  util::Rng rng(seed);
+  indices_.resize(m_);
+  for (auto& idx : indices_) {
+    idx = static_cast<uint32_t>(rng.NextBounded(dim_));
+  }
+}
+
+void BitSamplingFamily::Hash(const float* v, HashValue* out) const {
+  for (size_t i = 0; i < m_; ++i) {
+    out[i] = v[indices_[i]] >= 0.5f ? 1 : 0;
+  }
+}
+
+HashValue BitSamplingFamily::HashOne(size_t func, const float* v) const {
+  assert(func < m_);
+  return v[indices_[func]] >= 0.5f ? 1 : 0;
+}
+
+void BitSamplingFamily::Alternatives(size_t func, const float* v,
+                                     size_t max_alts,
+                                     std::vector<AltHash>* out) const {
+  out->clear();
+  if (max_alts == 0) return;
+  // Flipping the sampled bit is the only alternative; all flips are
+  // equally likely a priori, so every alternative gets unit score.
+  const HashValue primary = HashOne(func, v);
+  out->push_back({primary == 1 ? 0 : 1, 1.0});
+}
+
+double BitSamplingFamily::CollisionProbability(double hamming_dist) const {
+  if (hamming_dist <= 0.0) return 1.0;
+  const double p = 1.0 - hamming_dist / static_cast<double>(dim_);
+  return p < 0.0 ? 0.0 : p;
+}
+
+}  // namespace lsh
+}  // namespace lccs

@@ -1,0 +1,148 @@
+#include "lsh/cross_polytope.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "util/random.h"
+
+namespace lccs {
+namespace lsh {
+
+namespace {
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+void FastHadamardTransform(float* v, size_t n) {
+  assert((n & (n - 1)) == 0);
+  for (size_t len = 1; len < n; len <<= 1) {
+    for (size_t i = 0; i < n; i += len << 1) {
+      for (size_t j = i; j < i + len; ++j) {
+        const float x = v[j];
+        const float y = v[j + len];
+        v[j] = x + y;
+        v[j + len] = x - y;
+      }
+    }
+  }
+}
+
+CrossPolytopeFamily::CrossPolytopeFamily(size_t dim, size_t num_functions,
+                                         uint64_t seed)
+    : dim_(dim), dpad_(NextPowerOfTwo(dim)), m_(num_functions) {
+  assert(dim > 0 && num_functions > 0);
+  util::Rng rng(seed);
+  signs_.resize(m_ * 3 * dpad_);
+  for (auto& s : signs_) {
+    s = (rng.NextU64() & 1) ? 1.0f : -1.0f;
+  }
+}
+
+void CrossPolytopeFamily::Rotate(size_t func, const float* v,
+                                 float* out) const {
+  assert(func < m_);
+  std::copy(v, v + dim_, out);
+  std::fill(out + dim_, out + dpad_, 0.0f);
+  const float* base = signs_.data() + func * 3 * dpad_;
+  for (int round = 0; round < 3; ++round) {
+    const float* diag = base + static_cast<size_t>(round) * dpad_;
+    for (size_t i = 0; i < dpad_; ++i) out[i] *= diag[i];
+    FastHadamardTransform(out, dpad_);
+  }
+}
+
+void CrossPolytopeFamily::Hash(const float* v, HashValue* out) const {
+  std::vector<float> rotated(dpad_);
+  for (size_t f = 0; f < m_; ++f) {
+    Rotate(f, v, rotated.data());
+    size_t best = 0;
+    float best_abs = std::fabs(rotated[0]);
+    for (size_t i = 1; i < dpad_; ++i) {
+      const float a = std::fabs(rotated[i]);
+      if (a > best_abs) {
+        best_abs = a;
+        best = i;
+      }
+    }
+    out[f] = static_cast<HashValue>(rotated[best] >= 0.0f ? best
+                                                          : best + dpad_);
+  }
+}
+
+HashValue CrossPolytopeFamily::HashOne(size_t func, const float* v) const {
+  std::vector<float> rotated(dpad_);
+  Rotate(func, v, rotated.data());
+  size_t best = 0;
+  float best_abs = std::fabs(rotated[0]);
+  for (size_t i = 1; i < dpad_; ++i) {
+    const float a = std::fabs(rotated[i]);
+    if (a > best_abs) {
+      best_abs = a;
+      best = i;
+    }
+  }
+  return static_cast<HashValue>(rotated[best] >= 0.0f ? best : best + dpad_);
+}
+
+void CrossPolytopeFamily::Alternatives(size_t func, const float* v,
+                                       size_t max_alts,
+                                       std::vector<AltHash>* out) const {
+  out->clear();
+  if (max_alts == 0) return;
+  std::vector<float> rotated(dpad_);
+  Rotate(func, v, rotated.data());
+  // Signed coordinate value of each of the 2*dpad_ polytope vertices; the
+  // primary hash is the maximum. Score of vertex j is the gap to the maximum
+  // squared (proportional to the extra squared distance from the normalized
+  // rotated query to that vertex, as in FALCONN's probing sequence).
+  double best = -1.0;
+  size_t best_idx = 0;
+  std::vector<double> value(2 * dpad_);
+  for (size_t i = 0; i < dpad_; ++i) {
+    value[i] = rotated[i];
+    value[i + dpad_] = -rotated[i];
+    if (value[i] > best) {
+      best = value[i];
+      best_idx = i;
+    }
+    if (value[i + dpad_] > best) {
+      best = value[i + dpad_];
+      best_idx = i + dpad_;
+    }
+  }
+  std::vector<size_t> order(2 * dpad_);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&value](size_t a, size_t b) { return value[a] > value[b]; });
+  for (size_t idx : order) {
+    if (idx == best_idx) continue;
+    const double gap = best - value[idx];
+    out->push_back({static_cast<HashValue>(idx), gap * gap});
+    if (out->size() >= max_alts) break;
+  }
+}
+
+double CrossPolytopeFamily::CollisionProbability(double dist) const {
+  // Eq. (4): ln(1/p(τ)) = τ²/(4-τ²) · ln d + O_τ(ln ln d), with τ the
+  // Euclidean distance between unit vectors, 0 < τ < 2. We drop the
+  // lower-order term; tests only rely on monotonicity and endpoints.
+  if (dist <= 0.0) return 1.0;
+  const double tau = std::min(dist, 2.0 - 1e-9);
+  const double ln_d = std::log(static_cast<double>(dpad_));
+  const double exponent = tau * tau / (4.0 - tau * tau) * ln_d;
+  return std::exp(-exponent);
+}
+
+size_t CrossPolytopeFamily::SizeBytes() const {
+  return signs_.size() * sizeof(float);
+}
+
+}  // namespace lsh
+}  // namespace lccs

@@ -1,0 +1,64 @@
+#include "lsh/family_factory.h"
+
+#include <stdexcept>
+
+#include "lsh/bit_sampling.h"
+#include "lsh/minhash.h"
+#include "lsh/cross_polytope.h"
+#include "lsh/random_projection.h"
+#include "lsh/sign_projection.h"
+
+namespace lccs {
+namespace lsh {
+
+std::unique_ptr<HashFamily> MakeFamily(FamilyKind kind, size_t dim,
+                                       size_t num_functions, double w,
+                                       uint64_t seed) {
+  switch (kind) {
+    case FamilyKind::kRandomProjection:
+      return std::make_unique<RandomProjectionFamily>(dim, num_functions, w,
+                                                      seed);
+    case FamilyKind::kCrossPolytope:
+      return std::make_unique<CrossPolytopeFamily>(dim, num_functions, seed);
+    case FamilyKind::kSignProjection:
+      return std::make_unique<SignProjectionFamily>(dim, num_functions, seed);
+    case FamilyKind::kBitSampling:
+      return std::make_unique<BitSamplingFamily>(dim, num_functions, seed);
+    case FamilyKind::kMinHash:
+      return std::make_unique<MinHashFamily>(dim, num_functions, seed);
+  }
+  throw std::invalid_argument("unknown FamilyKind");
+}
+
+FamilyKind DefaultFamilyFor(util::Metric metric) {
+  switch (metric) {
+    case util::Metric::kEuclidean:
+      return FamilyKind::kRandomProjection;
+    case util::Metric::kAngular:
+      return FamilyKind::kCrossPolytope;
+    case util::Metric::kHamming:
+      return FamilyKind::kBitSampling;
+    case util::Metric::kJaccard:
+      return FamilyKind::kMinHash;
+  }
+  throw std::invalid_argument("unknown Metric");
+}
+
+const char* FamilyKindName(FamilyKind kind) {
+  switch (kind) {
+    case FamilyKind::kRandomProjection:
+      return "random-projection";
+    case FamilyKind::kCrossPolytope:
+      return "cross-polytope";
+    case FamilyKind::kSignProjection:
+      return "sign-projection";
+    case FamilyKind::kBitSampling:
+      return "bit-sampling";
+    case FamilyKind::kMinHash:
+      return "minhash";
+  }
+  return "unknown";
+}
+
+}  // namespace lsh
+}  // namespace lccs

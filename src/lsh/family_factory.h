@@ -1,0 +1,39 @@
+#ifndef LCCS_LSH_FAMILY_FACTORY_H_
+#define LCCS_LSH_FAMILY_FACTORY_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "lsh/hash_family.h"
+#include "util/metric.h"
+
+namespace lccs {
+namespace lsh {
+
+/// The concrete LSH families shipped with the library.
+enum class FamilyKind {
+  kRandomProjection,  ///< Euclidean (Datar et al., Eq. (1))
+  kCrossPolytope,     ///< Angular (Andoni et al., Eq. (3))
+  kSignProjection,    ///< Angular (Charikar hyperplane)
+  kBitSampling,       ///< Hamming (Indyk-Motwani)
+  kMinHash,           ///< Jaccard (Broder min-wise permutations)
+};
+
+/// Instantiates `num_functions` i.i.d. functions of the given family.
+/// `w` is only consulted by the random projection family (bucket width).
+std::unique_ptr<HashFamily> MakeFamily(FamilyKind kind, size_t dim,
+                                       size_t num_functions, double w,
+                                       uint64_t seed);
+
+/// The family the paper pairs with each metric in Section 6.3 (random
+/// projection for Euclidean, cross-polytope for Angular, bit sampling for
+/// Hamming).
+FamilyKind DefaultFamilyFor(util::Metric metric);
+
+/// Display name of a family kind.
+const char* FamilyKindName(FamilyKind kind);
+
+}  // namespace lsh
+}  // namespace lccs
+
+#endif  // LCCS_LSH_FAMILY_FACTORY_H_

@@ -1,0 +1,83 @@
+#include "lsh/random_projection.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace lccs {
+namespace lsh {
+
+RandomProjectionFamily::RandomProjectionFamily(size_t dim,
+                                               size_t num_functions, double w,
+                                               uint64_t seed)
+    : dim_(dim), m_(num_functions), w_(w), a_(num_functions, dim) {
+  assert(dim > 0 && num_functions > 0 && w > 0.0);
+  util::Rng rng(seed);
+  rng.FillGaussian(a_.data(), m_ * dim_);
+  b_.resize(m_);
+  for (size_t i = 0; i < m_; ++i) {
+    b_[i] = static_cast<float>(rng.Uniform(0.0, w_));
+  }
+}
+
+double RandomProjectionFamily::Project(size_t func, const float* v) const {
+  assert(func < m_);
+  return (util::Dot(a_.Row(func), v, dim_) + b_[func]) / w_;
+}
+
+void RandomProjectionFamily::Hash(const float* v, HashValue* out) const {
+  for (size_t i = 0; i < m_; ++i) {
+    out[i] = static_cast<HashValue>(std::floor(Project(i, v)));
+  }
+}
+
+HashValue RandomProjectionFamily::HashOne(size_t func, const float* v) const {
+  return static_cast<HashValue>(std::floor(Project(func, v)));
+}
+
+void RandomProjectionFamily::Alternatives(size_t func, const float* v,
+                                          size_t max_alts,
+                                          std::vector<AltHash>* out) const {
+  out->clear();
+  if (max_alts == 0) return;
+  const double proj = Project(func, v);
+  const auto base = static_cast<HashValue>(std::floor(proj));
+  // Distance (in units of w) from the projected point to the near boundary of
+  // bucket base+delta; squaring gives the Lv et al. probing score.
+  const double frac = proj - std::floor(proj);
+  for (int step = 1; out->size() < max_alts; ++step) {
+    const double up = (static_cast<double>(step) - frac);    // to base+step
+    const double down = (frac + static_cast<double>(step) - 1.0);  // base-step
+    if (down <= up) {
+      out->push_back({base - step, down * down});
+      if (out->size() < max_alts) out->push_back({base + step, up * up});
+    } else {
+      out->push_back({base + step, up * up});
+      if (out->size() < max_alts) out->push_back({base - step, down * down});
+    }
+    if (step > 64) break;  // defensive bound; scores beyond this are useless
+  }
+  std::stable_sort(out->begin(), out->end(),
+                   [](const AltHash& x, const AltHash& y) {
+                     return x.score < y.score;
+                   });
+  if (out->size() > max_alts) out->resize(max_alts);
+}
+
+double RandomProjectionFamily::CollisionProbability(double dist) const {
+  if (dist <= 0.0) return 1.0;
+  const double t = w_ / dist;
+  // Eq. (2) of the paper.
+  return 1.0 - 2.0 * util::NormalCdf(-t) -
+         2.0 / (std::sqrt(2.0 * M_PI) * t) * (1.0 - std::exp(-t * t / 2.0));
+}
+
+size_t RandomProjectionFamily::SizeBytes() const {
+  return a_.SizeBytes() + b_.size() * sizeof(float);
+}
+
+}  // namespace lsh
+}  // namespace lccs

@@ -1,0 +1,49 @@
+#include "lsh/sign_projection.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace lccs {
+namespace lsh {
+
+SignProjectionFamily::SignProjectionFamily(size_t dim, size_t num_functions,
+                                           uint64_t seed)
+    : dim_(dim), m_(num_functions), a_(num_functions, dim) {
+  assert(dim > 0 && num_functions > 0);
+  util::Rng rng(seed);
+  rng.FillGaussian(a_.data(), m_ * dim_);
+}
+
+void SignProjectionFamily::Hash(const float* v, HashValue* out) const {
+  for (size_t i = 0; i < m_; ++i) {
+    out[i] = util::Dot(a_.Row(i), v, dim_) >= 0.0 ? 1 : 0;
+  }
+}
+
+HashValue SignProjectionFamily::HashOne(size_t func, const float* v) const {
+  assert(func < m_);
+  return util::Dot(a_.Row(func), v, dim_) >= 0.0 ? 1 : 0;
+}
+
+void SignProjectionFamily::Alternatives(size_t func, const float* v,
+                                        size_t max_alts,
+                                        std::vector<AltHash>* out) const {
+  out->clear();
+  if (max_alts == 0) return;
+  // The only alternative is the flipped sign; its score is the squared
+  // (margin-normalized) distance of the query to the hyperplane.
+  const double margin = util::Dot(a_.Row(func), v, dim_);
+  const HashValue primary = margin >= 0.0 ? 1 : 0;
+  out->push_back({primary == 1 ? 0 : 1, margin * margin});
+}
+
+double SignProjectionFamily::CollisionProbability(double angle) const {
+  if (angle <= 0.0) return 1.0;
+  if (angle >= M_PI) return 0.0;
+  return 1.0 - angle / M_PI;
+}
+
+}  // namespace lsh
+}  // namespace lccs

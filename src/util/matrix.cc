@@ -1,0 +1,63 @@
+#include "util/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lccs {
+namespace util {
+
+void Matrix::Resize(size_t rows, size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0f);
+}
+
+void Matrix::MatVec(const float* x, float* y) const {
+  for (size_t i = 0; i < rows_; ++i) {
+    y[i] = static_cast<float>(Dot(Row(i), x, cols_));
+  }
+}
+
+double Dot(const float* a, const float* b, size_t d) {
+  double s = 0.0;
+  for (size_t i = 0; i < d; ++i) s += static_cast<double>(a[i]) * b[i];
+  return s;
+}
+
+double SquaredL2(const float* a, const float* b, size_t d) {
+  double s = 0.0;
+  for (size_t i = 0; i < d; ++i) {
+    const double diff = static_cast<double>(a[i]) - b[i];
+    s += diff * diff;
+  }
+  return s;
+}
+
+double L2(const float* a, const float* b, size_t d) {
+  return std::sqrt(SquaredL2(a, b, d));
+}
+
+double Norm(const float* a, size_t d) {
+  double s = 0.0;
+  for (size_t i = 0; i < d; ++i) s += static_cast<double>(a[i]) * a[i];
+  return std::sqrt(s);
+}
+
+double AngularDistance(const float* a, const float* b, size_t d) {
+  const double na = Norm(a, d);
+  const double nb = Norm(b, d);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  double cosine = Dot(a, b, d) / (na * nb);
+  cosine = std::clamp(cosine, -1.0, 1.0);
+  return std::acos(cosine);
+}
+
+void NormalizeInPlace(float* a, size_t d) {
+  const double n = Norm(a, d);
+  if (n == 0.0) return;
+  const float inv = static_cast<float>(1.0 / n);
+  for (size_t i = 0; i < d; ++i) a[i] *= inv;
+}
+
+}  // namespace util
+}  // namespace lccs

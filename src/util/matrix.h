@@ -1,0 +1,68 @@
+#ifndef LCCS_UTIL_MATRIX_H_
+#define LCCS_UTIL_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace lccs {
+namespace util {
+
+/// Dense row-major float matrix used to store datasets (n rows of d floats)
+/// and projection matrices. Deliberately minimal: contiguous storage, cheap
+/// row access, and the handful of linear-algebra kernels the LSH families
+/// need (dot products, norms, matrix-vector products).
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, float init = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  float* Row(size_t i) { return data_.data() + i * cols_; }
+  const float* Row(size_t i) const { return data_.data() + i * cols_; }
+
+  float& At(size_t i, size_t j) { return data_[i * cols_ + j]; }
+  float At(size_t i, size_t j) const { return data_[i * cols_ + j]; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  size_t SizeBytes() const { return data_.size() * sizeof(float); }
+
+  /// Resizes to rows x cols, discarding previous contents.
+  void Resize(size_t rows, size_t cols);
+
+  /// y = M * x where x has cols() entries and y has rows() entries.
+  void MatVec(const float* x, float* y) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// Dot product of two d-dimensional float vectors (double accumulator).
+double Dot(const float* a, const float* b, size_t d);
+
+/// Squared Euclidean distance.
+double SquaredL2(const float* a, const float* b, size_t d);
+
+/// Euclidean distance.
+double L2(const float* a, const float* b, size_t d);
+
+/// Euclidean norm.
+double Norm(const float* a, size_t d);
+
+/// Angular distance θ(a, b) = arccos(a·b / (|a||b|)) in radians.
+/// Returns 0 for zero-norm inputs.
+double AngularDistance(const float* a, const float* b, size_t d);
+
+/// Scales `a` in place to unit Euclidean norm; zero vectors are left as-is.
+void NormalizeInPlace(float* a, size_t d);
+
+}  // namespace util
+}  // namespace lccs
+
+#endif  // LCCS_UTIL_MATRIX_H_

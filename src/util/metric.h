@@ -1,0 +1,70 @@
+#ifndef LCCS_UTIL_METRIC_H_
+#define LCCS_UTIL_METRIC_H_
+
+#include <cstddef>
+#include <string>
+
+#include "util/matrix.h"
+
+namespace lccs {
+namespace util {
+
+/// Distance metrics supported by the library. LCCS-LSH itself is
+/// LSH-family-independent (Section 2.1); the metric only selects the hash
+/// family and the verification distance.
+enum class Metric {
+  kEuclidean,  ///< ||a - b||_2
+  kAngular,    ///< arccos(a·b / |a||b|)
+  kHamming,    ///< number of differing 0/1 coordinates
+  kJaccard,    ///< 1 - |A ∩ B| / |A ∪ B| over 0/1 set indicators
+};
+
+inline double Distance(Metric metric, const float* a, const float* b,
+                       size_t d) {
+  switch (metric) {
+    case Metric::kEuclidean:
+      return L2(a, b, d);
+    case Metric::kAngular:
+      return AngularDistance(a, b, d);
+    case Metric::kHamming: {
+      size_t diff = 0;
+      for (size_t i = 0; i < d; ++i) {
+        const bool ba = a[i] >= 0.5f;
+        const bool bb = b[i] >= 0.5f;
+        diff += (ba != bb) ? 1 : 0;
+      }
+      return static_cast<double>(diff);
+    }
+    case Metric::kJaccard: {
+      size_t inter = 0, uni = 0;
+      for (size_t i = 0; i < d; ++i) {
+        const bool ba = a[i] >= 0.5f;
+        const bool bb = b[i] >= 0.5f;
+        inter += (ba && bb) ? 1 : 0;
+        uni += (ba || bb) ? 1 : 0;
+      }
+      if (uni == 0) return 0.0;  // two empty sets are identical
+      return 1.0 - static_cast<double>(inter) / static_cast<double>(uni);
+    }
+  }
+  return 0.0;
+}
+
+inline std::string MetricName(Metric metric) {
+  switch (metric) {
+    case Metric::kEuclidean:
+      return "euclidean";
+    case Metric::kAngular:
+      return "angular";
+    case Metric::kHamming:
+      return "hamming";
+    case Metric::kJaccard:
+      return "jaccard";
+  }
+  return "unknown";
+}
+
+}  // namespace util
+}  // namespace lccs
+
+#endif  // LCCS_UTIL_METRIC_H_

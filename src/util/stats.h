@@ -1,0 +1,59 @@
+#ifndef LCCS_UTIL_STATS_H_
+#define LCCS_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace lccs {
+namespace util {
+
+/// Statistical special functions used by the LSH collision-probability
+/// formulas (Eq. (2) of the paper), the SRS early-termination test, and the
+/// extreme-value theory of Section 5.
+
+/// Standard normal CDF Φ(x).
+double NormalCdf(double x);
+
+/// Standard normal PDF φ(x).
+double NormalPdf(double x);
+
+/// Inverse of the standard normal CDF (Acklam's rational approximation,
+/// |relative error| < 1.15e-9 over (0,1)).
+double NormalQuantile(double p);
+
+/// Regularized lower incomplete gamma P(a, x) = γ(a, x) / Γ(a).
+/// Series expansion for x < a + 1, continued fraction otherwise.
+double RegularizedGammaP(double a, double x);
+
+/// CDF of a chi-squared distribution with `dof` degrees of freedom.
+double ChiSquaredCdf(double x, int dof);
+
+/// Quantile of chi-squared with `dof` degrees of freedom (bisection on CDF).
+double ChiSquaredQuantile(double p, int dof);
+
+/// Simple accumulator for mean / variance / extrema of a stream of doubles.
+class RunningStats {
+ public:
+  void Add(double x);
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Returns the q-quantile (0 <= q <= 1) of `values` (copies + nth_element).
+double Quantile(std::vector<double> values, double q);
+
+}  // namespace util
+}  // namespace lccs
+
+#endif  // LCCS_UTIL_STATS_H_

@@ -1,0 +1,41 @@
+#ifndef LCCS_UTIL_TABLE_H_
+#define LCCS_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace lccs {
+namespace util {
+
+/// Fixed-width text table used by the benchmark harness to print the rows
+/// and series of the paper's tables and figures.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table with aligned columns and a separator under the header.
+  std::string ToString() const;
+
+  /// Renders as comma-separated values (for post-processing into plots).
+  std::string ToCsv() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimal places.
+std::string FormatDouble(double v, int digits = 3);
+
+/// Formats a byte count as a human-readable string (KB / MB / GB).
+std::string FormatBytes(size_t bytes);
+
+}  // namespace util
+}  // namespace lccs
+
+#endif  // LCCS_UTIL_TABLE_H_

@@ -1,0 +1,35 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace lccs {
+namespace util {
+
+void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn,
+                 size_t num_threads) {
+  if (n == 0) return;
+  size_t threads = num_threads;
+  if (threads == 0) {
+    threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, n);
+  if (threads == 1) {
+    fn(0, n);
+    return;
+  }
+  const size_t chunk = (n + threads - 1) / threads;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    const size_t begin = t * chunk;
+    const size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    workers.emplace_back([&fn, begin, end] { fn(begin, end); });
+  }
+  for (auto& w : workers) w.join();
+}
+
+}  // namespace util
+}  // namespace lccs

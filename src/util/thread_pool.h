@@ -1,0 +1,21 @@
+#ifndef LCCS_UTIL_THREAD_POOL_H_
+#define LCCS_UTIL_THREAD_POOL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace lccs {
+namespace util {
+
+/// Runs fn(begin, end) over [0, n) split into contiguous chunks across
+/// `num_threads` std::threads (hardware concurrency when 0). Used only for
+/// embarrassingly parallel offline work — ground-truth computation and bulk
+/// hashing — never on the query path, matching the paper's single-thread
+/// query measurements.
+void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn,
+                 size_t num_threads = 0);
+
+}  // namespace util
+}  // namespace lccs
+
+#endif  // LCCS_UTIL_THREAD_POOL_H_

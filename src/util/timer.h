@@ -1,0 +1,32 @@
+#ifndef LCCS_UTIL_TIMER_H_
+#define LCCS_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace lccs {
+namespace util {
+
+/// Wall-clock stopwatch. All timings reported by the benchmark harness come
+/// from this class (steady_clock, so immune to NTP adjustments).
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  double ElapsedSeconds() const {
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace util
+}  // namespace lccs
+
+#endif  // LCCS_UTIL_TIMER_H_

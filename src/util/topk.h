@@ -1,0 +1,69 @@
+#ifndef LCCS_UTIL_TOPK_H_
+#define LCCS_UTIL_TOPK_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace lccs {
+namespace util {
+
+/// A single (id, distance) answer of a nearest-neighbor query.
+struct Neighbor {
+  int32_t id = -1;
+  double dist = 0.0;
+
+  friend bool operator<(const Neighbor& a, const Neighbor& b) {
+    if (a.dist != b.dist) return a.dist < b.dist;
+    return a.id < b.id;  // deterministic tie-break
+  }
+  friend bool operator==(const Neighbor& a, const Neighbor& b) {
+    return a.id == b.id && a.dist == b.dist;
+  }
+};
+
+/// Bounded max-heap keeping the k smallest-distance neighbors seen so far.
+/// Used by every query path to collect verified candidates.
+class TopK {
+ public:
+  explicit TopK(size_t k) : k_(k) { heap_.reserve(k + 1); }
+
+  size_t k() const { return k_; }
+  size_t size() const { return heap_.size(); }
+  bool full() const { return heap_.size() >= k_; }
+
+  /// Largest distance currently kept; +inf while not full.
+  double Threshold() const {
+    return full() ? heap_.front().dist
+                  : std::numeric_limits<double>::infinity();
+  }
+
+  /// Offers a candidate; keeps it only if it beats the current threshold.
+  void Push(int32_t id, double dist) {
+    if (heap_.size() < k_) {
+      heap_.push_back({id, dist});
+      std::push_heap(heap_.begin(), heap_.end());
+    } else if (k_ > 0 && dist < heap_.front().dist) {
+      std::pop_heap(heap_.begin(), heap_.end());
+      heap_.back() = {id, dist};
+      std::push_heap(heap_.begin(), heap_.end());
+    }
+  }
+
+  /// Extracts the kept neighbors sorted by increasing distance.
+  std::vector<Neighbor> Sorted() const {
+    std::vector<Neighbor> out = heap_;
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  size_t k_;
+  std::vector<Neighbor> heap_;  // max-heap on dist
+};
+
+}  // namespace util
+}  // namespace lccs
+
+#endif  // LCCS_UTIL_TOPK_H_

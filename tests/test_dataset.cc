@@ -1,0 +1,238 @@
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "dataset/ground_truth.h"
+#include "dataset/io.h"
+#include "dataset/synthetic.h"
+#include "util/matrix.h"
+
+namespace lccs {
+namespace dataset {
+namespace {
+
+TEST(SyntheticTest, ShapesMatchConfig) {
+  SyntheticConfig config;
+  config.n = 500;
+  config.num_queries = 13;
+  config.dim = 17;
+  const auto ds = GenerateClustered(config);
+  EXPECT_EQ(ds.n(), 500u);
+  EXPECT_EQ(ds.num_queries(), 13u);
+  EXPECT_EQ(ds.dim(), 17u);
+  EXPECT_EQ(ds.metric, util::Metric::kEuclidean);
+}
+
+TEST(SyntheticTest, DeterministicGivenSeed) {
+  SyntheticConfig config;
+  config.n = 100;
+  config.dim = 8;
+  config.seed = 123;
+  const auto a = GenerateClustered(config);
+  const auto b = GenerateClustered(config);
+  for (size_t i = 0; i < a.n(); ++i) {
+    for (size_t j = 0; j < a.dim(); ++j) {
+      EXPECT_FLOAT_EQ(a.data.At(i, j), b.data.At(i, j));
+    }
+  }
+}
+
+TEST(SyntheticTest, NormalizePutsPointsOnSphere) {
+  SyntheticConfig config;
+  config.n = 200;
+  config.dim = 12;
+  config.normalize = true;
+  config.metric = util::Metric::kAngular;
+  const auto ds = GenerateClustered(config);
+  for (size_t i = 0; i < ds.n(); ++i) {
+    EXPECT_NEAR(util::Norm(ds.data.Row(i), ds.dim()), 1.0, 1e-5);
+  }
+  for (size_t i = 0; i < ds.num_queries(); ++i) {
+    EXPECT_NEAR(util::Norm(ds.queries.Row(i), ds.dim()), 1.0, 1e-5);
+  }
+}
+
+TEST(SyntheticTest, ClusteredDataHasStructure) {
+  // Points in a clustered dataset must be closer to their cluster mates than
+  // uniform noise: the average NN distance should be far below the average
+  // pairwise distance. This is the "relative contrast" LSH exploits.
+  SyntheticConfig config;
+  config.n = 400;
+  config.dim = 16;
+  config.num_clusters = 5;
+  config.center_scale = 20.0;
+  config.cluster_stddev = 0.5;
+  config.noise_fraction = 0.0;
+  const auto ds = GenerateClustered(config);
+  double nn_sum = 0.0, pair_sum = 0.0;
+  size_t pairs = 0;
+  for (size_t i = 0; i < 50; ++i) {
+    double nn = 1e100;
+    for (size_t j = 0; j < ds.n(); ++j) {
+      if (i == j) continue;
+      const double d =
+          util::L2(ds.data.Row(i), ds.data.Row(j), ds.dim());
+      nn = std::min(nn, d);
+      if (j < 50) {
+        pair_sum += d;
+        ++pairs;
+      }
+    }
+    nn_sum += nn;
+  }
+  EXPECT_LT(nn_sum / 50.0, 0.25 * pair_sum / static_cast<double>(pairs));
+}
+
+TEST(SyntheticTest, AnaloguesHavePaperDimensions) {
+  // Table 2 of the paper.
+  EXPECT_EQ(MsongAnalogue(100, 5).dim, 420u);
+  EXPECT_EQ(SiftAnalogue(100, 5).dim, 128u);
+  EXPECT_EQ(GistAnalogue(100, 5).dim, 960u);
+  EXPECT_EQ(GloveAnalogue(100, 5).dim, 100u);
+  EXPECT_EQ(DeepAnalogue(100, 5).dim, 256u);
+}
+
+TEST(SyntheticTest, AnalogueByNameRoundTrip) {
+  for (const char* name : {"msong", "sift", "gist", "glove", "deep"}) {
+    const auto config = AnalogueByName(name, 50, 5);
+    EXPECT_EQ(config.name, name);
+    EXPECT_EQ(config.n, 50u);
+  }
+  EXPECT_THROW(AnalogueByName("imagenet", 10, 1), std::invalid_argument);
+}
+
+TEST(SyntheticTest, HammingDatasetIsBinary) {
+  const auto ds = GenerateHamming(300, 10, 64, 4, 0.05, 7);
+  EXPECT_EQ(ds.metric, util::Metric::kHamming);
+  for (size_t i = 0; i < ds.n(); ++i) {
+    for (size_t j = 0; j < ds.dim(); ++j) {
+      const float v = ds.data.At(i, j);
+      EXPECT_TRUE(v == 0.0f || v == 1.0f);
+    }
+  }
+}
+
+TEST(SyntheticTest, HammingClustersAreTight) {
+  const auto ds = GenerateHamming(200, 5, 128, 4, 0.02, 8);
+  // With 4 prototypes and 2% flips, many pairs should be within ~10 bits.
+  size_t close_pairs = 0;
+  for (size_t i = 0; i < 50; ++i) {
+    for (size_t j = i + 1; j < 50; ++j) {
+      if (util::Distance(util::Metric::kHamming, ds.data.Row(i),
+                         ds.data.Row(j), ds.dim()) < 12.0) {
+        ++close_pairs;
+      }
+    }
+  }
+  EXPECT_GT(close_pairs, 100u);
+}
+
+// ---------------------------------------------------------------------------
+// IO round trips.
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(IoTest, FvecsRoundTrip) {
+  util::Matrix m(7, 5);
+  for (size_t i = 0; i < 7; ++i) {
+    for (size_t j = 0; j < 5; ++j) {
+      m.At(i, j) = static_cast<float>(i * 10 + j) * 0.5f;
+    }
+  }
+  const std::string path = TempPath("roundtrip.fvecs");
+  WriteFvecs(path, m);
+  const auto back = ReadFvecs(path);
+  ASSERT_EQ(back.rows(), 7u);
+  ASSERT_EQ(back.cols(), 5u);
+  for (size_t i = 0; i < 7; ++i) {
+    for (size_t j = 0; j < 5; ++j) {
+      EXPECT_FLOAT_EQ(back.At(i, j), m.At(i, j));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, IvecsRoundTrip) {
+  const std::vector<std::vector<int32_t>> rows = {{1, 2, 3}, {4, 5, 6}};
+  const std::string path = TempPath("roundtrip.ivecs");
+  WriteIvecs(path, rows);
+  EXPECT_EQ(ReadIvecs(path), rows);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, MissingFileThrows) {
+  EXPECT_THROW(ReadFvecs("/nonexistent/path.fvecs"), std::runtime_error);
+}
+
+TEST(IoTest, EmptyFileGivesEmptyMatrix) {
+  const std::string path = TempPath("empty.fvecs");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fclose(f);
+  const auto m = ReadFvecs(path);
+  EXPECT_TRUE(m.empty());
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, TruncatedFileThrows) {
+  const std::string path = TempPath("truncated.fvecs");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  const int32_t dim = 10;
+  std::fwrite(&dim, sizeof(dim), 1, f);
+  const float partial[3] = {1.0f, 2.0f, 3.0f};
+  std::fwrite(partial, sizeof(float), 3, f);
+  std::fclose(f);
+  EXPECT_THROW(ReadFvecs(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Ground truth.
+
+TEST(GroundTruthTest, MatchesNaiveComputation) {
+  SyntheticConfig config;
+  config.n = 300;
+  config.num_queries = 10;
+  config.dim = 8;
+  config.seed = 5;
+  const auto ds = GenerateClustered(config);
+  const auto gt = GroundTruth::Compute(ds, 5);
+  ASSERT_EQ(gt.num_queries(), 10u);
+  EXPECT_EQ(gt.k(), 5u);
+  for (size_t q = 0; q < ds.num_queries(); ++q) {
+    // Naive: full sort.
+    std::vector<util::Neighbor> all;
+    for (size_t i = 0; i < ds.n(); ++i) {
+      all.push_back({static_cast<int32_t>(i),
+                     util::L2(ds.data.Row(i), ds.queries.Row(q), ds.dim())});
+    }
+    std::sort(all.begin(), all.end());
+    const auto& got = gt.ForQuery(q);
+    ASSERT_EQ(got.size(), 5u);
+    for (size_t i = 0; i < 5; ++i) {
+      EXPECT_EQ(got[i].id, all[i].id);
+      EXPECT_DOUBLE_EQ(got[i].dist, all[i].dist);
+    }
+  }
+}
+
+TEST(GroundTruthTest, NeighborsSortedAscending) {
+  SyntheticConfig config;
+  config.n = 200;
+  config.num_queries = 5;
+  config.dim = 6;
+  const auto ds = GenerateClustered(config);
+  const auto gt = GroundTruth::Compute(ds, 10);
+  for (size_t q = 0; q < 5; ++q) {
+    const auto& neighbors = gt.ForQuery(q);
+    for (size_t i = 1; i < neighbors.size(); ++i) {
+      EXPECT_LE(neighbors[i - 1].dist, neighbors[i].dist);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dataset
+}  // namespace lccs

@@ -1,0 +1,202 @@
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "baselines/linear_scan.h"
+#include "dataset/ground_truth.h"
+#include "dataset/synthetic.h"
+#include "eval/grid.h"
+#include "eval/metrics.h"
+#include "eval/pareto.h"
+#include "eval/runner.h"
+#include "eval/workloads.h"
+
+namespace lccs {
+namespace eval {
+namespace {
+
+using util::Neighbor;
+
+TEST(RecallTest, FullAndPartialOverlap) {
+  const std::vector<Neighbor> exact = {{1, 1.0}, {2, 2.0}, {3, 3.0}};
+  EXPECT_DOUBLE_EQ(Recall({{1, 1.0}, {2, 2.0}, {3, 3.0}}, exact), 1.0);
+  EXPECT_NEAR(Recall({{1, 1.0}, {9, 1.5}, {3, 3.0}}, exact), 2.0 / 3.0,
+              1e-12);
+  EXPECT_DOUBLE_EQ(Recall({{7, 0.1}}, exact), 0.0);
+  EXPECT_DOUBLE_EQ(Recall({}, exact), 0.0);
+}
+
+TEST(RecallTest, OrderIrrelevant) {
+  const std::vector<Neighbor> exact = {{1, 1.0}, {2, 2.0}};
+  EXPECT_DOUBLE_EQ(Recall({{2, 2.0}, {1, 1.0}}, exact), 1.0);
+}
+
+TEST(RatioTest, ExactAnswerGivesOne) {
+  const std::vector<Neighbor> exact = {{1, 1.0}, {2, 2.0}};
+  EXPECT_DOUBLE_EQ(OverallRatio(exact, exact), 1.0);
+}
+
+TEST(RatioTest, WorseAnswersInflateRatio) {
+  const std::vector<Neighbor> exact = {{1, 1.0}, {2, 2.0}};
+  const std::vector<Neighbor> got = {{5, 2.0}, {6, 3.0}};
+  // (2/1 + 3/2) / 2 = 1.75.
+  EXPECT_DOUBLE_EQ(OverallRatio(got, exact), 1.75);
+}
+
+TEST(RatioTest, HandlesZeroDistances) {
+  const std::vector<Neighbor> exact = {{1, 0.0}};
+  EXPECT_DOUBLE_EQ(OverallRatio({{1, 0.0}}, exact), 1.0);
+  EXPECT_DOUBLE_EQ(OverallRatio({{2, 0.5}}, exact), 2.0);
+}
+
+TEST(RatioTest, MissingAnswersArePenalized) {
+  const std::vector<Neighbor> exact = {{1, 1.0}, {2, 2.0}};
+  // One exact answer plus one missing slot: (1 + penalty) / 2.
+  EXPECT_DOUBLE_EQ(OverallRatio({{1, 1.0}}, exact),
+                   (1.0 + kMissingRatioPenalty) / 2.0);
+  EXPECT_DOUBLE_EQ(OverallRatio({}, exact), kMissingRatioPenalty);
+}
+
+// ---------------------------------------------------------------------------
+// Pareto frontiers.
+
+RunResult MakeRun(const std::string& method, double recall, double ms,
+                  size_t bytes = 0, double build = 0.0) {
+  RunResult r;
+  r.method = method;
+  r.recall = recall;
+  r.avg_query_ms = ms;
+  r.index_bytes = bytes;
+  r.build_seconds = build;
+  return r;
+}
+
+TEST(ParetoTest, DominatedRunsRemoved) {
+  std::vector<RunResult> runs = {
+      MakeRun("a", 0.9, 10.0),
+      MakeRun("b", 0.8, 12.0),  // dominated: lower recall AND slower than a
+      MakeRun("c", 0.95, 20.0),
+      MakeRun("d", 0.5, 1.0),
+  };
+  const auto frontier = RecallTimeFrontier(runs);
+  ASSERT_EQ(frontier.size(), 3u);
+  EXPECT_EQ(frontier[0].method, "d");
+  EXPECT_EQ(frontier[1].method, "a");
+  EXPECT_EQ(frontier[2].method, "c");
+}
+
+TEST(ParetoTest, FrontierSortedByRecall) {
+  std::vector<RunResult> runs = {
+      MakeRun("x", 0.7, 5.0),
+      MakeRun("y", 0.3, 1.0),
+      MakeRun("z", 0.9, 9.0),
+  };
+  const auto frontier = RecallTimeFrontier(runs);
+  for (size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_LT(frontier[i - 1].recall, frontier[i].recall);
+    EXPECT_LT(frontier[i - 1].avg_query_ms, frontier[i].avg_query_ms);
+  }
+}
+
+TEST(ParetoTest, MemoryFrontierFiltersRecall) {
+  std::vector<RunResult> runs = {
+      MakeRun("low", 0.4, 1.0, 100),   // below min recall: dropped
+      MakeRun("a", 0.6, 5.0, 1000),
+      MakeRun("b", 0.7, 4.0, 2000),
+      MakeRun("c", 0.6, 9.0, 3000),    // dominated: more memory, slower
+  };
+  const auto frontier = MemoryTimeFrontier(runs, 0.5);
+  ASSERT_EQ(frontier.size(), 2u);
+  EXPECT_EQ(frontier[0].method, "a");
+  EXPECT_EQ(frontier[1].method, "b");
+}
+
+TEST(ParetoTest, BestAtRecallPicksFastestQualifying) {
+  std::vector<RunResult> runs = {
+      MakeRun("slow", 0.9, 10.0),
+      MakeRun("fast", 0.55, 2.0),
+      MakeRun("bad", 0.2, 0.5),
+  };
+  EXPECT_EQ(BestAtRecall(runs, 0.5).method, "fast");
+  EXPECT_EQ(BestAtRecall(runs, 0.8).method, "slow");
+  EXPECT_TRUE(BestAtRecall(runs, 0.99).method.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Runner.
+
+TEST(RunnerTest, LinearScanEvaluatesToPerfectRecall) {
+  dataset::SyntheticConfig config;
+  config.n = 400;
+  config.num_queries = 8;
+  config.dim = 10;
+  const auto data = dataset::GenerateClustered(config);
+  const auto gt = dataset::GroundTruth::Compute(data, 5);
+  baselines::LinearScan scan;
+  const auto result = Evaluate(&scan, data, gt, 5, "exact");
+  EXPECT_EQ(result.method, "LinearScan");
+  EXPECT_EQ(result.params, "exact");
+  EXPECT_DOUBLE_EQ(result.recall, 1.0);
+  EXPECT_NEAR(result.ratio, 1.0, 1e-12);
+  EXPECT_GE(result.avg_query_ms, 0.0);
+  EXPECT_GE(result.build_seconds, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Workloads.
+
+TEST(WorkloadsTest, BenchScaleReadsEnvironment) {
+  setenv("LCCS_BENCH_N", "1234", 1);
+  setenv("LCCS_BENCH_QUERIES", "9", 1);
+  const auto scale = GetBenchScale();
+  EXPECT_EQ(scale.n, 1234u);
+  EXPECT_EQ(scale.num_queries, 9u);
+  unsetenv("LCCS_BENCH_N");
+  unsetenv("LCCS_BENCH_QUERIES");
+  const auto defaults = GetBenchScale();
+  EXPECT_EQ(defaults.n, 10000u);
+  EXPECT_EQ(defaults.num_queries, 50u);
+}
+
+TEST(WorkloadsTest, LoadAnalogueRespectsMetric) {
+  BenchScale scale;
+  scale.n = 300;
+  scale.num_queries = 5;
+  const auto euclid = LoadAnalogue("sift", util::Metric::kEuclidean, scale);
+  EXPECT_EQ(euclid.n(), 300u);
+  EXPECT_EQ(euclid.dim(), 128u);
+  EXPECT_EQ(euclid.metric, util::Metric::kEuclidean);
+  const auto angular = LoadAnalogue("glove", util::Metric::kAngular, scale);
+  EXPECT_EQ(angular.metric, util::Metric::kAngular);
+  EXPECT_NEAR(util::Norm(angular.data.Row(0), angular.dim()), 1.0, 1e-5);
+}
+
+TEST(WorkloadsTest, DistanceScaleIsPositiveAndLowQuantile) {
+  BenchScale scale;
+  scale.n = 500;
+  scale.num_queries = 5;
+  const auto data = LoadAnalogue("sift", util::Metric::kEuclidean, scale);
+  const double low = EstimateDistanceScale(data, 0.02);
+  const double high = EstimateDistanceScale(data, 0.9);
+  EXPECT_GT(low, 0.0);
+  EXPECT_GT(high, low);
+}
+
+TEST(GridTest, MethodsMatchPaperFigures) {
+  EXPECT_EQ(MethodsFor(util::Metric::kEuclidean).size(), 7u);  // Figure 4
+  EXPECT_EQ(MethodsFor(util::Metric::kAngular).size(), 5u);    // Figure 5
+}
+
+TEST(GridTest, UnknownMethodThrows) {
+  dataset::SyntheticConfig config;
+  config.n = 50;
+  config.num_queries = 2;
+  config.dim = 4;
+  const auto data = dataset::GenerateClustered(config);
+  const auto gt = dataset::GroundTruth::Compute(data, 1);
+  EXPECT_THROW(SweepMethod("HNSW", data, gt, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace lccs

@@ -1,0 +1,383 @@
+#include <cmath>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lsh/bit_sampling.h"
+#include "lsh/cross_polytope.h"
+#include "lsh/family_factory.h"
+#include "lsh/random_projection.h"
+#include "lsh/sign_projection.h"
+#include "util/matrix.h"
+#include "util/random.h"
+
+namespace lccs {
+namespace lsh {
+namespace {
+
+std::vector<float> RandomUnitVector(size_t d, util::Rng* rng) {
+  std::vector<float> v(d);
+  rng->FillGaussian(v.data(), d);
+  util::NormalizeInPlace(v.data(), d);
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Random projection family (Euclidean, Eq. (1)-(2)).
+
+TEST(RandomProjectionTest, DeterministicGivenSeed) {
+  RandomProjectionFamily a(16, 8, 4.0, 99), b(16, 8, 4.0, 99);
+  util::Rng rng(1);
+  std::vector<float> v(16);
+  rng.FillGaussian(v.data(), v.size());
+  std::vector<HashValue> ha(8), hb(8);
+  a.Hash(v.data(), ha.data());
+  b.Hash(v.data(), hb.data());
+  EXPECT_EQ(ha, hb);
+}
+
+TEST(RandomProjectionTest, HashOneMatchesBatch) {
+  RandomProjectionFamily family(12, 6, 2.0, 7);
+  util::Rng rng(2);
+  std::vector<float> v(12);
+  rng.FillGaussian(v.data(), v.size());
+  std::vector<HashValue> h(6);
+  family.Hash(v.data(), h.data());
+  for (size_t f = 0; f < 6; ++f) {
+    EXPECT_EQ(family.HashOne(f, v.data()), h[f]);
+  }
+}
+
+TEST(RandomProjectionTest, TranslationByWShiftsBucketByOne) {
+  // h = floor((a·v + b)/w): moving v so that a·v increases by exactly w must
+  // increase the bucket by exactly 1. Construct the move along a itself.
+  const size_t d = 8;
+  RandomProjectionFamily family(d, 1, 3.0, 21);
+  util::Rng rng(3);
+  std::vector<float> v(d);
+  rng.FillGaussian(v.data(), d);
+  const double p0 = family.Project(0, v.data());
+  // family.Project is (a·v+b)/w; we cannot access `a` directly, but scaling v
+  // by t moves the projection linearly in t: verify floor monotonicity.
+  const HashValue h0 = family.HashOne(0, v.data());
+  EXPECT_EQ(h0, static_cast<HashValue>(std::floor(p0)));
+}
+
+TEST(RandomProjectionTest, CollisionProbabilityFormulaEndpoints) {
+  RandomProjectionFamily family(4, 1, 4.0, 5);
+  EXPECT_DOUBLE_EQ(family.CollisionProbability(0.0), 1.0);
+  // Monotone decreasing in distance.
+  double prev = 1.0;
+  for (double tau = 0.25; tau < 40.0; tau *= 2.0) {
+    const double p = family.CollisionProbability(tau);
+    EXPECT_LT(p, prev);
+    EXPECT_GT(p, 0.0);
+    prev = p;
+  }
+}
+
+// Empirical collision rate must match Eq. (2) — this is the property the
+// entire theory of Section 5 rests on.
+class RandomProjectionCollisionSweep
+    : public ::testing::TestWithParam<double> {};
+
+TEST_P(RandomProjectionCollisionSweep, EmpiricalMatchesFormula) {
+  const double tau = GetParam();
+  const size_t d = 32;
+  const double w = 4.0;
+  const size_t m = 4000;  // one collision sample per function
+  RandomProjectionFamily family(d, m, w, 1234);
+  util::Rng rng(777);
+  // Two points at Euclidean distance tau along a random direction.
+  std::vector<float> a(d), b(d);
+  rng.FillGaussian(a.data(), d);
+  auto dir = RandomUnitVector(d, &rng);
+  for (size_t j = 0; j < d; ++j) {
+    b[j] = a[j] + static_cast<float>(tau * dir[j]);
+  }
+  std::vector<HashValue> ha(m), hb(m);
+  family.Hash(a.data(), ha.data());
+  family.Hash(b.data(), hb.data());
+  size_t collisions = 0;
+  for (size_t f = 0; f < m; ++f) collisions += (ha[f] == hb[f]);
+  const double empirical = static_cast<double>(collisions) / m;
+  const double expected = family.CollisionProbability(tau);
+  EXPECT_NEAR(empirical, expected, 0.03) << "tau=" << tau;
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, RandomProjectionCollisionSweep,
+                         ::testing::Values(0.5, 1.0, 2.0, 4.0, 8.0, 16.0));
+
+TEST(RandomProjectionTest, AlternativesSortedAndExcludePrimary) {
+  RandomProjectionFamily family(8, 4, 2.0, 31);
+  util::Rng rng(4);
+  std::vector<float> v(8);
+  rng.FillGaussian(v.data(), 8);
+  for (size_t f = 0; f < 4; ++f) {
+    std::vector<AltHash> alts;
+    family.Alternatives(f, v.data(), 6, &alts);
+    ASSERT_EQ(alts.size(), 6u);
+    const HashValue primary = family.HashOne(f, v.data());
+    double prev = -1.0;
+    std::set<HashValue> seen;
+    for (const auto& alt : alts) {
+      EXPECT_NE(alt.value, primary);
+      EXPECT_GE(alt.score, prev);
+      prev = alt.score;
+      EXPECT_TRUE(seen.insert(alt.value).second) << "duplicate alternative";
+    }
+    // The two nearest buckets (h±1) must be the first two alternatives.
+    std::set<HashValue> first_two{alts[0].value, alts[1].value};
+    EXPECT_TRUE(first_two.count(primary + 1) == 1);
+    EXPECT_TRUE(first_two.count(primary - 1) == 1);
+  }
+}
+
+TEST(RandomProjectionTest, SizeBytesCountsParameters) {
+  RandomProjectionFamily family(10, 3, 1.0, 8);
+  EXPECT_EQ(family.SizeBytes(), (10 * 3 + 3) * sizeof(float));
+}
+
+// ---------------------------------------------------------------------------
+// Cross-polytope family (Angular, Eq. (3)-(4)).
+
+TEST(FastHadamardTest, MatchesDefinitionOnSize4) {
+  // H_4 rows: ++++, +-+-, ++--, +--+ (unnormalized).
+  float v[] = {1.0f, 2.0f, 3.0f, 4.0f};
+  FastHadamardTransform(v, 4);
+  EXPECT_FLOAT_EQ(v[0], 10.0f);
+  EXPECT_FLOAT_EQ(v[1], -2.0f);
+  EXPECT_FLOAT_EQ(v[2], -4.0f);
+  EXPECT_FLOAT_EQ(v[3], 0.0f);
+}
+
+TEST(FastHadamardTest, PreservesNormUpToSqrtN) {
+  util::Rng rng(5);
+  std::vector<float> v(64);
+  rng.FillGaussian(v.data(), v.size());
+  const double norm_before = util::Norm(v.data(), v.size());
+  FastHadamardTransform(v.data(), v.size());
+  const double norm_after = util::Norm(v.data(), v.size());
+  EXPECT_NEAR(norm_after, norm_before * 8.0, 1e-3);  // sqrt(64) = 8
+}
+
+TEST(FastHadamardTest, InvolutionUpToScale) {
+  util::Rng rng(6);
+  std::vector<float> v(16), orig;
+  rng.FillGaussian(v.data(), v.size());
+  orig.assign(v.begin(), v.end());
+  FastHadamardTransform(v.data(), 16);
+  FastHadamardTransform(v.data(), 16);
+  for (size_t i = 0; i < 16; ++i) {
+    EXPECT_NEAR(v[i], orig[i] * 16.0f, 1e-3);
+  }
+}
+
+TEST(CrossPolytopeTest, HashRangeIsTwoDpad) {
+  CrossPolytopeFamily family(10, 32, 77);  // dpad = 16
+  EXPECT_EQ(family.padded_dim(), 16u);
+  EXPECT_EQ(family.num_buckets(), 32u);
+  util::Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto v = RandomUnitVector(10, &rng);
+    std::vector<HashValue> h(32);
+    family.Hash(v.data(), h.data());
+    for (HashValue value : h) {
+      EXPECT_GE(value, 0);
+      EXPECT_LT(value, 32);
+    }
+  }
+}
+
+TEST(CrossPolytopeTest, ScaleInvariant) {
+  CrossPolytopeFamily family(8, 16, 13);
+  util::Rng rng(8);
+  auto v = RandomUnitVector(8, &rng);
+  std::vector<float> scaled(v);
+  for (auto& x : scaled) x *= 42.0f;
+  std::vector<HashValue> h1(16), h2(16);
+  family.Hash(v.data(), h1.data());
+  family.Hash(scaled.data(), h2.data());
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(CrossPolytopeTest, OppositeVectorsGetOppositeVertex) {
+  CrossPolytopeFamily family(8, 16, 17);
+  util::Rng rng(9);
+  auto v = RandomUnitVector(8, &rng);
+  std::vector<float> neg(v);
+  for (auto& x : neg) x = -x;
+  const auto dpad = static_cast<HashValue>(family.padded_dim());
+  for (size_t f = 0; f < 16; ++f) {
+    const HashValue hv = family.HashOne(f, v.data());
+    const HashValue hn = family.HashOne(f, neg.data());
+    EXPECT_EQ((hv + dpad) % (2 * dpad), hn);
+  }
+}
+
+TEST(CrossPolytopeTest, CloserPairsCollideMoreOften) {
+  const size_t d = 24;
+  const size_t m = 1500;
+  CrossPolytopeFamily family(d, m, 2024);
+  util::Rng rng(10);
+  auto base = RandomUnitVector(d, &rng);
+  auto make_at_angle = [&](double angle) {
+    auto ortho = RandomUnitVector(d, &rng);
+    // Gram-Schmidt against base.
+    const double proj = util::Dot(ortho.data(), base.data(), d);
+    for (size_t j = 0; j < d; ++j) {
+      ortho[j] -= static_cast<float>(proj * base[j]);
+    }
+    util::NormalizeInPlace(ortho.data(), d);
+    std::vector<float> out(d);
+    for (size_t j = 0; j < d; ++j) {
+      out[j] = static_cast<float>(std::cos(angle) * base[j] +
+                                  std::sin(angle) * ortho[j]);
+    }
+    return out;
+  };
+  auto collision_rate = [&](const std::vector<float>& other) {
+    std::vector<HashValue> h1(m), h2(m);
+    family.Hash(base.data(), h1.data());
+    family.Hash(other.data(), h2.data());
+    size_t collisions = 0;
+    for (size_t f = 0; f < m; ++f) collisions += (h1[f] == h2[f]);
+    return static_cast<double>(collisions) / m;
+  };
+  const double near = collision_rate(make_at_angle(0.3));
+  const double far = collision_rate(make_at_angle(1.2));
+  EXPECT_GT(near, far + 0.05);
+}
+
+TEST(CrossPolytopeTest, AlternativesAreValidVertices) {
+  CrossPolytopeFamily family(8, 4, 3);
+  util::Rng rng(11);
+  auto v = RandomUnitVector(8, &rng);
+  for (size_t f = 0; f < 4; ++f) {
+    std::vector<AltHash> alts;
+    family.Alternatives(f, v.data(), 5, &alts);
+    ASSERT_EQ(alts.size(), 5u);
+    const HashValue primary = family.HashOne(f, v.data());
+    double prev = -1.0;
+    for (const auto& alt : alts) {
+      EXPECT_NE(alt.value, primary);
+      EXPECT_GE(alt.value, 0);
+      EXPECT_LT(alt.value, static_cast<HashValue>(family.num_buckets()));
+      EXPECT_GE(alt.score, prev);
+      prev = alt.score;
+    }
+  }
+}
+
+TEST(CrossPolytopeTest, CollisionProbabilityMonotone) {
+  CrossPolytopeFamily family(64, 1, 1);
+  double prev = 1.0;
+  for (double tau = 0.1; tau < 1.9; tau += 0.2) {
+    const double p = family.CollisionProbability(tau);
+    EXPECT_LT(p, prev);
+    prev = p;
+  }
+  EXPECT_DOUBLE_EQ(family.CollisionProbability(0.0), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Sign projection (hyperplane) family.
+
+TEST(SignProjectionTest, BinaryOutput) {
+  SignProjectionFamily family(16, 20, 101);
+  util::Rng rng(12);
+  auto v = RandomUnitVector(16, &rng);
+  std::vector<HashValue> h(20);
+  family.Hash(v.data(), h.data());
+  for (HashValue value : h) {
+    EXPECT_TRUE(value == 0 || value == 1);
+  }
+}
+
+TEST(SignProjectionTest, CollisionProbabilityIsOneMinusThetaOverPi) {
+  SignProjectionFamily family(8, 1, 2);
+  EXPECT_DOUBLE_EQ(family.CollisionProbability(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(family.CollisionProbability(M_PI), 0.0);
+  EXPECT_NEAR(family.CollisionProbability(M_PI / 2), 0.5, 1e-12);
+}
+
+TEST(SignProjectionTest, EmpiricalCollisionMatchesTheta) {
+  const size_t d = 24;
+  const size_t m = 4000;
+  SignProjectionFamily family(d, m, 303);
+  util::Rng rng(13);
+  auto a = RandomUnitVector(d, &rng);
+  auto b = RandomUnitVector(d, &rng);
+  const double theta = util::AngularDistance(a.data(), b.data(), d);
+  std::vector<HashValue> ha(m), hb(m);
+  family.Hash(a.data(), ha.data());
+  family.Hash(b.data(), hb.data());
+  size_t collisions = 0;
+  for (size_t f = 0; f < m; ++f) collisions += (ha[f] == hb[f]);
+  EXPECT_NEAR(static_cast<double>(collisions) / m, 1.0 - theta / M_PI, 0.03);
+}
+
+TEST(SignProjectionTest, AlternativeIsTheFlip) {
+  SignProjectionFamily family(8, 4, 5);
+  util::Rng rng(14);
+  auto v = RandomUnitVector(8, &rng);
+  for (size_t f = 0; f < 4; ++f) {
+    std::vector<AltHash> alts;
+    family.Alternatives(f, v.data(), 3, &alts);
+    ASSERT_EQ(alts.size(), 1u);  // only one possible flip
+    EXPECT_EQ(alts[0].value, 1 - family.HashOne(f, v.data()));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bit sampling family (Hamming).
+
+TEST(BitSamplingTest, HashReadsSampledCoordinates) {
+  BitSamplingFamily family(32, 16, 404);
+  std::vector<float> v(32, 0.0f);
+  v[family.sampled_index(3)] = 1.0f;
+  std::vector<HashValue> h(16);
+  family.Hash(v.data(), h.data());
+  EXPECT_EQ(h[3], 1);
+  for (size_t f = 0; f < 16; ++f) {
+    EXPECT_EQ(h[f], family.sampled_index(f) == family.sampled_index(3) ? 1 : 0);
+  }
+}
+
+TEST(BitSamplingTest, CollisionProbabilityLinearInDistance) {
+  BitSamplingFamily family(100, 1, 1);
+  EXPECT_DOUBLE_EQ(family.CollisionProbability(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(family.CollisionProbability(25.0), 0.75);
+  EXPECT_DOUBLE_EQ(family.CollisionProbability(100.0), 0.0);
+  EXPECT_DOUBLE_EQ(family.CollisionProbability(200.0), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Factory.
+
+TEST(FamilyFactoryTest, ProducesRequestedKinds) {
+  for (FamilyKind kind :
+       {FamilyKind::kRandomProjection, FamilyKind::kCrossPolytope,
+        FamilyKind::kSignProjection, FamilyKind::kBitSampling}) {
+    auto family = MakeFamily(kind, 16, 4, 2.0, 9);
+    ASSERT_NE(family, nullptr);
+    EXPECT_EQ(family->num_functions(), 4u);
+    EXPECT_EQ(family->dim(), 16u);
+    EXPECT_EQ(family->name(), FamilyKindName(kind));
+  }
+}
+
+TEST(FamilyFactoryTest, DefaultFamilies) {
+  EXPECT_EQ(DefaultFamilyFor(util::Metric::kEuclidean),
+            FamilyKind::kRandomProjection);
+  EXPECT_EQ(DefaultFamilyFor(util::Metric::kAngular),
+            FamilyKind::kCrossPolytope);
+  EXPECT_EQ(DefaultFamilyFor(util::Metric::kHamming),
+            FamilyKind::kBitSampling);
+}
+
+}  // namespace
+}  // namespace lsh
+}  // namespace lccs

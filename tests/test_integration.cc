@@ -1,0 +1,104 @@
+// End-to-end integration tests: every method of Section 6.3 must build,
+// answer queries, and reach a sane recall on a moderately hard synthetic
+// dataset under the metric it supports — the full pipeline the bench
+// harness drives (dataset -> ground truth -> sweep -> frontier).
+
+#include <gtest/gtest.h>
+
+#include "dataset/ground_truth.h"
+#include "eval/grid.h"
+#include "eval/pareto.h"
+#include "eval/workloads.h"
+
+namespace lccs {
+namespace eval {
+namespace {
+
+struct IntegrationCase {
+  std::string method;
+  util::Metric metric;
+  double min_recall;  // the best sweep config must reach at least this
+};
+
+std::ostream& operator<<(std::ostream& os, const IntegrationCase& c) {
+  return os << c.method << "/" << util::MetricName(c.metric);
+}
+
+class MethodPipeline : public ::testing::TestWithParam<IntegrationCase> {
+ protected:
+  static const dataset::Dataset& Data(util::Metric metric) {
+    static const dataset::Dataset euclid = [] {
+      BenchScale scale;
+      scale.n = 3000;
+      scale.num_queries = 15;
+      return LoadAnalogue("sift", util::Metric::kEuclidean, scale);
+    }();
+    static const dataset::Dataset angular = [] {
+      BenchScale scale;
+      scale.n = 3000;
+      scale.num_queries = 15;
+      return LoadAnalogue("glove", util::Metric::kAngular, scale);
+    }();
+    return metric == util::Metric::kAngular ? angular : euclid;
+  }
+
+  static const dataset::GroundTruth& Gt(util::Metric metric) {
+    static const dataset::GroundTruth euclid =
+        dataset::GroundTruth::Compute(Data(util::Metric::kEuclidean), 10);
+    static const dataset::GroundTruth angular =
+        dataset::GroundTruth::Compute(Data(util::Metric::kAngular), 10);
+    return metric == util::Metric::kAngular ? angular : euclid;
+  }
+};
+
+TEST_P(MethodPipeline, SweepProducesSaneResults) {
+  const auto param = GetParam();
+  const auto& data = Data(param.metric);
+  const auto& gt = Gt(param.metric);
+  const auto runs = SweepMethod(param.method, data, gt, 10, /*quick=*/false);
+  ASSERT_FALSE(runs.empty());
+  double best_recall = 0.0;
+  for (const auto& run : runs) {
+    EXPECT_EQ(run.method, param.method);
+    EXPECT_GE(run.recall, 0.0);
+    EXPECT_LE(run.recall, 1.0);
+    EXPECT_GE(run.avg_query_ms, 0.0);
+    if (run.recall > 0.0) {
+      EXPECT_GE(run.ratio, 1.0 - 1e-9) << run.params;
+    }
+    best_recall = std::max(best_recall, run.recall);
+  }
+  EXPECT_GE(best_recall, param.min_recall)
+      << "best config of " << param.method << " too inaccurate";
+  // The frontier of a non-empty run set is non-empty and sorted.
+  const auto frontier = RecallTimeFrontier(runs);
+  ASSERT_FALSE(frontier.empty());
+  for (size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_LT(frontier[i - 1].recall, frontier[i].recall);
+    EXPECT_LT(frontier[i - 1].avg_query_ms, frontier[i].avg_query_ms);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Euclidean, MethodPipeline,
+    ::testing::Values(
+        IntegrationCase{"LCCS-LSH", util::Metric::kEuclidean, 0.5},
+        IntegrationCase{"MP-LCCS-LSH", util::Metric::kEuclidean, 0.5},
+        IntegrationCase{"E2LSH", util::Metric::kEuclidean, 0.3},
+        IntegrationCase{"Multi-Probe LSH", util::Metric::kEuclidean, 0.3},
+        IntegrationCase{"C2LSH", util::Metric::kEuclidean, 0.3},
+        IntegrationCase{"QALSH", util::Metric::kEuclidean, 0.3},
+        IntegrationCase{"SRS", util::Metric::kEuclidean, 0.3}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Angular, MethodPipeline,
+    ::testing::Values(
+        IntegrationCase{"LCCS-LSH", util::Metric::kAngular, 0.5},
+        IntegrationCase{"MP-LCCS-LSH", util::Metric::kAngular, 0.5},
+        IntegrationCase{"E2LSH", util::Metric::kAngular, 0.3},
+        IntegrationCase{"FALCONN", util::Metric::kAngular, 0.3},
+        IntegrationCase{"C2LSH", util::Metric::kAngular, 0.2}));
+
+}  // namespace
+}  // namespace eval
+}  // namespace lccs

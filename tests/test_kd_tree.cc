@@ -1,0 +1,111 @@
+#include "baselines/kd_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace lccs {
+namespace baselines {
+namespace {
+
+util::Matrix RandomPoints(size_t n, size_t d, uint64_t seed) {
+  util::Matrix points(n, d);
+  util::Rng rng(seed);
+  rng.FillGaussian(points.data(), n * d);
+  return points;
+}
+
+// Incremental search must enumerate *all* points in exact ascending distance
+// order — the property SRS depends on.
+struct KdCase {
+  size_t n;
+  size_t d;
+  size_t leaf_size;
+};
+
+class KdTreeOracle : public ::testing::TestWithParam<KdCase> {};
+
+TEST_P(KdTreeOracle, EnumeratesInExactDistanceOrder) {
+  const auto param = GetParam();
+  const auto points = RandomPoints(param.n, param.d, 42);
+  KdTree tree;
+  tree.Build(points, param.leaf_size);
+  EXPECT_EQ(tree.size(), param.n);
+
+  util::Rng rng(43);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<float> q(param.d);
+    rng.FillGaussian(q.data(), param.d);
+
+    std::vector<std::pair<double, int32_t>> expected;
+    for (size_t i = 0; i < param.n; ++i) {
+      expected.emplace_back(util::L2(points.Row(i), q.data(), param.d),
+                            static_cast<int32_t>(i));
+    }
+    std::sort(expected.begin(), expected.end());
+
+    KdTree::IncrementalSearch search(tree, q.data());
+    int32_t id = -1;
+    double dist = 0.0;
+    for (size_t rank = 0; rank < param.n; ++rank) {
+      ASSERT_TRUE(search.Next(&id, &dist)) << "exhausted early at " << rank;
+      EXPECT_NEAR(dist, expected[rank].first, 1e-9);
+    }
+    EXPECT_FALSE(search.Next(&id, &dist)) << "returned more than n points";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, KdTreeOracle,
+                         ::testing::Values(KdCase{1, 3, 16},
+                                           KdCase{10, 2, 2},
+                                           KdCase{100, 4, 8},
+                                           KdCase{500, 6, 16},
+                                           KdCase{500, 8, 1},
+                                           KdCase{1000, 10, 32}));
+
+TEST(KdTreeTest, DuplicatePointsAllReturned) {
+  util::Matrix points(6, 2);
+  for (size_t i = 0; i < 6; ++i) {
+    points.At(i, 0) = 1.0f;
+    points.At(i, 1) = 2.0f;
+  }
+  KdTree tree;
+  tree.Build(points, 2);
+  const float q[] = {0.0f, 0.0f};
+  KdTree::IncrementalSearch search(tree, q);
+  int count = 0;
+  int32_t id;
+  double dist;
+  while (search.Next(&id, &dist)) {
+    EXPECT_NEAR(dist, std::sqrt(5.0), 1e-6);
+    ++count;
+  }
+  EXPECT_EQ(count, 6);
+}
+
+TEST(KdTreeTest, QueryAtDataPointFindsItFirst) {
+  const auto points = RandomPoints(200, 5, 44);
+  KdTree tree;
+  tree.Build(points);
+  KdTree::IncrementalSearch search(tree, points.Row(123));
+  int32_t id;
+  double dist;
+  ASSERT_TRUE(search.Next(&id, &dist));
+  EXPECT_NEAR(dist, 0.0, 1e-9);
+  EXPECT_EQ(id, 123);
+}
+
+TEST(KdTreeTest, SizeBytesPositive) {
+  const auto points = RandomPoints(100, 4, 45);
+  KdTree tree;
+  tree.Build(points);
+  EXPECT_GT(tree.SizeBytes(), 100 * 4 * sizeof(float));
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace lccs

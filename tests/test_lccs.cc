@@ -1,0 +1,129 @@
+#include "core/lccs.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace lccs {
+namespace core {
+namespace {
+
+TEST(CircularLcpTest, SimplePrefix) {
+  const HashValue t[] = {1, 2, 3, 9, 9};
+  const HashValue q[] = {1, 2, 3, 4, 5};
+  EXPECT_EQ(CircularLcp(t, q, 5, 0), 3);
+}
+
+TEST(CircularLcpTest, WrapsAround) {
+  const HashValue t[] = {1, 9, 9, 4, 5};
+  const HashValue q[] = {1, 2, 3, 4, 5};
+  // shift 3: [4, 5, 1, ...] matches [4, 5, 1, ...] -> LCP 3 then mismatch.
+  EXPECT_EQ(CircularLcp(t, q, 5, 3), 3);
+}
+
+TEST(CircularLcpTest, FullMatchCapsAtM) {
+  const HashValue t[] = {7, 8, 9};
+  EXPECT_EQ(CircularLcp(t, t, 3, 0), 3);
+  EXPECT_EQ(CircularLcp(t, t, 3, 2), 3);
+}
+
+TEST(LccsLengthTest, PaperExample31) {
+  // Example 3.1: T = [1,2,3,4,1,5], Q = [1,1,2,3,4,5].
+  const HashValue t[] = {1, 2, 3, 4, 1, 5};
+  const HashValue q[] = {1, 1, 2, 3, 4, 5};
+  // [5, 1] is a circular co-substring (positions 6,1): length 2.
+  EXPECT_TRUE(IsCircularCoSubstring(t, q, 6, 5, 2));
+  // [1,2,3,4] is a common circular substring but NOT a co-substring at the
+  // same positions: as a co-substring starting at position 1 only [1] works.
+  EXPECT_FALSE(IsCircularCoSubstring(t, q, 6, 0, 4));
+  EXPECT_EQ(LccsLength(t, q, 6), 2);
+}
+
+TEST(LccsLengthTest, PaperFigure1Example) {
+  // Figure 1(c): q = [1..8], |LCCS(o1,q)| = 5, |LCCS(o2,q)| = 3,
+  // |LCCS(o3,q)| = 2.
+  const HashValue q[] = {1, 2, 3, 4, 5, 6, 7, 8};
+  const HashValue o1[] = {1, 2, 4, 5, 6, 6, 7, 8};
+  const HashValue o2[] = {5, 2, 2, 4, 3, 6, 7, 8};
+  const HashValue o3[] = {3, 1, 3, 5, 5, 6, 4, 9};
+  EXPECT_EQ(LccsLength(o1, q, 8), 5);  // [5,6,7,8,1] wrapping
+  EXPECT_EQ(LccsLength(o2, q, 8), 3);  // [6,7,8]
+  EXPECT_EQ(LccsLength(o3, q, 8), 2);
+}
+
+TEST(LccsLengthTest, DisjointStringsHaveZero) {
+  const HashValue t[] = {1, 2, 3};
+  const HashValue q[] = {4, 5, 6};
+  EXPECT_EQ(LccsLength(t, q, 3), 0);
+}
+
+TEST(LccsLengthTest, EmptySubstringAlwaysCoSubstring) {
+  const HashValue t[] = {1};
+  const HashValue q[] = {2};
+  EXPECT_TRUE(IsCircularCoSubstring(t, q, 1, 0, 0));
+  EXPECT_EQ(LccsLength(t, q, 1), 0);
+}
+
+TEST(LccsLengthTest, MatchesMaxOverShiftsOfLcp) {
+  // Fact 3.1 by construction: cross-check LccsLength against the explicit
+  // max over CircularLcp on random strings.
+  util::Rng rng(123);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t m = 1 + rng.NextBounded(12);
+    std::vector<HashValue> t(m), q(m);
+    for (size_t i = 0; i < m; ++i) {
+      t[i] = static_cast<HashValue>(rng.NextBounded(3));
+      q[i] = static_cast<HashValue>(rng.NextBounded(3));
+    }
+    int32_t expected = 0;
+    for (size_t s = 0; s < m; ++s) {
+      expected = std::max(expected, CircularLcp(t.data(), q.data(), m, s));
+    }
+    EXPECT_EQ(LccsLength(t.data(), q.data(), m), expected);
+  }
+}
+
+TEST(CompareShiftedTest, OrderAndLcp) {
+  const HashValue a[] = {1, 2, 3};
+  const HashValue b[] = {1, 2, 4};
+  int32_t lcp = -1;
+  EXPECT_EQ(CompareShifted(a, b, 3, 0, &lcp), -1);
+  EXPECT_EQ(lcp, 2);
+  EXPECT_EQ(CompareShifted(b, a, 3, 0, &lcp), 1);
+  EXPECT_EQ(CompareShifted(a, a, 3, 1, &lcp), 0);
+  EXPECT_EQ(lcp, 3);
+}
+
+TEST(CompareShiftedTest, ShiftChangesComparison) {
+  const HashValue a[] = {9, 1};
+  const HashValue b[] = {0, 2};
+  // shift 0: 9 > 0; shift 1: 1 < 2.
+  EXPECT_EQ(CompareShifted(a, b, 2, 0, nullptr), 1);
+  EXPECT_EQ(CompareShifted(a, b, 2, 1, nullptr), -1);
+}
+
+TEST(BruteForceKLccsTest, RanksByLccsLength) {
+  const HashValue q[] = {1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<HashValue> strings = {
+      1, 2, 4, 5, 6, 6, 7, 8,   // LCCS 5
+      5, 2, 2, 4, 3, 6, 7, 8,   // LCCS 3
+      3, 1, 3, 5, 5, 6, 4, 9,   // LCCS 2
+  };
+  const auto top2 = BruteForceKLccs(strings.data(), 3, 8, q, 2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0], 0);
+  EXPECT_EQ(top2[1], 1);
+}
+
+TEST(BruteForceKLccsTest, KLargerThanNReturnsAll) {
+  const HashValue q[] = {1, 2};
+  const std::vector<HashValue> strings = {1, 2, 3, 4};
+  const auto all = BruteForceKLccs(strings.data(), 2, 2, q, 10);
+  EXPECT_EQ(all.size(), 2u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace lccs

@@ -1,0 +1,116 @@
+#include "util/matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/metric.h"
+
+namespace lccs {
+namespace util {
+namespace {
+
+TEST(MatrixTest, ShapeAndAccess) {
+  Matrix m(3, 4, 1.5f);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_FLOAT_EQ(m.At(2, 3), 1.5f);
+  m.At(1, 2) = -7.0f;
+  EXPECT_FLOAT_EQ(m.Row(1)[2], -7.0f);
+  EXPECT_EQ(m.SizeBytes(), 3u * 4u * sizeof(float));
+}
+
+TEST(MatrixTest, ResizeDiscardsContents) {
+  Matrix m(2, 2, 9.0f);
+  m.Resize(3, 5);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 5u);
+  EXPECT_FLOAT_EQ(m.At(0, 0), 0.0f);
+}
+
+TEST(MatrixTest, MatVec) {
+  Matrix m(2, 3);
+  // [1 2 3; 4 5 6] * [1, 0, -1]^T = [-2, -2]
+  float vals[] = {1, 2, 3, 4, 5, 6};
+  std::copy(vals, vals + 6, m.data());
+  const float x[] = {1.0f, 0.0f, -1.0f};
+  float y[2];
+  m.MatVec(x, y);
+  EXPECT_FLOAT_EQ(y[0], -2.0f);
+  EXPECT_FLOAT_EQ(y[1], -2.0f);
+}
+
+TEST(VectorOpsTest, DotAndNorm) {
+  const float a[] = {1.0f, 2.0f, 2.0f};
+  const float b[] = {2.0f, -1.0f, 0.5f};
+  EXPECT_DOUBLE_EQ(Dot(a, b, 3), 1.0);
+  EXPECT_DOUBLE_EQ(Norm(a, 3), 3.0);
+}
+
+TEST(VectorOpsTest, L2Distances) {
+  const float a[] = {0.0f, 0.0f};
+  const float b[] = {3.0f, 4.0f};
+  EXPECT_DOUBLE_EQ(SquaredL2(a, b, 2), 25.0);
+  EXPECT_DOUBLE_EQ(L2(a, b, 2), 5.0);
+  EXPECT_DOUBLE_EQ(L2(a, a, 2), 0.0);
+}
+
+TEST(VectorOpsTest, AngularDistanceKnownAngles) {
+  const float x[] = {1.0f, 0.0f};
+  const float y[] = {0.0f, 1.0f};
+  const float diag[] = {1.0f, 1.0f};
+  const float neg[] = {-1.0f, 0.0f};
+  EXPECT_NEAR(AngularDistance(x, y, 2), M_PI / 2, 1e-6);
+  EXPECT_NEAR(AngularDistance(x, diag, 2), M_PI / 4, 1e-6);
+  EXPECT_NEAR(AngularDistance(x, neg, 2), M_PI, 1e-6);
+  EXPECT_NEAR(AngularDistance(x, x, 2), 0.0, 1e-6);
+}
+
+TEST(VectorOpsTest, AngularDistanceScaleInvariant) {
+  const float a[] = {1.0f, 2.0f, 3.0f};
+  const float b[] = {-2.0f, 0.5f, 1.0f};
+  float a10[] = {10.0f, 20.0f, 30.0f};
+  EXPECT_NEAR(AngularDistance(a, b, 3), AngularDistance(a10, b, 3), 1e-6);
+}
+
+TEST(VectorOpsTest, ZeroVectorAngularIsZero) {
+  const float z[] = {0.0f, 0.0f};
+  const float x[] = {1.0f, 0.0f};
+  EXPECT_DOUBLE_EQ(AngularDistance(z, x, 2), 0.0);
+}
+
+TEST(VectorOpsTest, NormalizeInPlace) {
+  float v[] = {3.0f, 4.0f};
+  NormalizeInPlace(v, 2);
+  EXPECT_NEAR(Norm(v, 2), 1.0, 1e-6);
+  EXPECT_NEAR(v[0], 0.6f, 1e-6);
+  float zero[] = {0.0f, 0.0f};
+  NormalizeInPlace(zero, 2);  // must not produce NaN
+  EXPECT_FLOAT_EQ(zero[0], 0.0f);
+}
+
+TEST(MetricTest, DispatchMatchesDirectFunctions) {
+  const float a[] = {1.0f, 0.0f, 1.0f};
+  const float b[] = {0.0f, 0.0f, 1.0f};
+  EXPECT_DOUBLE_EQ(Distance(Metric::kEuclidean, a, b, 3), L2(a, b, 3));
+  EXPECT_DOUBLE_EQ(Distance(Metric::kAngular, a, b, 3),
+                   AngularDistance(a, b, 3));
+  EXPECT_DOUBLE_EQ(Distance(Metric::kHamming, a, b, 3), 1.0);
+}
+
+TEST(MetricTest, HammingCountsThresholdedBits) {
+  const float a[] = {0.9f, 0.1f, 0.6f, 0.0f};
+  const float b[] = {1.0f, 0.0f, 0.0f, 1.0f};
+  // Bits of a: 1,0,1,0; bits of b: 1,0,0,1 -> 2 mismatches.
+  EXPECT_DOUBLE_EQ(Distance(Metric::kHamming, a, b, 4), 2.0);
+}
+
+TEST(MetricTest, Names) {
+  EXPECT_EQ(MetricName(Metric::kEuclidean), "euclidean");
+  EXPECT_EQ(MetricName(Metric::kAngular), "angular");
+  EXPECT_EQ(MetricName(Metric::kHamming), "hamming");
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace lccs

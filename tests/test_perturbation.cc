@@ -1,0 +1,156 @@
+#include "core/perturbation.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lccs {
+namespace core {
+namespace {
+
+// Alternatives with simple scores: position i's j-th alternative has value
+// 100*i + j and score base[i] + j.
+std::vector<std::vector<lsh::AltHash>> MakeAlts(
+    const std::vector<double>& base_scores, size_t alts_per_pos) {
+  std::vector<std::vector<lsh::AltHash>> alts(base_scores.size());
+  for (size_t i = 0; i < base_scores.size(); ++i) {
+    for (size_t j = 0; j < alts_per_pos; ++j) {
+      alts[i].push_back({static_cast<lsh::HashValue>(100 * i + j),
+                         base_scores[i] + static_cast<double>(j)});
+    }
+  }
+  return alts;
+}
+
+double ScoreOf(const PerturbationVector& vec,
+               const std::vector<std::vector<lsh::AltHash>>& alts) {
+  double s = 0.0;
+  for (const auto& p : vec) s += alts[p.pos][p.alt_index].score;
+  return s;
+}
+
+TEST(PerturbationTest, FirstVectorIsEmpty) {
+  const auto alts = MakeAlts({1.0, 2.0, 3.0}, 2);
+  PerturbationGenerator gen(&alts);
+  PerturbationVector vec{{0, 0, 0}};
+  ASSERT_TRUE(gen.Next(&vec));
+  EXPECT_TRUE(vec.empty());
+  EXPECT_DOUBLE_EQ(gen.last_score(), 0.0);
+}
+
+TEST(PerturbationTest, ScoresAreNonDecreasing) {
+  const auto alts = MakeAlts({3.0, 1.0, 4.0, 1.5, 9.0, 2.6}, 3);
+  PerturbationGenerator gen(&alts, 2);
+  PerturbationVector vec;
+  double prev = -1.0;
+  for (int i = 0; i < 40 && gen.Next(&vec); ++i) {
+    const double s = ScoreOf(vec, alts);
+    EXPECT_GE(s, prev);
+    EXPECT_DOUBLE_EQ(gen.last_score(), s);
+    prev = s;
+  }
+}
+
+TEST(PerturbationTest, VectorsAreUniqueAndPositionsSorted) {
+  const auto alts = MakeAlts({2.0, 1.0, 3.0, 2.5, 1.2}, 3);
+  PerturbationGenerator gen(&alts, 2);
+  PerturbationVector vec;
+  std::set<std::vector<std::pair<int32_t, int32_t>>> seen;
+  for (int i = 0; i < 60 && gen.Next(&vec); ++i) {
+    std::vector<std::pair<int32_t, int32_t>> key;
+    for (const auto& p : vec) key.emplace_back(p.pos, p.alt_index);
+    EXPECT_TRUE(seen.insert(key).second) << "duplicate vector at step " << i;
+    for (size_t j = 1; j < vec.size(); ++j) {
+      EXPECT_GT(vec[j].pos, vec[j - 1].pos);
+    }
+  }
+  EXPECT_GT(seen.size(), 10u);
+}
+
+TEST(PerturbationTest, RespectsMaxGap) {
+  const auto alts = MakeAlts(std::vector<double>(8, 1.0), 2);
+  const int max_gap = 2;
+  PerturbationGenerator gen(&alts, max_gap);
+  PerturbationVector vec;
+  for (int i = 0; i < 100 && gen.Next(&vec); ++i) {
+    for (size_t j = 1; j < vec.size(); ++j) {
+      EXPECT_LE(vec[j].pos - vec[j - 1].pos, max_gap);
+      EXPECT_GE(vec[j].pos - vec[j - 1].pos, 1);
+    }
+  }
+}
+
+TEST(PerturbationTest, FirstNonEmptyIsGlobalMinimumSingleton) {
+  const auto alts = MakeAlts({5.0, 0.5, 7.0, 2.0}, 2);
+  PerturbationGenerator gen(&alts);
+  PerturbationVector vec;
+  gen.Next(&vec);  // empty
+  ASSERT_TRUE(gen.Next(&vec));
+  ASSERT_EQ(vec.size(), 1u);
+  EXPECT_EQ(vec[0].pos, 1);        // position with the cheapest alternative
+  EXPECT_EQ(vec[0].alt_index, 0);
+  EXPECT_EQ(vec[0].value, 100);
+}
+
+TEST(PerturbationTest, ValuesComeFromAlternativeLists) {
+  const auto alts = MakeAlts({1.0, 1.1, 0.9}, 3);
+  PerturbationGenerator gen(&alts, 2);
+  PerturbationVector vec;
+  for (int i = 0; i < 30 && gen.Next(&vec); ++i) {
+    for (const auto& p : vec) {
+      ASSERT_LT(static_cast<size_t>(p.pos), alts.size());
+      ASSERT_LT(static_cast<size_t>(p.alt_index), alts[p.pos].size());
+      EXPECT_EQ(p.value, alts[p.pos][p.alt_index].value);
+    }
+  }
+}
+
+TEST(PerturbationTest, ExhaustsFiniteSpace) {
+  // 2 positions x 1 alternative, max_gap 1: vectors are {}, {0}, {1}, {0,1}.
+  const auto alts = MakeAlts({1.0, 1.0}, 1);
+  PerturbationGenerator gen(&alts, 1);
+  PerturbationVector vec;
+  int count = 0;
+  while (gen.Next(&vec)) ++count;
+  EXPECT_EQ(count, 4);
+  EXPECT_FALSE(gen.Next(&vec));  // stays exhausted
+}
+
+TEST(PerturbationTest, EmptyAlternativesYieldOnlyEmptyVector) {
+  const std::vector<std::vector<lsh::AltHash>> alts(4);
+  PerturbationGenerator gen(&alts);
+  PerturbationVector vec;
+  ASSERT_TRUE(gen.Next(&vec));
+  EXPECT_TRUE(vec.empty());
+  EXPECT_FALSE(gen.Next(&vec));
+}
+
+TEST(PerturbationTest, SkipsPositionsWithNoAlternatives) {
+  auto alts = MakeAlts({1.0, 1.0, 1.0}, 1);
+  alts[1].clear();  // position 1 has no alternatives
+  PerturbationGenerator gen(&alts, 2);
+  PerturbationVector vec;
+  while (gen.Next(&vec)) {
+    for (const auto& p : vec) EXPECT_NE(p.pos, 1);
+  }
+}
+
+TEST(PerturbationTest, PShiftAdvancesLastModification) {
+  // Single position with 3 alternatives: expect {}, {(0,alt0)}, {(0,alt1)},
+  // {(0,alt2)} in score order.
+  const auto alts = MakeAlts({1.0}, 3);
+  PerturbationGenerator gen(&alts, 1);
+  PerturbationVector vec;
+  gen.Next(&vec);  // {}
+  for (int expected_alt = 0; expected_alt < 3; ++expected_alt) {
+    ASSERT_TRUE(gen.Next(&vec));
+    ASSERT_EQ(vec.size(), 1u);
+    EXPECT_EQ(vec[0].alt_index, expected_alt);
+  }
+  EXPECT_FALSE(gen.Next(&vec));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace lccs

@@ -1,0 +1,135 @@
+#include "core/rc_nns.h"
+
+#include <gtest/gtest.h>
+
+#include "dataset/ground_truth.h"
+#include "dataset/synthetic.h"
+
+namespace lccs {
+namespace core {
+namespace {
+
+dataset::Dataset Clusters(uint64_t seed = 41) {
+  dataset::SyntheticConfig config;
+  config.n = 1500;
+  config.num_queries = 20;
+  config.dim = 16;
+  config.num_clusters = 8;
+  config.center_scale = 30.0;
+  config.cluster_stddev = 0.5;
+  config.noise_fraction = 0.0;
+  config.seed = seed;
+  return dataset::GenerateClustered(config);
+}
+
+TEST(RcNearNeighborTest, LambdaComesFromTheorem51) {
+  const auto data = Clusters();
+  RcNearNeighbor::Params params;
+  params.radius = 2.0;
+  params.c = 2.0;
+  params.m = 32;
+  params.w = 6.0;
+  RcNearNeighbor rc(params, util::Metric::kEuclidean);
+  rc.Build(data.data.data(), data.n(), data.dim());
+  EXPECT_GT(rc.p1(), rc.p2());
+  EXPECT_GE(rc.lambda(), 1u);
+  EXPECT_LE(rc.lambda(), data.n());
+}
+
+TEST(RcNearNeighborTest, FindsNearPointWhenOneExists) {
+  const auto data = Clusters(43);
+  const auto gt = dataset::GroundTruth::Compute(data, 1);
+  // Radius chosen above the typical NN distance so the "exists within R"
+  // branch of Definition 2.2 applies for most queries.
+  double mean_nn = 0.0;
+  for (size_t q = 0; q < data.num_queries(); ++q) {
+    mean_nn += gt.ForQuery(q)[0].dist;
+  }
+  mean_nn /= static_cast<double>(data.num_queries());
+
+  RcNearNeighbor::Params params;
+  params.radius = 1.5 * mean_nn;
+  params.c = 2.0;
+  params.m = 32;
+  params.repetitions = 6;
+  params.w = 2.0 * mean_nn;
+  RcNearNeighbor rc(params, util::Metric::kEuclidean);
+  rc.Build(data.data.data(), data.n(), data.dim());
+
+  size_t hits = 0, valid = 0;
+  for (size_t q = 0; q < data.num_queries(); ++q) {
+    if (gt.ForQuery(q)[0].dist > params.radius) continue;  // branch N/A
+    ++valid;
+    const auto hit = rc.Query(data.queries.Row(q));
+    if (hit.has_value()) {
+      EXPECT_LE(hit->dist, params.c * params.radius)
+          << "returned point violates the cR promise";
+      ++hits;
+    }
+  }
+  ASSERT_GT(valid, 5u) << "test setup: radius too small to exercise";
+  // 6 repetitions give success prob >= 1 - (3/4)^6 ~ 0.82 *per query*;
+  // demand a clear majority to keep the test robust.
+  EXPECT_GE(static_cast<double>(hits) / static_cast<double>(valid), 0.7);
+}
+
+TEST(RcNearNeighborTest, ReturnsNothingForFarQueries) {
+  const auto data = Clusters(47);
+  RcNearNeighbor::Params params;
+  params.radius = 0.5;
+  params.c = 2.0;
+  params.m = 32;
+  params.w = 2.0;
+  RcNearNeighbor rc(params, util::Metric::kEuclidean);
+  rc.Build(data.data.data(), data.n(), data.dim());
+  // A query far outside the data's bounding region: nothing within cR.
+  std::vector<float> far(data.dim(), 1e4f);
+  EXPECT_FALSE(rc.Query(far.data()).has_value());
+}
+
+TEST(CAnnsDriverTest, WalksRadiusLevels) {
+  const auto data = Clusters(53);
+  const auto gt = dataset::GroundTruth::Compute(data, 1);
+  CAnnsDriver::Params params;
+  params.r_min = 0.5;
+  params.r_max = 64.0;
+  params.c = 2.0;
+  params.m = 32;
+  params.repetitions = 4;
+  params.w = 4.0;
+  CAnnsDriver driver(params, util::Metric::kEuclidean);
+  driver.Build(data.data.data(), data.n(), data.dim());
+  EXPECT_EQ(driver.num_levels(), 8u);  // 0.5 * 2^i up to 64
+
+  size_t hits = 0;
+  double ratio_sum = 0.0;
+  for (size_t q = 0; q < data.num_queries(); ++q) {
+    const auto hit = driver.Query(data.queries.Row(q));
+    if (!hit.has_value()) continue;
+    ++hits;
+    const double exact = gt.ForQuery(q)[0].dist;
+    if (exact > 0.0) ratio_sum += hit->dist / exact;
+  }
+  ASSERT_GT(hits, data.num_queries() / 2);
+  // The reduction promises c^2-approximation; measure well inside it.
+  EXPECT_LE(ratio_sum / static_cast<double>(hits),
+            params.c * params.c + 0.5);
+}
+
+TEST(CAnnsDriverTest, LevelsExposeTheirConfig) {
+  CAnnsDriver::Params params;
+  params.r_min = 1.0;
+  params.r_max = 4.0;
+  params.c = 2.0;
+  params.m = 8;
+  params.repetitions = 1;
+  CAnnsDriver driver(params, util::Metric::kEuclidean);
+  const auto data = Clusters(59);
+  driver.Build(data.data.data(), data.n(), data.dim());
+  ASSERT_EQ(driver.num_levels(), 3u);
+  EXPECT_GE(driver.level(0).lambda(), 1u);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace lccs

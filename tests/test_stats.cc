@@ -1,0 +1,131 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace lccs {
+namespace util {
+namespace {
+
+TEST(NormalCdfTest, KnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.0), 0.8413447460685429, 1e-10);
+  EXPECT_NEAR(NormalCdf(-1.0), 0.15865525393145705, 1e-10);
+  EXPECT_NEAR(NormalCdf(1.959963984540054), 0.975, 1e-9);
+  EXPECT_NEAR(NormalCdf(-3.0), 0.0013498980316301035, 1e-10);
+}
+
+TEST(NormalCdfTest, Monotone) {
+  double prev = 0.0;
+  for (double x = -6.0; x <= 6.0; x += 0.25) {
+    const double v = NormalCdf(x);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(NormalPdfTest, PeakAndSymmetry) {
+  EXPECT_NEAR(NormalPdf(0.0), 0.3989422804014327, 1e-12);
+  EXPECT_NEAR(NormalPdf(1.5), NormalPdf(-1.5), 1e-15);
+}
+
+TEST(NormalQuantileTest, InvertsCdf) {
+  for (double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-7) << "p=" << p;
+  }
+}
+
+TEST(GammaTest, BoundaryBehaviour) {
+  EXPECT_DOUBLE_EQ(RegularizedGammaP(1.0, 0.0), 0.0);
+  EXPECT_NEAR(RegularizedGammaP(1.0, 1.0), 1.0 - std::exp(-1.0), 1e-10);
+  // P(a, x) -> 1 as x -> inf.
+  EXPECT_NEAR(RegularizedGammaP(3.0, 100.0), 1.0, 1e-10);
+}
+
+TEST(ChiSquaredTest, KnownValues) {
+  // chi^2 with 1 dof: CDF(x) = 2 Phi(sqrt(x)) - 1.
+  for (double x : {0.5, 1.0, 2.0, 4.0}) {
+    EXPECT_NEAR(ChiSquaredCdf(x, 1), 2.0 * NormalCdf(std::sqrt(x)) - 1.0,
+                1e-9);
+  }
+  // chi^2 with 2 dof is Exp(1/2): CDF(x) = 1 - exp(-x/2).
+  for (double x : {0.5, 1.0, 3.0, 8.0}) {
+    EXPECT_NEAR(ChiSquaredCdf(x, 2), 1.0 - std::exp(-x / 2.0), 1e-9);
+  }
+}
+
+TEST(ChiSquaredTest, MedianNearDof) {
+  // Median of chi^2_k ≈ k(1 - 2/(9k))^3.
+  for (int dof : {2, 5, 10, 30}) {
+    const double median = ChiSquaredQuantile(0.5, dof);
+    const double approx = dof * std::pow(1.0 - 2.0 / (9.0 * dof), 3.0);
+    EXPECT_NEAR(median, approx, 0.05 * dof);
+  }
+}
+
+TEST(ChiSquaredTest, QuantileInvertsCdf) {
+  for (int dof : {1, 3, 6, 12}) {
+    for (double p : {0.05, 0.5, 0.9, 0.99}) {
+      EXPECT_NEAR(ChiSquaredCdf(ChiSquaredQuantile(p, dof), dof), p, 1e-6);
+    }
+  }
+}
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(x);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStatsTest, EmptyAndSingle) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  stats.Add(3.5);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.max(), 3.5);
+}
+
+TEST(QuantileTest, ExactOnSmallVectors) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 2.0);
+}
+
+TEST(QuantileTest, InterpolatesBetweenRanks) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.3), 3.0);
+}
+
+// Parameterized sweep: quantile inversion must hold across dof values.
+class ChiSquaredSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChiSquaredSweep, CdfIsMonotone) {
+  const int dof = GetParam();
+  double prev = -1.0;
+  for (double x = 0.0; x < 5.0 * dof + 10.0; x += 0.5) {
+    const double v = ChiSquaredCdf(x, dof);
+    EXPECT_GE(v, prev);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    prev = v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dofs, ChiSquaredSweep,
+                         ::testing::Values(1, 2, 4, 6, 8, 10, 16, 32));
+
+}  // namespace
+}  // namespace util
+}  // namespace lccs

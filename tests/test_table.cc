@@ -1,0 +1,42 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace lccs {
+namespace util {
+namespace {
+
+TEST(TableTest, AlignsColumns) {
+  Table t({"method", "recall"});
+  t.AddRow({"LCCS-LSH", "0.91"});
+  t.AddRow({"E2LSH", "0.85"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("method"), std::string::npos);
+  EXPECT_NE(s.find("LCCS-LSH"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t({"a", "b"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.ToCsv(), "a,b\n1,2\n");
+}
+
+TEST(FormatTest, Doubles) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(FormatTest, Bytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2048), "2.00 KB");
+  EXPECT_EQ(FormatBytes(3 * 1024 * 1024), "3.00 MB");
+  EXPECT_EQ(FormatBytes(2147483648ULL), "2.00 GB");
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace lccs

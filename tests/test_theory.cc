@@ -1,0 +1,146 @@
+#include "core/theory.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace lccs {
+namespace core {
+namespace theory {
+namespace {
+
+TEST(RhoTest, KnownValues) {
+  // rho = ln(1/p1)/ln(1/p2).
+  EXPECT_NEAR(Rho(0.5, 0.25), 0.5, 1e-12);
+  EXPECT_NEAR(Rho(0.9, 0.5), std::log(1 / 0.9) / std::log(2.0), 1e-12);
+  EXPECT_LT(Rho(0.9, 0.3), 1.0);
+}
+
+TEST(ExtremeValueCdfTest, ShapeAndLimits) {
+  // F̂_p(x) = exp(-p^x): increasing in x, in (0, 1).
+  const double p = 0.5;
+  double prev = 0.0;
+  for (double x = -5.0; x <= 20.0; x += 1.0) {
+    const double v = ExtremeValueCdf(x, p);
+    EXPECT_GT(v, prev);
+    EXPECT_GT(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    prev = v;
+  }
+  EXPECT_NEAR(ExtremeValueCdf(0.0, p), std::exp(-1.0), 1e-12);
+}
+
+TEST(LccsCdfModelTest, DecreasesWithP) {
+  // F_{m,p}(x) decreases monotonically as p increases (Section 5.1):
+  // longer matches are likelier with higher per-symbol match probability.
+  const size_t m = 64;
+  const double x = 6.0;
+  double prev = 1.1;
+  for (double p : {0.3, 0.5, 0.7, 0.9}) {
+    const double v = LccsCdfModel(x, m, p);
+    EXPECT_LT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(LccsCdfModelTest, ShiftsRightWithM) {
+  // Larger m -> longer LCCS -> CDF at fixed x decreases.
+  const double p = 0.5, x = 5.0;
+  EXPECT_GT(LccsCdfModel(x, 16, p), LccsCdfModel(x, 256, p));
+}
+
+TEST(MedianTest, MatchesCdfModelHalf) {
+  for (double p : {0.4, 0.6, 0.8}) {
+    for (size_t m : {32u, 128u, 512u}) {
+      const double median = MedianLccsLength(m, p);
+      EXPECT_NEAR(LccsCdfModel(median, m, p), 0.5, 1e-9);
+    }
+  }
+}
+
+TEST(QuantileTest, MatchesCdfModel) {
+  const double p = 0.6;
+  const size_t m = 128;
+  for (double tail : {0.001, 0.01, 0.1}) {
+    const double x = QuantileLccsLength(m, p, tail);
+    EXPECT_NEAR(LccsCdfModel(x, m, p), 1.0 - tail, 1e-9);
+  }
+}
+
+TEST(QuantileTest, MedianIsHalfQuantile) {
+  EXPECT_NEAR(MedianLccsLength(64, 0.7), QuantileLccsLength(64, 0.7, 0.5),
+              1e-9);
+}
+
+// Lemma 5.2: the extreme-value model must match Monte-Carlo simulation of
+// |LCCS| for i.i.d. matching symbols. This is the empirical backbone of
+// Theorem 5.1.
+struct Lemma52Case {
+  size_t m;
+  double p;
+};
+
+class Lemma52Sweep : public ::testing::TestWithParam<Lemma52Case> {};
+
+TEST_P(Lemma52Sweep, ModelTracksMonteCarlo) {
+  const auto param = GetParam();
+  const double median = MedianLccsLength(param.m, param.p);
+  for (int delta = -1; delta <= 2; ++delta) {
+    const auto x = static_cast<int32_t>(std::lround(median)) + delta;
+    const double simulated =
+        EstimateLccsCdf(x, param.m, param.p, 4000, 13 + delta);
+    const double modeled = LccsCdfModel(x, param.m, param.p);
+    // The approximation is asymptotic in m; 0.12 absolute tolerance is tight
+    // enough to catch sign/shift errors while robust to m being finite.
+    EXPECT_NEAR(simulated, modeled, 0.12)
+        << "m=" << param.m << " p=" << param.p << " x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, Lemma52Sweep,
+                         ::testing::Values(Lemma52Case{64, 0.5},
+                                           Lemma52Case{128, 0.5},
+                                           Lemma52Case{128, 0.7},
+                                           Lemma52Case{256, 0.6},
+                                           Lemma52Case{256, 0.8}));
+
+TEST(LambdaTest, WithinRangeAndMonotoneInN) {
+  const double p1 = 0.8, p2 = 0.5;
+  const size_t m = 64;
+  const size_t l1 = LambdaForGuarantee(1000, m, p1, p2);
+  const size_t l2 = LambdaForGuarantee(100000, m, p1, p2);
+  EXPECT_GE(l1, 1u);
+  EXPECT_LE(l1, 1000u);
+  EXPECT_LE(l2, 100000u);
+  EXPECT_GE(l2, l1);  // λ = Θ(m^{1-1/ρ} n) grows with n
+}
+
+TEST(LambdaTest, DecreasesWithM) {
+  // λ ∝ m^{1-1/ρ} with ρ < 1, so larger m means fewer candidates to verify.
+  const double p1 = 0.8, p2 = 0.5;
+  const size_t small_m = LambdaForGuarantee(100000, 16, p1, p2);
+  const size_t large_m = LambdaForGuarantee(100000, 512, p1, p2);
+  EXPECT_GE(small_m, large_m);
+}
+
+TEST(MForAlphaTest, TypicalSettings) {
+  const double rho = 0.5;
+  EXPECT_EQ(MForAlpha(0.0, 100000, rho), 1u);  // α=0: constant m
+  // α=1: m = n^ρ.
+  EXPECT_EQ(MForAlpha(1.0, 10000, rho),
+            static_cast<size_t>(std::pow(10000.0, 0.5)));
+  // α = 1/(1-ρ): m = n^{ρ/(1-ρ)}.
+  const size_t m = MForAlpha(1.0 / (1.0 - rho), 10000, rho);
+  EXPECT_EQ(m, static_cast<size_t>(std::pow(10000.0, 1.0)));
+}
+
+TEST(EstimateLccsCdfTest, DegenerateBounds) {
+  // x >= m: always true. x < 0: never.
+  EXPECT_DOUBLE_EQ(EstimateLccsCdf(64, 64, 0.5, 100, 1), 1.0);
+  EXPECT_DOUBLE_EQ(EstimateLccsCdf(-1, 64, 0.01, 200, 2), 0.0);
+}
+
+}  // namespace
+}  // namespace theory
+}  // namespace core
+}  // namespace lccs

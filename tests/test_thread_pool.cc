@@ -1,0 +1,69 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lccs {
+namespace util {
+namespace {
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  ParallelFor(kN, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, ZeroElementsIsNoop) {
+  bool called = false;
+  ParallelFor(0, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, SingleThreadPath) {
+  std::atomic<size_t> total{0};
+  ParallelFor(
+      100, [&](size_t begin, size_t end) { total.fetch_add(end - begin); },
+      1);
+  EXPECT_EQ(total.load(), 100u);
+}
+
+TEST(ParallelForTest, MoreThreadsThanWork) {
+  std::atomic<size_t> total{0};
+  ParallelFor(
+      3, [&](size_t begin, size_t end) { total.fetch_add(end - begin); }, 16);
+  EXPECT_EQ(total.load(), 3u);
+}
+
+TEST(ParallelForTest, ChunksAreContiguousAndOrdered) {
+  constexpr size_t kN = 1000;
+  std::vector<int> owner(kN, -1);
+  std::atomic<int> next_chunk{0};
+  ParallelFor(
+      kN,
+      [&](size_t begin, size_t end) {
+        const int chunk = next_chunk.fetch_add(1);
+        for (size_t i = begin; i < end; ++i) owner[i] = chunk;
+      },
+      4);
+  // Every index assigned, and each chunk's indices are contiguous.
+  for (size_t i = 0; i < kN; ++i) ASSERT_NE(owner[i], -1);
+  for (size_t i = 1; i < kN; ++i) {
+    if (owner[i] != owner[i - 1]) {
+      // Chunk boundary: the previous chunk must never reappear.
+      for (size_t j = i + 1; j < kN; ++j) {
+        EXPECT_NE(owner[j], owner[i - 1]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace lccs

@@ -1,0 +1,87 @@
+#include "util/topk.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace lccs {
+namespace util {
+namespace {
+
+TEST(TopKTest, KeepsSmallestK) {
+  TopK topk(3);
+  for (int i = 10; i >= 1; --i) {
+    topk.Push(i, static_cast<double>(i));
+  }
+  const auto sorted = topk.Sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].id, 1);
+  EXPECT_EQ(sorted[1].id, 2);
+  EXPECT_EQ(sorted[2].id, 3);
+}
+
+TEST(TopKTest, ThresholdTracksWorstKept) {
+  TopK topk(2);
+  EXPECT_TRUE(std::isinf(topk.Threshold()));
+  topk.Push(1, 5.0);
+  EXPECT_TRUE(std::isinf(topk.Threshold()));  // not yet full
+  topk.Push(2, 3.0);
+  EXPECT_DOUBLE_EQ(topk.Threshold(), 5.0);
+  topk.Push(3, 1.0);  // evicts 5.0
+  EXPECT_DOUBLE_EQ(topk.Threshold(), 3.0);
+}
+
+TEST(TopKTest, RejectsWorseThanThreshold) {
+  TopK topk(1);
+  topk.Push(1, 1.0);
+  topk.Push(2, 2.0);
+  const auto sorted = topk.Sorted();
+  ASSERT_EQ(sorted.size(), 1u);
+  EXPECT_EQ(sorted[0].id, 1);
+}
+
+TEST(TopKTest, FewerThanKItems) {
+  TopK topk(5);
+  topk.Push(7, 1.0);
+  topk.Push(8, 0.5);
+  const auto sorted = topk.Sorted();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].id, 8);
+  EXPECT_FALSE(topk.full());
+}
+
+TEST(TopKTest, ZeroK) {
+  TopK topk(0);
+  topk.Push(1, 1.0);
+  EXPECT_TRUE(topk.Sorted().empty());
+}
+
+TEST(TopKTest, MatchesFullSortOnRandomInput) {
+  Rng rng(55);
+  std::vector<Neighbor> all;
+  TopK topk(10);
+  for (int i = 0; i < 500; ++i) {
+    const double d = rng.UniformDouble();
+    all.push_back({i, d});
+    topk.Push(i, d);
+  }
+  std::sort(all.begin(), all.end());
+  const auto kept = topk.Sorted();
+  ASSERT_EQ(kept.size(), 10u);
+  for (size_t i = 0; i < kept.size(); ++i) {
+    EXPECT_EQ(kept[i].id, all[i].id);
+    EXPECT_DOUBLE_EQ(kept[i].dist, all[i].dist);
+  }
+}
+
+TEST(NeighborTest, OrderingBreaksTiesById) {
+  const Neighbor a{1, 2.0}, b{2, 2.0}, c{1, 1.0};
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(c < a);
+  EXPECT_TRUE(a == Neighbor({1, 2.0}));
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace lccs

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build everything (library, 25 test
+# binaries, all benches and examples) with -Wall -Wextra, fail the build on
+# any warning in src/ (-DLCCS_WERROR=ON adds -Werror to the lccs library
+# target only), then run the full CTest suite.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . -DLCCS_WERROR=ON
+cmake --build build -j "$(nproc)"
+cd build
+ctest --output-on-failure -j "$(nproc)"

@@ -25,6 +25,22 @@ class AnnIndex {
   virtual std::vector<util::Neighbor> Query(const float* query,
                                             size_t k) const = 0;
 
+  /// Batched c-k-ANNS: answers `num_queries` queries stored row-major and
+  /// contiguously (dim() floats each), returning one per-query answer vector
+  /// in input order. Results are required to be identical to calling Query
+  /// per row. The default implementation fans the rows out over
+  /// util::ParallelFor (`num_threads` = 0 means hardware concurrency);
+  /// implementations override it when they can amortize work across the
+  /// batch. Query must therefore be safe to call concurrently on a built
+  /// index — it is const and touches no shared mutable state.
+  virtual std::vector<std::vector<util::Neighbor>> QueryBatch(
+      const float* queries, size_t num_queries, size_t k,
+      size_t num_threads = 0) const;
+
+  /// Dimensionality the index was built over (0 before Build). QueryBatch
+  /// uses it as the row stride of the packed query block.
+  virtual size_t dim() const = 0;
+
   /// Memory held by the index structures (excluding the raw dataset, which
   /// all methods share).
   virtual size_t IndexSizeBytes() const = 0;

@@ -34,6 +34,7 @@ class LccsLshIndex : public AnnIndex {
   void Build(const dataset::Dataset& data) override;
   std::vector<util::Neighbor> Query(const float* query,
                                     size_t k) const override;
+  size_t dim() const override { return scheme_ ? scheme_->dim() : 0; }
   size_t IndexSizeBytes() const override;
   std::string name() const override {
     return params_.num_probes > 1 ? "MP-LCCS-LSH" : "LCCS-LSH";

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "util/thread_pool.h"
+
 namespace lccs {
 namespace baselines {
 
@@ -17,6 +19,35 @@ std::vector<util::Neighbor> LinearScan::Query(const float* query,
               util::Distance(data_->metric, data_->data.Row(i), query, d));
   }
   return topk.Sorted();
+}
+
+std::vector<std::vector<util::Neighbor>> LinearScan::QueryBatch(
+    const float* queries, size_t num_queries, size_t k,
+    size_t num_threads) const {
+  assert(data_ != nullptr);
+  const size_t d = data_->dim();
+  const util::Metric metric = data_->metric;
+  std::vector<std::vector<util::Neighbor>> results(num_queries);
+  util::ParallelFor(
+      num_queries,
+      [&](size_t begin, size_t end) {
+        std::vector<util::TopK> heaps;
+        heaps.reserve(end - begin);
+        for (size_t q = begin; q < end; ++q) heaps.emplace_back(k);
+        for (size_t i = 0; i < data_->n(); ++i) {
+          const float* row = data_->data.Row(i);
+          for (size_t q = begin; q < end; ++q) {
+            heaps[q - begin].Push(static_cast<int32_t>(i),
+                                  util::Distance(metric, row, queries + q * d,
+                                                 d));
+          }
+        }
+        for (size_t q = begin; q < end; ++q) {
+          results[q] = heaps[q - begin].Sorted();
+        }
+      },
+      num_threads);
+  return results;
 }
 
 }  // namespace baselines

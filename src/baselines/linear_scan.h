@@ -14,6 +14,14 @@ class LinearScan : public AnnIndex {
   void Build(const dataset::Dataset& data) override;
   std::vector<util::Neighbor> Query(const float* query,
                                     size_t k) const override;
+  /// Cache-blocked override: each worker sweeps the base vectors once for
+  /// its whole chunk of queries (base row outer, query inner), so every
+  /// loaded row is reused across the chunk instead of being re-streamed per
+  /// query. Point order per query is unchanged, so results stay identical.
+  std::vector<std::vector<util::Neighbor>> QueryBatch(
+      const float* queries, size_t num_queries, size_t k,
+      size_t num_threads = 0) const override;
+  size_t dim() const override { return data_ != nullptr ? data_->dim() : 0; }
   size_t IndexSizeBytes() const override { return 0; }
   std::string name() const override { return "LinearScan"; }
 

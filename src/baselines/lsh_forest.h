@@ -40,6 +40,7 @@ class LshForest : public AnnIndex {
   void Build(const dataset::Dataset& data) override;
   std::vector<util::Neighbor> Query(const float* query,
                                     size_t k) const override;
+  size_t dim() const override { return data_ != nullptr ? data_->dim() : 0; }
   size_t IndexSizeBytes() const override;
   std::string name() const override { return "LSH-Forest"; }
 

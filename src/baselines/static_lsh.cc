@@ -119,7 +119,7 @@ std::vector<util::Neighbor> StaticLsh::Query(const float* query,
       probe_bucket(t, key);
     }
   }
-  last_candidates_ = candidates;
+  last_candidates_.store(candidates, std::memory_order_relaxed);
   return topk.Sorted();
 }
 

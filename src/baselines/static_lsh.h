@@ -1,6 +1,7 @@
 #ifndef LCCS_BASELINES_STATIC_LSH_H_
 #define LCCS_BASELINES_STATIC_LSH_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -43,6 +44,7 @@ class StaticLsh : public AnnIndex {
   void Build(const dataset::Dataset& data) override;
   std::vector<util::Neighbor> Query(const float* query,
                                     size_t k) const override;
+  size_t dim() const override { return data_ != nullptr ? data_->dim() : 0; }
   size_t IndexSizeBytes() const override;
   std::string name() const override { return display_name_; }
 
@@ -54,8 +56,11 @@ class StaticLsh : public AnnIndex {
   }
 
   /// Total number of candidate verifications performed by the last Query
-  /// call (diagnostic; not thread-safe across concurrent queries).
-  size_t last_candidate_count() const { return last_candidates_; }
+  /// call. Under a concurrent QueryBatch the value reflects whichever query
+  /// finished last (the store is atomic, so reads are merely racy, not UB).
+  size_t last_candidate_count() const {
+    return last_candidates_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// Compound key of table `t` given the full hash string of a point.
@@ -67,7 +72,7 @@ class StaticLsh : public AnnIndex {
   std::unique_ptr<lsh::HashFamily> family_;  // K*L functions
   const dataset::Dataset* data_ = nullptr;
   std::vector<std::unordered_map<uint64_t, std::vector<int32_t>>> tables_;
-  mutable size_t last_candidates_ = 0;
+  mutable std::atomic<size_t> last_candidates_{0};
 };
 
 }  // namespace baselines

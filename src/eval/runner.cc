@@ -1,5 +1,7 @@
 #include "eval/runner.h"
 
+#include <algorithm>
+
 #include "eval/metrics.h"
 #include "util/timer.h"
 
@@ -41,6 +43,34 @@ RunResult EvaluateQueries(const baselines::AnnIndex& index,
   result.avg_query_ms = q > 0 ? total_ms / static_cast<double>(q) : 0.0;
   result.recall = q > 0 ? recall_sum / static_cast<double>(q) : 0.0;
   result.ratio = q > 0 ? ratio_sum / static_cast<double>(q) : 0.0;
+  return result;
+}
+
+ThroughputResult EvaluateThroughput(const baselines::AnnIndex& index,
+                                    const dataset::Dataset& data,
+                                    const dataset::GroundTruth& gt, size_t k,
+                                    size_t batch_size, size_t num_threads) {
+  ThroughputResult result;
+  result.method = index.name();
+  result.batch_size = batch_size > 0 ? batch_size : 1;
+  result.num_threads = num_threads;
+
+  const size_t q = data.num_queries();
+  double recall_sum = 0.0;
+  double seconds = 0.0;
+  for (size_t begin = 0; begin < q; begin += result.batch_size) {
+    const size_t count = std::min(result.batch_size, q - begin);
+    util::Timer timer;  // time the batched call only, not the scoring
+    const auto answers =
+        index.QueryBatch(data.queries.Row(begin), count, k, num_threads);
+    seconds += timer.ElapsedSeconds();
+    for (size_t i = 0; i < count; ++i) {
+      recall_sum += Recall(answers[i], gt.ForQuery(begin + i));
+    }
+  }
+  result.total_seconds = seconds;
+  result.qps = seconds > 0.0 ? static_cast<double>(q) / seconds : 0.0;
+  result.recall = q > 0 ? recall_sum / static_cast<double>(q) : 0.0;
   return result;
 }
 

@@ -37,6 +37,27 @@ RunResult EvaluateQueries(const baselines::AnnIndex& index,
                           double build_seconds, size_t index_bytes,
                           const std::string& params_desc = "");
 
+/// One throughput measurement of one method at one batch size: what the
+/// serving-oriented benches plot (QPS, not per-query latency).
+struct ThroughputResult {
+  std::string method;
+  size_t batch_size = 1;
+  size_t num_threads = 0;     ///< 0 = hardware concurrency
+  double qps = 0.0;           ///< queries per second over the whole run
+  double recall = 0.0;        ///< average over queries, in [0, 1]
+  double total_seconds = 0.0; ///< wall-clock for all batches
+};
+
+/// Streams the dataset's queries through a built index in batches of
+/// `batch_size` via AnnIndex::QueryBatch (the trailing batch may be
+/// partial), timing only the batched calls. batch_size == 1 degenerates to
+/// the sequential serving loop, giving the single-query baseline on the
+/// same axis.
+ThroughputResult EvaluateThroughput(const baselines::AnnIndex& index,
+                                    const dataset::Dataset& data,
+                                    const dataset::GroundTruth& gt, size_t k,
+                                    size_t batch_size, size_t num_threads = 0);
+
 }  // namespace eval
 }  // namespace lccs
 

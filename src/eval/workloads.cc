@@ -10,16 +10,12 @@
 namespace lccs {
 namespace eval {
 
-namespace {
-
 size_t EnvSize(const char* name, size_t fallback) {
   const char* value = std::getenv(name);
   if (value == nullptr || *value == '\0') return fallback;
   const long long parsed = std::atoll(value);
   return parsed > 0 ? static_cast<size_t>(parsed) : fallback;
 }
-
-}  // namespace
 
 BenchScale GetBenchScale() {
   BenchScale scale;

@@ -19,6 +19,11 @@ struct BenchScale {
   size_t num_queries = 50;
 };
 
+/// Reads a positive integer from the environment, or `fallback` when the
+/// variable is unset, empty, or non-positive. The parser behind every
+/// LCCS_BENCH_* size knob (bench binaries use it for their own knobs too).
+size_t EnvSize(const char* name, size_t fallback);
+
 /// Reads the environment (with the defaults above).
 BenchScale GetBenchScale();
 

@@ -8,10 +8,11 @@ namespace lccs {
 namespace util {
 
 /// Runs fn(begin, end) over [0, n) split into contiguous chunks across
-/// `num_threads` std::threads (hardware concurrency when 0). Used only for
-/// embarrassingly parallel offline work — ground-truth computation and bulk
-/// hashing — never on the query path, matching the paper's single-thread
-/// query measurements.
+/// `num_threads` std::threads (hardware concurrency when 0). Backs both the
+/// embarrassingly parallel offline work (ground-truth computation, bulk
+/// hashing) and the batched query engine (AnnIndex::QueryBatch). Per-query
+/// latency figures in the paper remain single-thread: sequential Query calls
+/// never go through here.
 void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn,
                  size_t num_threads = 0);
 

@@ -1,0 +1,181 @@
+// QueryBatch must be a pure throughput optimization: for every AnnIndex
+// implementation and every thread count, the batched answers are required to
+// be bit-identical (ids and distances) to calling Query per row.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/c2lsh.h"
+#include "baselines/lccs_adapter.h"
+#include "baselines/linear_scan.h"
+#include "baselines/lsh_forest.h"
+#include "baselines/qalsh.h"
+#include "baselines/srs.h"
+#include "baselines/static_lsh.h"
+#include "dataset/synthetic.h"
+
+namespace lccs {
+namespace baselines {
+namespace {
+
+dataset::Dataset SmallClusters(util::Metric metric, uint64_t seed = 121) {
+  dataset::SyntheticConfig config;
+  config.n = 800;
+  config.num_queries = 23;  // deliberately not a multiple of any batch size
+  config.dim = 16;
+  config.num_clusters = 6;
+  config.center_scale = 20.0;
+  config.cluster_stddev = 0.6;
+  config.noise_fraction = 0.0;
+  config.metric = metric;
+  config.normalize = metric == util::Metric::kAngular;
+  config.seed = seed;
+  return dataset::GenerateClustered(config);
+}
+
+/// Builds every AnnIndex implementation in the repository on `data`.
+std::vector<std::unique_ptr<AnnIndex>> AllIndexes(
+    const dataset::Dataset& data) {
+  std::vector<std::unique_ptr<AnnIndex>> indexes;
+
+  indexes.push_back(std::make_unique<LinearScan>());
+
+  {
+    StaticLsh::Params params;
+    params.k_funcs = 4;
+    params.num_tables = 8;
+    params.w = 8.0;
+    indexes.push_back(std::make_unique<StaticLsh>(
+        "E2LSH", lsh::FamilyKind::kRandomProjection, params));
+  }
+  {
+    StaticLsh::Params params;
+    params.k_funcs = 6;
+    params.num_tables = 4;
+    params.num_probes = 8;
+    params.w = 4.0;
+    indexes.push_back(std::make_unique<StaticLsh>(
+        "Multi-Probe LSH", lsh::FamilyKind::kRandomProjection, params));
+  }
+  {
+    C2Lsh::Params params;
+    params.num_functions = 32;
+    params.w = 2.0;
+    params.extra_candidates = 50;
+    indexes.push_back(std::make_unique<C2Lsh>(params));
+  }
+  {
+    QaLsh::Params params;
+    params.num_functions = 32;
+    params.w = 1.0;
+    indexes.push_back(std::make_unique<QaLsh>(params));
+  }
+  {
+    Srs::Params params;
+    params.projected_dim = 6;
+    params.candidate_fraction = 0.2;
+    indexes.push_back(std::make_unique<Srs>(params));
+  }
+  {
+    LshForest::Params params;
+    params.num_trees = 4;
+    params.depth = 12;
+    params.candidates = 60;
+    indexes.push_back(
+        std::make_unique<LshForest>(lsh::FamilyKind::kRandomProjection,
+                                    params));
+  }
+  {
+    LccsLshIndex::Params params;
+    params.m = 32;
+    params.lambda = 80;
+    params.w = 8.0;
+    indexes.push_back(std::make_unique<LccsLshIndex>(params));  // LCCS-LSH
+  }
+  {
+    LccsLshIndex::Params params;
+    params.m = 32;
+    params.lambda = 80;
+    params.w = 8.0;
+    params.num_probes = 8;
+    indexes.push_back(
+        std::make_unique<LccsLshIndex>(params));  // MP-LCCS-LSH
+  }
+
+  for (auto& index : indexes) index->Build(data);
+  return indexes;
+}
+
+TEST(QueryBatchTest, IdenticalToSequentialAtEveryThreadCount) {
+  const auto data = SmallClusters(util::Metric::kEuclidean);
+  const auto indexes = AllIndexes(data);
+  const size_t k = 10;
+  for (const auto& index : indexes) {
+    std::vector<std::vector<util::Neighbor>> expected;
+    for (size_t q = 0; q < data.num_queries(); ++q) {
+      expected.push_back(index->Query(data.queries.Row(q), k));
+    }
+    for (const size_t threads : {size_t{1}, size_t{2}, size_t{5}}) {
+      const auto batched =
+          index->QueryBatch(data.queries.Row(0), data.num_queries(), k,
+                            threads);
+      ASSERT_EQ(batched.size(), expected.size()) << index->name();
+      for (size_t q = 0; q < expected.size(); ++q) {
+        EXPECT_EQ(batched[q], expected[q])
+            << index->name() << " query " << q << " threads " << threads;
+      }
+    }
+  }
+}
+
+TEST(QueryBatchTest, DefaultThreadCountMatchesToo) {
+  const auto data = SmallClusters(util::Metric::kEuclidean, 122);
+  const auto indexes = AllIndexes(data);
+  for (const auto& index : indexes) {
+    const auto batched =
+        index->QueryBatch(data.queries.Row(0), data.num_queries(), 5);
+    for (size_t q = 0; q < data.num_queries(); ++q) {
+      EXPECT_EQ(batched[q], index->Query(data.queries.Row(q), 5))
+          << index->name() << " query " << q;
+    }
+  }
+}
+
+TEST(QueryBatchTest, DimMatchesDataset) {
+  const auto data = SmallClusters(util::Metric::kEuclidean, 123);
+  const auto indexes = AllIndexes(data);
+  for (const auto& index : indexes) {
+    EXPECT_EQ(index->dim(), data.dim()) << index->name();
+  }
+}
+
+TEST(QueryBatchTest, EmptyAndSingletonBatches) {
+  const auto data = SmallClusters(util::Metric::kEuclidean, 124);
+  LinearScan scan;
+  scan.Build(data);
+  EXPECT_TRUE(scan.QueryBatch(data.queries.Row(0), 0, 5).empty());
+  const auto one = scan.QueryBatch(data.queries.Row(3), 1, 5, 4);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], scan.Query(data.queries.Row(3), 5));
+}
+
+TEST(QueryBatchTest, AngularMetricSupported) {
+  const auto data = SmallClusters(util::Metric::kAngular, 125);
+  LccsLshIndex::Params params;
+  params.m = 32;
+  params.lambda = 80;
+  LccsLshIndex index(params);
+  index.Build(data);
+  const auto batched =
+      index.QueryBatch(data.queries.Row(0), data.num_queries(), 10, 3);
+  for (size_t q = 0; q < data.num_queries(); ++q) {
+    EXPECT_EQ(batched[q], index.Query(data.queries.Row(q), 10))
+        << "query " << q;
+  }
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace lccs

@@ -1,0 +1,187 @@
+// Microbenchmarks for the verification hot path: scalar per-pair distance
+// vs the dispatched SIMD kernel vs batched candidate verification
+// (VerifyCandidates), in GB/s of candidate rows scanned, at the paper's
+// d = 128 (SIFT-like) and d = 960 (GIST-like) — plus persistent-pool vs
+// spawn-per-call ParallelFor latency at serving batch sizes 1/8/64.
+//
+// Acceptance target (ISSUE 2): batched AVX2 verification ≥ 3× the scalar
+// per-pair path at d = 128 in a Release build. Emit machine-readable
+// results with:
+//   ./build/bench/micro_distance --benchmark_out=BENCH_micro_distance.json
+//       --benchmark_out_format=json
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "util/matrix.h"
+#include "util/metric.h"
+#include "util/random.h"
+#include "util/simd_distance.h"
+#include "util/thread_pool.h"
+#include "util/topk.h"
+
+namespace {
+
+using namespace lccs;
+
+constexpr size_t kRows = 4096;
+constexpr size_t kCandidates = 1024;
+
+struct Fixture {
+  util::Matrix data;
+  std::vector<float> query;
+  std::vector<int32_t> ids;
+
+  explicit Fixture(size_t d) : data(kRows, d), query(d), ids(kCandidates) {
+    util::Rng rng(42);
+    rng.FillGaussian(data.data(), kRows * d);
+    rng.FillGaussian(query.data(), d);
+    // Gathered (non-contiguous) candidate rows, as real query paths see.
+    for (size_t i = 0; i < kCandidates; ++i) {
+      ids[i] = static_cast<int32_t>(rng.NextBounded(kRows));
+    }
+  }
+};
+
+void SetRowBytes(benchmark::State& state, size_t d) {
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kCandidates * d *
+                                               sizeof(float)));
+}
+
+// The pre-SIMD verification loop: one scalar double-accumulator distance
+// (matrix.cc) and one heap push per candidate.
+void BM_VerifyScalarPerPair(benchmark::State& state) {
+  const auto d = static_cast<size_t>(state.range(0));
+  const Fixture f(d);
+  for (auto _ : state) {
+    util::TopK topk(10);
+    for (const int32_t id : f.ids) {
+      topk.Push(id, util::L2(f.data.Row(id), f.query.data(), d));
+    }
+    benchmark::DoNotOptimize(topk);
+  }
+  SetRowBytes(state, d);
+}
+
+// Dispatched kernel, still one call per candidate.
+void BM_VerifySimdPerPair(benchmark::State& state) {
+  const auto d = static_cast<size_t>(state.range(0));
+  const Fixture f(d);
+  for (auto _ : state) {
+    util::TopK topk(10);
+    for (const int32_t id : f.ids) {
+      topk.Push(id, util::simd::L2(f.data.Row(id), f.query.data(), d));
+    }
+    benchmark::DoNotOptimize(topk);
+  }
+  SetRowBytes(state, d);
+}
+
+// The batched path every query route uses now: 4-row unrolled, prefetched.
+void BM_VerifyBatched(benchmark::State& state) {
+  const auto d = static_cast<size_t>(state.range(0));
+  const Fixture f(d);
+  for (auto _ : state) {
+    util::TopK topk(10);
+    util::VerifyCandidates(util::Metric::kEuclidean, f.data.data(), d,
+                           f.query.data(), f.ids.data(), kCandidates, topk);
+    benchmark::DoNotOptimize(topk);
+  }
+  SetRowBytes(state, d);
+}
+
+BENCHMARK(BM_VerifyScalarPerPair)->Arg(128)->Arg(960)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_VerifySimdPerPair)->Arg(128)->Arg(960)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_VerifyBatched)->Arg(128)->Arg(960)
+    ->Unit(benchmark::kMicrosecond);
+
+// ---------------------------------------------------------------------------
+// Persistent pool vs spawn-per-call, at serving batch sizes. Per-item work
+// models one small query verification (64 rows at d = 128).
+
+// The old util::ParallelFor: fresh std::threads on every call.
+void SpawnParallelFor(size_t n,
+                      const std::function<void(size_t, size_t)>& fn,
+                      size_t num_threads) {
+  if (n == 0) return;
+  size_t threads = num_threads;
+  if (threads == 0) {
+    threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, n);
+  if (threads == 1) {
+    fn(0, n);
+    return;
+  }
+  const size_t chunk = (n + threads - 1) / threads;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    const size_t begin = t * chunk;
+    const size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    workers.emplace_back([&fn, begin, end] { fn(begin, end); });
+  }
+  for (auto& w : workers) w.join();
+}
+
+constexpr size_t kPoolThreads = 4;
+constexpr size_t kRowsPerItem = 64;
+
+template <typename ParallelForFn>
+void RunBatchBench(benchmark::State& state, ParallelForFn&& parallel_for) {
+  const auto batch = static_cast<size_t>(state.range(0));
+  const Fixture f(128);
+  const auto work = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      util::TopK topk(10);
+      const auto first =
+          static_cast<int32_t>((i * kRowsPerItem) % (kRows - kRowsPerItem));
+      util::VerifyCandidates(util::Metric::kEuclidean, f.data.data(), 128,
+                             f.query.data(), nullptr, kRowsPerItem, topk,
+                             first);
+      benchmark::DoNotOptimize(topk);
+    }
+  };
+  for (auto _ : state) {
+    parallel_for(batch, work, kPoolThreads);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch));
+}
+
+void BM_ParallelForSpawn(benchmark::State& state) {
+  RunBatchBench(state, SpawnParallelFor);
+}
+
+void BM_ParallelForPool(benchmark::State& state) {
+  RunBatchBench(state,
+                [](size_t n, const std::function<void(size_t, size_t)>& fn,
+                   size_t threads) { util::ParallelFor(n, fn, threads); });
+}
+
+BENCHMARK(BM_ParallelForSpawn)->Arg(1)->Arg(8)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ParallelForPool)->Arg(1)->Arg(8)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // Which kernel tier the dispatch selected — the README's "how do I check
+  // what's active" knob. Ends up in the JSON context block too.
+  benchmark::AddCustomContext(
+      "simd_tier", util::SimdTierName(util::ActiveSimdTier()));
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

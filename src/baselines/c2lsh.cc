@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/simd_distance.h"
 #include "util/thread_pool.h"
 
 namespace lccs {
@@ -63,14 +64,16 @@ std::vector<util::Neighbor> C2Lsh::Query(const float* query, size_t k) const {
   family_->Hash(query, hq.data());
 
   std::vector<int32_t> counts(n, 0);
-  util::TopK topk(k);
   size_t verified = 0;
   const size_t budget = k + params_.extra_candidates;
 
+  // Points that cross the collision threshold are queued (in crossing
+  // order) and verified in one batched pass after the rounds finish; the
+  // round logic only ever consults the `verified` count, never a distance.
+  std::vector<int32_t> pending;
   auto bump = [&](int32_t id) {
     if (static_cast<size_t>(++counts[id]) == threshold_) {
-      topk.Push(id,
-                util::Distance(data_->metric, data_->data.Row(id), query, d));
+      pending.push_back(id);
       ++verified;
     }
   };
@@ -162,10 +165,12 @@ std::vector<util::Neighbor> C2Lsh::Query(const float* query, size_t k) const {
     for (size_t i = 0; i < take; ++i) {
       const int32_t id = by_count[i];
       if (static_cast<size_t>(counts[id]) >= threshold_) continue;  // done
-      topk.Push(id,
-                util::Distance(data_->metric, data_->data.Row(id), query, d));
+      pending.push_back(id);
     }
   }
+  util::TopK topk(k);
+  util::VerifyCandidates(data_->metric, data_->data.data(), d, query,
+                         pending.data(), pending.size(), topk);
   return topk.Sorted();
 }
 

@@ -1,7 +1,9 @@
 #include "baselines/linear_scan.h"
 
+#include <algorithm>
 #include <cassert>
 
+#include "util/simd_distance.h"
 #include "util/thread_pool.h"
 
 namespace lccs {
@@ -12,12 +14,9 @@ void LinearScan::Build(const dataset::Dataset& data) { data_ = &data; }
 std::vector<util::Neighbor> LinearScan::Query(const float* query,
                                               size_t k) const {
   assert(data_ != nullptr);
-  const size_t d = data_->dim();
   util::TopK topk(k);
-  for (size_t i = 0; i < data_->n(); ++i) {
-    topk.Push(static_cast<int32_t>(i),
-              util::Distance(data_->metric, data_->data.Row(i), query, d));
-  }
+  util::VerifyCandidates(data_->metric, data_->data.data(), data_->dim(),
+                         query, /*ids=*/nullptr, data_->n(), topk);
   return topk.Sorted();
 }
 
@@ -27,6 +26,12 @@ std::vector<std::vector<util::Neighbor>> LinearScan::QueryBatch(
   assert(data_ != nullptr);
   const size_t d = data_->dim();
   const util::Metric metric = data_->metric;
+  const float* base = data_->data.data();
+  // Cache blocking: a block of rows is verified against every query in the
+  // chunk before moving on, so the block stays resident across queries.
+  // ~128 KiB of rows per block.
+  const size_t block = std::clamp<size_t>(
+      size_t{32768} / std::max<size_t>(1, d), 4, 1024);
   std::vector<std::vector<util::Neighbor>> results(num_queries);
   util::ParallelFor(
       num_queries,
@@ -34,12 +39,12 @@ std::vector<std::vector<util::Neighbor>> LinearScan::QueryBatch(
         std::vector<util::TopK> heaps;
         heaps.reserve(end - begin);
         for (size_t q = begin; q < end; ++q) heaps.emplace_back(k);
-        for (size_t i = 0; i < data_->n(); ++i) {
-          const float* row = data_->data.Row(i);
+        for (size_t row = 0; row < data_->n(); row += block) {
+          const size_t len = std::min(block, data_->n() - row);
           for (size_t q = begin; q < end; ++q) {
-            heaps[q - begin].Push(static_cast<int32_t>(i),
-                                  util::Distance(metric, row, queries + q * d,
-                                                 d));
+            util::VerifyCandidates(metric, base, d, queries + q * d,
+                                   /*ids=*/nullptr, len, heaps[q - begin],
+                                   static_cast<int32_t>(row));
           }
         }
         for (size_t q = begin; q < end; ++q) {

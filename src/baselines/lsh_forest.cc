@@ -6,6 +6,7 @@
 #include <queue>
 #include <unordered_set>
 
+#include "util/simd_distance.h"
 #include "util/thread_pool.h"
 
 namespace lccs {
@@ -119,25 +120,25 @@ std::vector<util::Neighbor> LshForest::Query(const float* query,
     }
   }
 
+  // The frontier walk only decides *which* points to examine; true
+  // distances are batched into one verification pass afterwards.
   std::unordered_set<int32_t> seen;
-  util::TopK topk(k);
-  const size_t d = data_->dim();
-  size_t verified = 0;
-  while (verified < params_.candidates && !pq.empty()) {
+  std::vector<int32_t> cand_ids;
+  cand_ids.reserve(params_.candidates);
+  while (cand_ids.size() < params_.candidates && !pq.empty()) {
     const Entry e = pq.top();
     pq.pop();
     const int32_t id = sorted_[e.tree][e.pos];
-    if (seen.insert(id).second) {
-      topk.Push(id,
-                util::Distance(data_->metric, data_->data.Row(id), query, d));
-      ++verified;
-    }
+    if (seen.insert(id).second) cand_ids.push_back(id);
     const int32_t npos = e.pos + e.dir;
     if (npos >= 0 && npos < n) {
       pq.push({Lcp(e.tree, sorted_[e.tree][npos], hq.data()), npos, e.tree,
                e.dir});
     }
   }
+  util::TopK topk(k);
+  util::VerifyCandidates(data_->metric, data_->data.data(), data_->dim(),
+                         query, cand_ids.data(), cand_ids.size(), topk);
   return topk.Sorted();
 }
 

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "util/random.h"
+#include "util/simd_distance.h"
 #include "util/thread_pool.h"
 
 namespace lccs {
@@ -60,14 +61,16 @@ std::vector<util::Neighbor> QaLsh::Query(const float* query, size_t k) const {
   }
 
   std::vector<int32_t> counts(n, 0);
-  util::TopK topk(k);
   size_t verified = 0;
   const size_t budget = k + params_.extra_candidates;
 
+  // Threshold-crossing points are queued in crossing order and verified in
+  // one batched pass after the widening rounds; the rounds themselves only
+  // consult the `verified` count.
+  std::vector<int32_t> pending;
   auto bump = [&](int32_t id) {
     if (static_cast<size_t>(++counts[id]) == threshold_) {
-      topk.Push(id,
-                util::Distance(data_->metric, data_->data.Row(id), query, d));
+      pending.push_back(id);
       ++verified;
     }
   };
@@ -103,6 +106,9 @@ std::vector<util::Neighbor> QaLsh::Query(const float* query, size_t k) const {
     }
     if (verified >= budget || all_covered) break;
   }
+  util::TopK topk(k);
+  util::VerifyCandidates(data_->metric, data_->data.data(), d, query,
+                         pending.data(), pending.size(), topk);
   return topk.Sorted();
 }
 

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "util/random.h"
+#include "util/simd_distance.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
 
@@ -70,8 +71,11 @@ std::vector<util::Neighbor> Srs::Query(const float* query, size_t k) const {
         }
       }
     }
-    topk.Push(id, util::Distance(data_->metric, data_->data.Row(id), query,
-                                 d));
+    // One candidate at a time through the batched verifier: the early-stop
+    // test above consults the heap threshold after every push, so SRS can't
+    // defer verification the way the count-based methods do.
+    util::VerifyCandidates(data_->metric, data_->data.data(), d, query, &id,
+                           1, topk);
     if (++examined >= budget) break;
   }
   return topk.Sorted();

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "core/perturbation.h"
+#include "util/simd_distance.h"
 #include "util/thread_pool.h"
 
 namespace lccs {
@@ -71,18 +72,17 @@ std::vector<util::Neighbor> StaticLsh::Query(const float* query,
   family_->Hash(query, hq.data());
 
   std::unordered_set<int32_t> seen;
-  util::TopK topk(k);
   const size_t d = data_->dim();
-  size_t candidates = 0;
+  // Bucket probing only collects unique candidate ids; the true-distance
+  // work happens in one batched verification pass at the end.
+  std::vector<int32_t> cand_ids;
   auto probe_bucket = [&](size_t t, uint64_t key) {
     const auto& table = tables_[t];
     const auto it = table.find(key);
     if (it == table.end()) return;
     for (const int32_t id : it->second) {
       if (!seen.insert(id).second) continue;
-      ++candidates;
-      topk.Push(id,
-                util::Distance(data_->metric, data_->data.Row(id), query, d));
+      cand_ids.push_back(id);
     }
   };
 
@@ -119,7 +119,10 @@ std::vector<util::Neighbor> StaticLsh::Query(const float* query,
       probe_bucket(t, key);
     }
   }
-  last_candidates_.store(candidates, std::memory_order_relaxed);
+  util::TopK topk(k);
+  util::VerifyCandidates(data_->metric, data_->data.data(), d, query,
+                         cand_ids.data(), cand_ids.size(), topk);
+  last_candidates_.store(cand_ids.size(), std::memory_order_relaxed);
   return topk.Sorted();
 }
 

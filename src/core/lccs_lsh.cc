@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "util/simd_distance.h"
 #include "util/thread_pool.h"
 
 namespace lccs {
@@ -55,10 +56,12 @@ std::vector<util::Neighbor> LccsLsh::Query(const float* query, size_t k,
   assert(data_ != nullptr);
   const size_t count = lambda + (k > 0 ? k - 1 : 0);
   const std::vector<LccsCandidate> candidates = Candidates(query, count);
+  std::vector<int32_t> ids;
+  ids.reserve(candidates.size());
+  for (const LccsCandidate& c : candidates) ids.push_back(c.id);
   util::TopK topk(k);
-  for (const LccsCandidate& c : candidates) {
-    topk.Push(c.id, util::Distance(metric_, data_ + c.id * d_, query, d_));
-  }
+  util::VerifyCandidates(metric_, data_, d_, query, ids.data(), ids.size(),
+                         topk);
   return topk.Sorted();
 }
 

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "util/simd_distance.h"
 #include "util/thread_pool.h"
 
 namespace lccs {
@@ -17,11 +18,8 @@ GroundTruth GroundTruth::Compute(const Dataset& dataset, size_t k) {
     for (size_t q = begin; q < end; ++q) {
       const float* query = dataset.queries.Row(q);
       util::TopK topk(k);
-      for (size_t i = 0; i < dataset.n(); ++i) {
-        topk.Push(static_cast<int32_t>(i),
-                  util::Distance(dataset.metric, dataset.data.Row(i), query,
-                                 d));
-      }
+      util::VerifyCandidates(dataset.metric, dataset.data.data(), d, query,
+                             /*ids=*/nullptr, dataset.n(), topk);
       gt.neighbors_[q] = topk.Sorted();
     }
   });

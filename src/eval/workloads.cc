@@ -6,6 +6,7 @@
 
 #include "dataset/synthetic.h"
 #include "util/random.h"
+#include "util/simd_distance.h"
 
 namespace lccs {
 namespace eval {
@@ -37,14 +38,21 @@ double EstimateDistanceScale(const dataset::Dataset& data, double quantile,
                              size_t sample, uint64_t seed) {
   util::Rng rng(seed);
   const size_t take = std::min(sample, data.n());
-  std::vector<size_t> ids(take);
-  for (auto& id : ids) id = rng.NextBounded(data.n());
+  std::vector<int32_t> ids(take);
+  for (auto& id : ids) {
+    id = static_cast<int32_t>(rng.NextBounded(data.n()));
+  }
   std::vector<double> dists;
-  dists.reserve(take * (take - 1) / 2);
-  for (size_t i = 0; i < take; ++i) {
-    for (size_t j = i + 1; j < take; ++j) {
-      dists.push_back(util::Distance(data.metric, data.data.Row(ids[i]),
-                                     data.data.Row(ids[j]), data.dim()));
+  if (take > 1) {
+    // All sampled pairs, batched: row i is the "query", rows i+1..take-1
+    // the candidate block.
+    dists.resize(take * (take - 1) / 2);
+    size_t offset = 0;
+    for (size_t i = 0; i + 1 < take; ++i) {
+      util::DistanceMany(data.metric, data.data.data(), data.dim(),
+                         data.data.Row(ids[i]), ids.data() + i + 1,
+                         take - i - 1, dists.data() + offset);
+      offset += take - i - 1;
     }
   }
   if (dists.empty()) return 1.0;

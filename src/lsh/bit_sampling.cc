@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "util/metric.h"
 #include "util/random.h"
 
 namespace lccs {
@@ -20,13 +21,13 @@ BitSamplingFamily::BitSamplingFamily(size_t dim, size_t num_functions,
 
 void BitSamplingFamily::Hash(const float* v, HashValue* out) const {
   for (size_t i = 0; i < m_; ++i) {
-    out[i] = v[indices_[i]] >= 0.5f ? 1 : 0;
+    out[i] = util::IsSetCoordinate(v[indices_[i]]) ? 1 : 0;
   }
 }
 
 HashValue BitSamplingFamily::HashOne(size_t func, const float* v) const {
   assert(func < m_);
-  return v[indices_[func]] >= 0.5f ? 1 : 0;
+  return util::IsSetCoordinate(v[indices_[func]]) ? 1 : 0;
 }
 
 void BitSamplingFamily::Alternatives(size_t func, const float* v,

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <limits>
 
+#include "util/metric.h"
 #include "util/random.h"
 
 namespace lccs {
@@ -31,7 +32,7 @@ HashValue MinHashFamily::HashOne(size_t func, const float* v) const {
   uint64_t best_rank = std::numeric_limits<uint64_t>::max();
   HashValue best = -1;  // sentinel for the empty set
   for (size_t j = 0; j < dim_; ++j) {
-    if (v[j] < 0.5f) continue;
+    if (!util::IsSetCoordinate(v[j])) continue;
     const uint64_t rank = Rank(func, static_cast<uint32_t>(j));
     if (rank < best_rank) {
       best_rank = rank;
@@ -47,7 +48,7 @@ void MinHashFamily::Hash(const float* v, HashValue* out) const {
   std::vector<uint64_t> best_rank(m_, std::numeric_limits<uint64_t>::max());
   for (size_t f = 0; f < m_; ++f) out[f] = -1;
   for (size_t j = 0; j < dim_; ++j) {
-    if (v[j] < 0.5f) continue;
+    if (!util::IsSetCoordinate(v[j])) continue;
     for (size_t f = 0; f < m_; ++f) {
       const uint64_t rank = Rank(f, static_cast<uint32_t>(j));
       if (rank < best_rank[f]) {

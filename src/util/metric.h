@@ -4,8 +4,6 @@
 #include <cstddef>
 #include <string>
 
-#include "util/matrix.h"
-
 namespace lccs {
 namespace util {
 
@@ -19,36 +17,17 @@ enum class Metric {
   kJaccard,    ///< 1 - |A ∩ B| / |A ∪ B| over 0/1 set indicators
 };
 
-inline double Distance(Metric metric, const float* a, const float* b,
-                       size_t d) {
-  switch (metric) {
-    case Metric::kEuclidean:
-      return L2(a, b, d);
-    case Metric::kAngular:
-      return AngularDistance(a, b, d);
-    case Metric::kHamming: {
-      size_t diff = 0;
-      for (size_t i = 0; i < d; ++i) {
-        const bool ba = a[i] >= 0.5f;
-        const bool bb = b[i] >= 0.5f;
-        diff += (ba != bb) ? 1 : 0;
-      }
-      return static_cast<double>(diff);
-    }
-    case Metric::kJaccard: {
-      size_t inter = 0, uni = 0;
-      for (size_t i = 0; i < d; ++i) {
-        const bool ba = a[i] >= 0.5f;
-        const bool bb = b[i] >= 0.5f;
-        inter += (ba && bb) ? 1 : 0;
-        uni += (ba || bb) ? 1 : 0;
-      }
-      if (uni == 0) return 0.0;  // two empty sets are identical
-      return 1.0 - static_cast<double>(inter) / static_cast<double>(uni);
-    }
-  }
-  return 0.0;
-}
+/// Interprets a float coordinate of a binary (Hamming/Jaccard/bit-sampling)
+/// vector as a set-membership bit. The single source of truth for the 0.5
+/// threshold used across metrics and hash families.
+inline bool IsSetCoordinate(float v) { return v >= 0.5f; }
+
+/// Verification distance between two d-dimensional vectors under `metric`.
+/// Dispatches to the runtime-selected SIMD kernels (see simd_distance.h):
+/// AVX2+FMA when the CPU supports it, scalar reference otherwise. Every
+/// distance in the process goes through the same tier, so query paths,
+/// batched verification, and ground truth agree bit-for-bit.
+double Distance(Metric metric, const float* a, const float* b, size_t d);
 
 inline std::string MetricName(Metric metric) {
   switch (metric) {

@@ -1,0 +1,65 @@
+#ifndef LCCS_UTIL_SIMD_DISTANCE_H_
+#define LCCS_UTIL_SIMD_DISTANCE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/metric.h"
+#include "util/topk.h"
+
+namespace lccs {
+namespace util {
+
+/// Instruction-set tier the distance kernels dispatch to at runtime. The
+/// tier is detected once per process (CPUID) and can be pinned with the
+/// LCCS_SIMD environment variable ("scalar" or "avx2"); requesting a tier
+/// the CPU lacks silently falls back to scalar.
+enum class SimdTier {
+  kScalar,  ///< portable double-accumulator reference kernels
+  kAvx2,    ///< AVX2 + FMA, 8 float lanes, masked tail loads
+};
+
+/// The tier every kernel in this header dispatches to. Cached after the
+/// first call; all call sites in a process therefore agree bit-for-bit.
+SimdTier ActiveSimdTier();
+
+/// Human-readable tier name ("scalar" / "avx2").
+const char* SimdTierName(SimdTier tier);
+
+namespace simd {
+
+/// Single-pair kernels. Same contracts as the scalar references in
+/// matrix.h / the Hamming/Jaccard branches of util::Distance; the AVX2
+/// versions accumulate in float lanes, so values may differ from the scalar
+/// tier in the last bits (within 1e-5 relative — enforced by
+/// tests/test_simd_distance.cc).
+double SquaredL2(const float* a, const float* b, size_t d);
+double L2(const float* a, const float* b, size_t d);
+double Dot(const float* a, const float* b, size_t d);
+double Angular(const float* a, const float* b, size_t d);
+double Hamming(const float* a, const float* b, size_t d);
+double Jaccard(const float* a, const float* b, size_t d);
+
+}  // namespace simd
+
+/// Batched distances from `query` to `n` candidate rows of the row-major
+/// matrix `data` (row stride `d`). Rows are scored matrix-at-a-time — four
+/// rows per step with the next group prefetched — instead of one
+/// util::Distance call per candidate. `ids == nullptr` means the contiguous
+/// rows first_id .. first_id + n - 1. Each out[i] is bit-identical to
+/// util::Distance(metric, data + ids[i] * d, query, d).
+void DistanceMany(Metric metric, const float* data, size_t d,
+                  const float* query, const int32_t* ids, size_t n,
+                  double* out, int32_t first_id = 0);
+
+/// Batched candidate verification: scores candidates as DistanceMany and
+/// pushes (id, distance) into `topk` in candidate order — drop-in for the
+/// per-candidate Push loops that previously dominated query time.
+void VerifyCandidates(Metric metric, const float* data, size_t d,
+                      const float* query, const int32_t* ids, size_t n,
+                      TopK& topk, int32_t first_id = 0);
+
+}  // namespace util
+}  // namespace lccs
+
+#endif  // LCCS_UTIL_SIMD_DISTANCE_H_

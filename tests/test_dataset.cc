@@ -202,11 +202,13 @@ TEST(GroundTruthTest, MatchesNaiveComputation) {
   ASSERT_EQ(gt.num_queries(), 10u);
   EXPECT_EQ(gt.k(), 5u);
   for (size_t q = 0; q < ds.num_queries(); ++q) {
-    // Naive: full sort.
+    // Naive: one util::Distance call per point (the same dispatched kernel
+    // the batched ground-truth path uses), full sort.
     std::vector<util::Neighbor> all;
     for (size_t i = 0; i < ds.n(); ++i) {
       all.push_back({static_cast<int32_t>(i),
-                     util::L2(ds.data.Row(i), ds.queries.Row(q), ds.dim())});
+                     util::Distance(util::Metric::kEuclidean, ds.data.Row(i),
+                                    ds.queries.Row(q), ds.dim())});
     }
     std::sort(all.begin(), all.end());
     const auto& got = gt.ForQuery(q);

@@ -1,6 +1,10 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -62,6 +66,124 @@ TEST(ParallelForTest, ChunksAreContiguousAndOrdered) {
       }
     }
   }
+}
+
+TEST(ParallelForTest, BalancedChunkingNoEmptyRanges) {
+  // n slightly above the thread count used to leave trailing workers with
+  // empty ranges (ceil-chunking); balanced bounds give every chunk either
+  // floor(n/chunks) or ceil(n/chunks) indices.
+  constexpr size_t kN = 10;
+  constexpr size_t kThreads = 8;
+  std::mutex mu;
+  std::vector<size_t> sizes;
+  ParallelFor(
+      kN,
+      [&](size_t begin, size_t end) {
+        std::lock_guard<std::mutex> lock(mu);
+        sizes.push_back(end - begin);
+      },
+      kThreads);
+  ASSERT_EQ(sizes.size(), kThreads);
+  size_t total = 0, smallest = kN, largest = 0;
+  for (const size_t s : sizes) {
+    EXPECT_GE(s, 1u) << "empty chunk";
+    total += s;
+    smallest = std::min(smallest, s);
+    largest = std::max(largest, s);
+  }
+  EXPECT_EQ(total, kN);
+  EXPECT_LE(largest - smallest, 1u);
+}
+
+TEST(ThreadPoolTest, InstanceIsPersistent) {
+  ThreadPool& a = ThreadPool::Instance();
+  ThreadPool& b = ThreadPool::Instance();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.num_workers(), 1u);
+}
+
+TEST(ThreadPoolTest, SubmitRunsFireAndForgetTasks) {
+  constexpr int kTasks = 64;
+  std::atomic<int> done{0};
+  for (int i = 0; i < kTasks; ++i) {
+    ThreadPool::Instance().Submit([&done] { done.fetch_add(1); });
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (done.load() < kTasks &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  constexpr size_t kOuter = 8;
+  constexpr size_t kInner = 100;
+  std::atomic<size_t> total{0};
+  ParallelFor(kOuter, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      ParallelFor(kInner, [&](size_t b, size_t e) {
+        total.fetch_add(e - b);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), kOuter * kInner);
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForFromExternalThreads) {
+  constexpr size_t kCallers = 4;
+  constexpr size_t kN = 5000;
+  std::vector<std::atomic<size_t>> totals(kCallers);
+  for (auto& t : totals) t.store(0);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&totals, c] {
+      ParallelFor(kN, [&totals, c](size_t begin, size_t end) {
+        totals[c].fetch_add(end - begin);
+      });
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (size_t c = 0; c < kCallers; ++c) {
+    EXPECT_EQ(totals[c].load(), kN) << "caller " << c;
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionInChunkPropagatesAfterRangeCompletes) {
+  constexpr size_t kN = 64;
+  std::atomic<size_t> visited{0};
+  EXPECT_THROW(
+      ParallelFor(
+          kN,
+          [&](size_t begin, size_t end) {
+            visited.fetch_add(end - begin);
+            if (begin == 0) throw std::runtime_error("chunk failed");
+          },
+          4),
+      std::runtime_error);
+  // Every chunk still ran (the range completes before the rethrow), and the
+  // pool stays usable afterwards.
+  EXPECT_EQ(visited.load(), kN);
+  std::atomic<size_t> total{0};
+  ParallelFor(kN, [&](size_t begin, size_t end) {
+    total.fetch_add(end - begin);
+  });
+  EXPECT_EQ(total.load(), kN);
+}
+
+TEST(ThreadPoolTest, ManySmallBatchesReusePool) {
+  // The spawn-per-call model paid thread creation on each of these; the
+  // persistent pool must grind through thousands of tiny ranges quickly and
+  // correctly.
+  std::atomic<size_t> total{0};
+  for (int round = 0; round < 2000; ++round) {
+    ParallelFor(3, [&](size_t begin, size_t end) {
+      total.fetch_add(end - begin);
+    });
+  }
+  EXPECT_EQ(total.load(), 6000u);
 }
 
 }  // namespace

@@ -1,0 +1,187 @@
+// Microbenchmarks for the dynamic-index mutation path (ISSUE 3):
+//
+//   * BM_DynamicInsert         — sustained insert throughput into the delta
+//                                buffer (no consolidation).
+//   * BM_DynamicInsertAmortized— inserts including the background epoch
+//                                rebuilds they trigger (waited out, so the
+//                                rate is the true amortized cost).
+//   * BM_DynamicQueryAtDelta/D — single-query latency with D un-consolidated
+//                                delta rows (D ∈ {0, 1k, 10k}), showing what
+//                                the brute-forced delta costs on top of the
+//                                static probe.
+//   * BM_DynamicConsolidate    — full epoch rebuild latency (capture + CSA
+//                                build + install) at the bench point count.
+//   * BM_DynamicRebuildPause   — query latency measured *while* a background
+//                                rebuild runs: the reader-visible pause.
+//
+// Scale via LCCS_BENCH_N (epoch points, default 10000). Emit JSON with:
+//   ./build/bench/micro_dynamic --benchmark_out=BENCH_micro_dynamic.json
+//       --benchmark_out_format=json
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "baselines/lccs_adapter.h"
+#include "core/dynamic_index.h"
+#include "dataset/synthetic.h"
+#include "eval/workloads.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace lccs;
+
+constexpr size_t kDim = 64;
+constexpr size_t kK = 10;
+
+size_t BenchN() { return eval::EnvSize("LCCS_BENCH_N", 10000); }
+
+dataset::Dataset BenchData(size_t n) {
+  dataset::SyntheticConfig config;
+  config.n = n;
+  config.num_queries = 64;
+  config.dim = kDim;
+  config.num_clusters = 32;
+  config.seed = 404;
+  return dataset::GenerateClustered(config);
+}
+
+baselines::LccsLshIndex::Params BenchParams() {
+  baselines::LccsLshIndex::Params params;
+  params.m = 32;
+  params.lambda = 100;
+  params.w = 4.0;
+  return params;
+}
+
+std::unique_ptr<core::DynamicIndex> MakeIndex(const dataset::Dataset& data,
+                                              size_t rebuild_threshold,
+                                              bool background) {
+  const auto params = BenchParams();
+  core::DynamicIndex::Options options;
+  options.rebuild_threshold = rebuild_threshold;
+  options.background_rebuild = background;
+  auto index = std::make_unique<core::DynamicIndex>(
+      [params] { return std::make_unique<baselines::LccsLshIndex>(params); },
+      options);
+  index->Build(data);
+  return index;
+}
+
+std::vector<float> RandomRows(size_t n, uint64_t seed) {
+  std::vector<float> rows(n * kDim);
+  util::Rng rng(seed);
+  rng.FillGaussian(rows.data(), rows.size());
+  return rows;
+}
+
+// Pure delta-append rate: the per-insert cost queries pay for between
+// consolidations. The threshold is unreachable, so no rebuild ever runs.
+void BM_DynamicInsert(benchmark::State& state) {
+  const auto data = BenchData(BenchN());
+  const auto index = MakeIndex(data, size_t{1} << 40, false);
+  const auto rows = RandomRows(4096, 7);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index->Insert(rows.data() + (i % 4096) * kDim));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DynamicInsert);
+
+// Inserts with consolidation folded in: every `threshold` inserts trip a
+// background rebuild; the final wait charges the stragglers.
+void BM_DynamicInsertAmortized(benchmark::State& state) {
+  const auto data = BenchData(BenchN());
+  const auto rows = RandomRows(4096, 8);
+  for (auto _ : state) {
+    state.PauseTiming();
+    const auto index = MakeIndex(data, /*rebuild_threshold=*/1024, true);
+    state.ResumeTiming();
+    for (size_t i = 0; i < 4096; ++i) {
+      index->Insert(rows.data() + (i % 4096) * kDim);
+    }
+    index->WaitForRebuild();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_DynamicInsertAmortized)->Unit(benchmark::kMillisecond);
+
+// Query latency as the delta grows: delta rows are brute-forced with the
+// batched SIMD verifier, so this curve is what bounds how high the rebuild
+// threshold can be pushed.
+void BM_DynamicQueryAtDelta(benchmark::State& state) {
+  const auto delta = static_cast<size_t>(state.range(0));
+  const auto data = BenchData(BenchN());
+  const auto index = MakeIndex(data, size_t{1} << 40, false);
+  const auto rows = RandomRows(delta > 0 ? delta : 1, 9);
+  for (size_t i = 0; i < delta; ++i) {
+    index->Insert(rows.data() + i * kDim);
+  }
+  size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index->Query(data.queries.Row(q % data.num_queries()), kK));
+    ++q;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DynamicQueryAtDelta)->Arg(0)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+// Synchronous consolidation latency: survivor capture + hashing + CSA build
+// + install, at the bench scale with a 10% tombstone load.
+void BM_DynamicConsolidate(benchmark::State& state) {
+  const auto data = BenchData(BenchN());
+  const auto rows = RandomRows(1024, 10);
+  for (auto _ : state) {
+    state.PauseTiming();
+    const auto index = MakeIndex(data, size_t{1} << 40, false);
+    for (size_t i = 0; i < 1024; ++i) {
+      index->Insert(rows.data() + i * kDim);
+    }
+    for (int32_t id = 0; id < static_cast<int32_t>(data.n()); id += 10) {
+      index->Remove(id);
+    }
+    state.ResumeTiming();
+    index->Consolidate();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DynamicConsolidate)->Unit(benchmark::kMillisecond);
+
+// The pause a *reader* observes while a rebuild runs in the background:
+// queries keep streaming during the whole consolidation, so this latency —
+// vs BM_DynamicQueryAtDelta/1000 — is the concurrency tax of an epoch swap
+// (reader-lock contention + the install's O(delta) reconciliation).
+void BM_DynamicRebuildPause(benchmark::State& state) {
+  const auto data = BenchData(BenchN());
+  const auto rows = RandomRows(1024, 11);
+  for (auto _ : state) {
+    state.PauseTiming();
+    const auto index = MakeIndex(data, size_t{1} << 40, false);
+    for (size_t i = 0; i < 1024; ++i) {
+      index->Insert(rows.data() + i * kDim);
+    }
+    index->TriggerRebuild();
+    state.ResumeTiming();
+    size_t queries = 0;
+    do {  // stream queries until the rebuild lands
+      benchmark::DoNotOptimize(
+          index->Query(data.queries.Row(queries % data.num_queries()), kK));
+      ++queries;
+    } while (index->epoch_sequence() == 0);
+    state.counters["queries_during_rebuild"] = static_cast<double>(queries);
+    state.PauseTiming();
+    index->WaitForRebuild();
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_DynamicRebuildPause)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -10,6 +10,21 @@ LccsLshIndex::LccsLshIndex(Params params) : params_(params) {
 }
 
 void LccsLshIndex::Build(const dataset::Dataset& data) {
+  scheme_ = MakeScheme(data);
+  scheme_->Build(data.data.data(), data.n(), data.dim());
+  scheme_->set_deleted_filter(deleted_filter_);
+}
+
+void LccsLshIndex::AttachPrebuilt(const dataset::Dataset& data,
+                                  core::CircularShiftArray csa) {
+  scheme_ = MakeScheme(data);
+  scheme_->AttachPrebuilt(data.data.data(), data.n(), data.dim(),
+                          std::move(csa));
+  scheme_->set_deleted_filter(deleted_filter_);
+}
+
+std::unique_ptr<core::MpLccsLsh> LccsLshIndex::MakeScheme(
+    const dataset::Dataset& data) const {
   const lsh::FamilyKind kind =
       params_.family.value_or(lsh::DefaultFamilyFor(data.metric));
   auto family =
@@ -18,9 +33,14 @@ void LccsLshIndex::Build(const dataset::Dataset& data) {
   probe.num_probes = params_.num_probes;
   probe.max_gap = params_.max_gap;
   probe.num_alternatives = params_.num_alternatives;
-  scheme_ = std::make_unique<core::MpLccsLsh>(std::move(family), data.metric,
-                                              probe);
-  scheme_->Build(data.data.data(), data.n(), data.dim());
+  return std::make_unique<core::MpLccsLsh>(std::move(family), data.metric,
+                                           probe);
+}
+
+void LccsLshIndex::set_deleted_filter(const std::vector<uint8_t>* deleted) {
+  AnnIndex::set_deleted_filter(deleted);
+  deleted_filter_ = deleted;
+  if (scheme_ != nullptr) scheme_->set_deleted_filter(deleted);
 }
 
 void LccsLshIndex::set_num_probes(size_t num_probes) {

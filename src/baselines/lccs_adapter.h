@@ -34,6 +34,9 @@ class LccsLshIndex : public AnnIndex {
   void Build(const dataset::Dataset& data) override;
   std::vector<util::Neighbor> Query(const float* query,
                                     size_t k) const override;
+  /// Forwards the tombstone bitmap to the wrapped scheme so deleted rows are
+  /// dropped during candidate verification (survives a later Build).
+  void set_deleted_filter(const std::vector<uint8_t>* deleted) override;
   size_t dim() const override { return scheme_ ? scheme_->dim() : 0; }
   size_t IndexSizeBytes() const override;
   std::string name() const override {
@@ -51,9 +54,22 @@ class LccsLshIndex : public AnnIndex {
   /// Access to the wrapped scheme (tests and diagnostics).
   const core::MpLccsLsh& scheme() const { return *scheme_; }
 
+  /// Binds a deserialized CSA instead of hashing + rebuilding: regenerates
+  /// the hash family from params() (families are bit-reproducible from the
+  /// seed) and attaches `csa`, which must have been built over exactly
+  /// `data` with that family. Used by core/serialize.h to restore the
+  /// static epoch of a dynamic index.
+  void AttachPrebuilt(const dataset::Dataset& data,
+                      core::CircularShiftArray csa);
+
  private:
+  /// Family + probe-parameter construction shared by Build / AttachPrebuilt.
+  std::unique_ptr<core::MpLccsLsh> MakeScheme(
+      const dataset::Dataset& data) const;
+
   Params params_;
   std::unique_ptr<core::MpLccsLsh> scheme_;
+  const std::vector<uint8_t>* deleted_filter_ = nullptr;  // not owned
 };
 
 }  // namespace baselines

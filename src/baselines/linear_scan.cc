@@ -16,7 +16,8 @@ std::vector<util::Neighbor> LinearScan::Query(const float* query,
   assert(data_ != nullptr);
   util::TopK topk(k);
   util::VerifyCandidates(data_->metric, data_->data.data(), data_->dim(),
-                         query, /*ids=*/nullptr, data_->n(), topk);
+                         query, /*ids=*/nullptr, data_->n(), topk,
+                         /*first_id=*/0, deleted_rows());
   return topk.Sorted();
 }
 
@@ -27,6 +28,7 @@ std::vector<std::vector<util::Neighbor>> LinearScan::QueryBatch(
   const size_t d = data_->dim();
   const util::Metric metric = data_->metric;
   const float* base = data_->data.data();
+  const uint8_t* deleted = deleted_rows();
   // Cache blocking: a block of rows is verified against every query in the
   // chunk before moving on, so the block stays resident across queries.
   // ~128 KiB of rows per block.
@@ -44,7 +46,7 @@ std::vector<std::vector<util::Neighbor>> LinearScan::QueryBatch(
           for (size_t q = begin; q < end; ++q) {
             util::VerifyCandidates(metric, base, d, queries + q * d,
                                    /*ids=*/nullptr, len, heaps[q - begin],
-                                   static_cast<int32_t>(row));
+                                   static_cast<int32_t>(row), deleted);
           }
         }
         for (size_t q = begin; q < end; ++q) {

@@ -138,7 +138,8 @@ std::vector<util::Neighbor> LshForest::Query(const float* query,
   }
   util::TopK topk(k);
   util::VerifyCandidates(data_->metric, data_->data.data(), data_->dim(),
-                         query, cand_ids.data(), cand_ids.size(), topk);
+                         query, cand_ids.data(), cand_ids.size(), topk,
+                         /*first_id=*/0, deleted_rows());
   return topk.Sorted();
 }
 

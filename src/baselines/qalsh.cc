@@ -66,10 +66,12 @@ std::vector<util::Neighbor> QaLsh::Query(const float* query, size_t k) const {
 
   // Threshold-crossing points are queued in crossing order and verified in
   // one batched pass after the widening rounds; the rounds themselves only
-  // consult the `verified` count.
+  // consult the `verified` count. Tombstoned rows never enter either, so
+  // the budget is spent on live points only.
   std::vector<int32_t> pending;
   auto bump = [&](int32_t id) {
-    if (static_cast<size_t>(++counts[id]) == threshold_) {
+    if (static_cast<size_t>(++counts[id]) == threshold_ &&
+        !IsDeletedRow(id)) {
       pending.push_back(id);
       ++verified;
     }
@@ -108,7 +110,8 @@ std::vector<util::Neighbor> QaLsh::Query(const float* query, size_t k) const {
   }
   util::TopK topk(k);
   util::VerifyCandidates(data_->metric, data_->data.data(), d, query,
-                         pending.data(), pending.size(), topk);
+                         pending.data(), pending.size(), topk,
+                         /*first_id=*/0, deleted_rows());
   return topk.Sorted();
 }
 

@@ -237,6 +237,11 @@ CircularShiftArray CircularShiftArray::Deserialize(std::istream& in) {
       throw std::runtime_error("CSA stream: corrupt next link");
     }
   }
+  for (const int32_t id : csa.sorted_) {
+    if (id < 0 || id >= static_cast<int32_t>(n)) {
+      throw std::runtime_error("CSA stream: corrupt sorted index");
+    }
+  }
   return csa;
 }
 

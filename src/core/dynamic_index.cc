@@ -1,0 +1,578 @@
+#include "core/dynamic_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/stream_io.h"
+#include "util/simd_distance.h"
+#include "util/thread_pool.h"
+
+namespace lccs {
+namespace core {
+
+namespace {
+
+constexpr char kStateMagic[8] = {'L', 'C', 'C', 'S', 'D', 'Y', 'N', '1'};
+constexpr char kStreamName[] = "dynamic index stream";
+
+using io::ReadSizedVec;
+using io::ReadVec;
+using io::WritePod;
+using io::WriteVec;
+
+template <typename T>
+void ReadPod(std::istream& in, T* value) {
+  io::ReadPod(in, value, kStreamName);
+}
+
+}  // namespace
+
+DynamicIndex::DynamicIndex(Factory factory, Options options)
+    : factory_(std::move(factory)), options_(options) {
+  assert(factory_ != nullptr);
+}
+
+DynamicIndex::~DynamicIndex() {
+  // The background task captures `this`; it must have drained before any
+  // member is torn down. Errors are irrelevant during destruction.
+  std::unique_lock<std::mutex> lock(rebuild_mutex_);
+  rebuild_cv_.wait(lock, [&] { return !rebuild_in_flight_; });
+}
+
+std::shared_lock<std::shared_mutex> DynamicIndex::ReadLock() const {
+  // Tap the gate: blocks here exactly while a writer is mid-acquisition,
+  // guaranteeing that writer makes progress before more readers pile onto
+  // the rwlock (glibc's reader-preferring default would otherwise let a
+  // saturating query stream starve Insert/Remove/install forever).
+  { std::lock_guard<std::mutex> gate(gate_); }
+  return std::shared_lock<std::shared_mutex>(mutex_);
+}
+
+std::unique_lock<std::shared_mutex> DynamicIndex::WriteLock() const {
+  // Holding the gate while waiting for exclusivity keeps new readers out;
+  // the in-flight ones drain and the writer gets the lock. The gate is
+  // released as soon as exclusivity is held (function exit), so readers
+  // then queue on the rwlock itself.
+  std::lock_guard<std::mutex> gate(gate_);
+  return std::unique_lock<std::shared_mutex>(mutex_);
+}
+
+std::shared_ptr<DynamicIndex::Epoch> DynamicIndex::BuildEpoch(
+    const Factory& factory, util::Metric metric, size_t dim,
+    util::Matrix rows, std::vector<int32_t> ids) {
+  auto epoch = std::make_shared<Epoch>();
+  epoch->data.name = "dynamic-epoch";
+  epoch->data.metric = metric;
+  epoch->data.data = std::move(rows);
+  epoch->ids = std::move(ids);
+  epoch->deleted.assign(epoch->ids.size(), 0);
+  (void)dim;  // consulted only by the assert
+  assert(epoch->ids.empty() || epoch->data.cols() == dim);
+  if (!epoch->ids.empty()) {
+    epoch->index = factory();
+    epoch->index->Build(epoch->data);
+    epoch->index->set_deleted_filter(&epoch->deleted);
+  }
+  return epoch;
+}
+
+void DynamicIndex::Build(const dataset::Dataset& data) {
+  // Claim the rebuild slot for the whole reset: a background consolidation
+  // captured against the pre-Build state must never install over the new
+  // contents (its delta_end would slice a cleared delta buffer, and its
+  // epoch would resurrect retired ids).
+  {
+    std::unique_lock<std::mutex> lock(rebuild_mutex_);
+    rebuild_cv_.wait(lock, [&] { return !rebuild_in_flight_; });
+    rebuild_in_flight_ = true;
+  }
+  try {
+    // Copy the base vectors into an owned snapshot; the caller's dataset is
+    // not referenced afterwards.
+    util::Matrix rows(data.n(), data.dim());
+    std::memcpy(rows.data(), data.data.data(),
+                data.n() * data.dim() * sizeof(float));
+    std::vector<int32_t> ids(data.n());
+    for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int32_t>(i);
+    auto epoch = BuildEpoch(factory_, data.metric, data.dim(),
+                            std::move(rows), std::move(ids));
+
+    auto lock = WriteLock();
+    options_.metric = data.metric;
+    options_.dim = data.dim();
+    epoch_ = std::move(epoch);
+    delta_rows_.clear();
+    delta_ids_.clear();
+    delta_deleted_.clear();
+    live_.clear();
+    live_.reserve(epoch_->ids.size());
+    for (size_t row = 0; row < epoch_->ids.size(); ++row) {
+      live_[epoch_->ids[row]] = Location{false, row};
+    }
+    next_id_ = static_cast<int32_t>(data.n());
+    epoch_sequence_ = 0;
+  } catch (...) {
+    FinishRebuild(nullptr);
+    throw;
+  }
+  FinishRebuild(nullptr);
+}
+
+size_t DynamicIndex::dim() const {
+  auto lock = ReadLock();
+  return options_.dim;
+}
+
+util::Metric DynamicIndex::metric() const {
+  auto lock = ReadLock();
+  return options_.metric;
+}
+
+std::string DynamicIndex::name() const {
+  auto lock = ReadLock();
+  if (epoch_ != nullptr && epoch_->index != nullptr) {
+    return "Dynamic(" + epoch_->index->name() + ")";
+  }
+  return "Dynamic";
+}
+
+size_t DynamicIndex::IndexSizeBytes() const {
+  auto lock = ReadLock();
+  size_t bytes = delta_rows_.size() * sizeof(float) +
+                 delta_ids_.size() * sizeof(int32_t) + delta_deleted_.size() +
+                 live_.size() * (sizeof(int32_t) + sizeof(Location));
+  if (epoch_ != nullptr) {
+    bytes += epoch_->data.SizeBytes() +
+             epoch_->ids.size() * sizeof(int32_t) + epoch_->deleted.size();
+    if (epoch_->index != nullptr) bytes += epoch_->index->IndexSizeBytes();
+  }
+  return bytes;
+}
+
+size_t DynamicIndex::live_count() const {
+  auto lock = ReadLock();
+  return live_.size();
+}
+
+size_t DynamicIndex::epoch_size() const {
+  auto lock = ReadLock();
+  return epoch_ != nullptr ? epoch_->ids.size() : 0;
+}
+
+size_t DynamicIndex::delta_size() const {
+  auto lock = ReadLock();
+  return delta_ids_.size();
+}
+
+size_t DynamicIndex::tombstone_count() const {
+  auto lock = ReadLock();
+  const size_t total =
+      delta_ids_.size() + (epoch_ != nullptr ? epoch_->ids.size() : 0);
+  return total - live_.size();
+}
+
+uint64_t DynamicIndex::epoch_sequence() const {
+  auto lock = ReadLock();
+  return epoch_sequence_;
+}
+
+bool DynamicIndex::Contains(int32_t id) const {
+  auto lock = ReadLock();
+  return live_.count(id) != 0;
+}
+
+util::Matrix DynamicIndex::LiveVectors(std::vector<int32_t>* ids) const {
+  auto lock = ReadLock();
+  return LiveVectorsLocked(ids);
+}
+
+util::Matrix DynamicIndex::LiveVectorsLocked(std::vector<int32_t>* ids) const {
+  const size_t d = options_.dim;
+  util::Matrix out(live_.size(), d);
+  if (ids != nullptr) ids->clear();
+  size_t row = 0;
+  auto append = [&](int32_t id, const float* vec) {
+    std::memcpy(out.Row(row), vec, d * sizeof(float));
+    if (ids != nullptr) ids->push_back(id);
+    ++row;
+  };
+  // Epoch ids all precede delta ids, and both regions are stored ascending,
+  // so this sweep emits global-id order without sorting.
+  if (epoch_ != nullptr) {
+    for (size_t r = 0; r < epoch_->ids.size(); ++r) {
+      if (!epoch_->deleted[r]) append(epoch_->ids[r], epoch_->data.data.Row(r));
+    }
+  }
+  for (size_t s = 0; s < delta_ids_.size(); ++s) {
+    if (!delta_deleted_[s]) append(delta_ids_[s], delta_rows_.data() + s * d);
+  }
+  assert(row == out.rows());
+  return out;
+}
+
+int32_t DynamicIndex::Insert(const float* vec) {
+  bool schedule = false;
+  int32_t id = 0;
+  {
+    auto lock = WriteLock();
+    if (options_.dim == 0) {
+      throw std::runtime_error(
+          "DynamicIndex: set Options::dim or Build before Insert");
+    }
+    id = next_id_++;
+    const size_t slot = delta_ids_.size();
+    delta_rows_.insert(delta_rows_.end(), vec, vec + options_.dim);
+    delta_ids_.push_back(id);
+    delta_deleted_.push_back(0);
+    live_[id] = Location{true, slot};
+    schedule = options_.background_rebuild &&
+               delta_ids_.size() >= options_.rebuild_threshold;
+  }
+  if (schedule && ClaimRebuild()) {
+    util::ThreadPool::Instance().Submit([this] { RunRebuild(); });
+  }
+  return id;
+}
+
+void DynamicIndex::set_deleted_filter(const std::vector<uint8_t>* deleted) {
+  if (deleted != nullptr) {
+    throw std::runtime_error(
+        "DynamicIndex manages its own tombstones; use Remove() instead of "
+        "set_deleted_filter()");
+  }
+}
+
+bool DynamicIndex::Remove(int32_t id) {
+  auto lock = WriteLock();
+  const auto it = live_.find(id);
+  if (it == live_.end()) return false;
+  const Location loc = it->second;
+  if (loc.in_delta) {
+    delta_deleted_[loc.pos] = 1;
+  } else {
+    epoch_->deleted[loc.pos] = 1;
+  }
+  live_.erase(it);
+  return true;
+}
+
+std::vector<util::Neighbor> DynamicIndex::QueryDelta(const float* query,
+                                                     size_t k) const {
+  util::TopK topk(k);
+  util::VerifyCandidates(options_.metric, delta_rows_.data(), options_.dim,
+                         query, /*ids=*/nullptr, delta_ids_.size(), topk,
+                         /*first_id=*/0, delta_deleted_.data());
+  std::vector<util::Neighbor> result = topk.Sorted();
+  // Slot -> global id. Slots are assigned in insert order, so the remap is
+  // monotone and the (distance, id) sort order is unchanged.
+  for (util::Neighbor& nb : result) nb.id = delta_ids_[nb.id];
+  return result;
+}
+
+std::vector<util::Neighbor> DynamicIndex::MergeParts(
+    std::vector<util::Neighbor> stat, std::vector<util::Neighbor> delta,
+    size_t k) const {
+  std::vector<util::Neighbor> merged;
+  merged.reserve(std::min(k, stat.size() + delta.size()));
+  std::merge(stat.begin(), stat.end(), delta.begin(), delta.end(),
+             std::back_inserter(merged));
+  if (merged.size() > k) merged.resize(k);
+  return merged;
+}
+
+std::vector<util::Neighbor> DynamicIndex::QueryLocked(const float* query,
+                                                      size_t k) const {
+  std::vector<util::Neighbor> stat;
+  if (epoch_ != nullptr && epoch_->index != nullptr) {
+    stat = epoch_->index->Query(query, k);
+    // Row -> global id, again a monotone remap (snapshot rows are stored in
+    // ascending global-id order).
+    for (util::Neighbor& nb : stat) nb.id = epoch_->ids[nb.id];
+  }
+  return MergeParts(std::move(stat), QueryDelta(query, k), k);
+}
+
+std::vector<util::Neighbor> DynamicIndex::Query(const float* query,
+                                                size_t k) const {
+  auto lock = ReadLock();
+  return QueryLocked(query, k);
+}
+
+std::vector<std::vector<util::Neighbor>> DynamicIndex::QueryBatch(
+    const float* queries, size_t num_queries, size_t k,
+    size_t num_threads) const {
+  auto lock = ReadLock();
+  const size_t d = options_.dim;
+  std::vector<std::vector<util::Neighbor>> stat(num_queries);
+  if (epoch_ != nullptr && epoch_->index != nullptr) {
+    stat = epoch_->index->QueryBatch(queries, num_queries, k, num_threads);
+  }
+  std::vector<std::vector<util::Neighbor>> results(num_queries);
+  util::ParallelFor(
+      num_queries,
+      [&](size_t begin, size_t end) {
+        for (size_t q = begin; q < end; ++q) {
+          for (util::Neighbor& nb : stat[q]) nb.id = epoch_->ids[nb.id];
+          results[q] = MergeParts(std::move(stat[q]),
+                                  QueryDelta(queries + q * d, k), k);
+        }
+      },
+      num_threads);
+  return results;
+}
+
+bool DynamicIndex::ClaimRebuild() {
+  std::lock_guard<std::mutex> lock(rebuild_mutex_);
+  if (rebuild_in_flight_) return false;
+  rebuild_in_flight_ = true;
+  return true;
+}
+
+void DynamicIndex::FinishRebuild(std::exception_ptr error) {
+  std::lock_guard<std::mutex> lock(rebuild_mutex_);
+  rebuild_in_flight_ = false;
+  if (error) rebuild_error_ = error;
+  // Notify *while holding the mutex*: the destructor destroys this
+  // condition variable the moment its predicate-protected wait returns,
+  // which the mutex forbids until this broadcast has completed — notifying
+  // after unlock would let the pool thread broadcast into freed memory.
+  rebuild_cv_.notify_all();
+}
+
+void DynamicIndex::RunRebuild() {
+  try {
+    // Capture: copy every survivor in global-id order under the reader
+    // lock. Queries proceed concurrently; writers wait only for this copy.
+    util::Matrix rows;
+    std::vector<int32_t> ids;
+    size_t delta_end = 0;
+    {
+      auto lock = ReadLock();
+      delta_end = delta_ids_.size();
+      rows = LiveVectorsLocked(&ids);
+    }
+
+    // Build: the expensive part — hashing + CSA construction — runs with no
+    // lock held, from the immutable copy. Old epoch keeps serving.
+    auto epoch = BuildEpoch(factory_, options_.metric, options_.dim,
+                            std::move(rows), std::move(ids));
+
+    // Install: reconcile mutations that raced the build, then swap.
+    {
+      auto lock = WriteLock();
+      // Deletions since capture land in the fresh tombstone bitmap (the
+      // rows are baked into the new static structure); the id is gone from
+      // live_ already.
+      for (size_t row = 0; row < epoch->ids.size(); ++row) {
+        const auto it = live_.find(epoch->ids[row]);
+        if (it == live_.end()) {
+          epoch->deleted[row] = 1;
+        } else {
+          it->second = Location{false, row};
+        }
+      }
+      // Inserts since capture become the new delta.
+      const size_t d = options_.dim;
+      std::vector<float> rows_left(
+          delta_rows_.begin() + static_cast<ptrdiff_t>(delta_end * d),
+          delta_rows_.end());
+      std::vector<int32_t> ids_left(delta_ids_.begin() + delta_end,
+                                    delta_ids_.end());
+      std::vector<uint8_t> deleted_left(delta_deleted_.begin() + delta_end,
+                                        delta_deleted_.end());
+      for (size_t slot = 0; slot < ids_left.size(); ++slot) {
+        const auto it = live_.find(ids_left[slot]);
+        if (it != live_.end()) it->second = Location{true, slot};
+      }
+      delta_rows_ = std::move(rows_left);
+      delta_ids_ = std::move(ids_left);
+      delta_deleted_ = std::move(deleted_left);
+      epoch_ = std::move(epoch);
+      ++epoch_sequence_;
+    }
+    FinishRebuild(nullptr);
+  } catch (...) {
+    // Submit() tasks that throw terminate the process; park the error for
+    // WaitForRebuild instead.
+    FinishRebuild(std::current_exception());
+  }
+}
+
+bool DynamicIndex::TriggerRebuild() {
+  {
+    auto lock = ReadLock();
+    if (live_.empty() && delta_ids_.empty() &&
+        (epoch_ == nullptr || epoch_->ids.empty())) {
+      return false;
+    }
+  }
+  if (!ClaimRebuild()) return false;
+  util::ThreadPool::Instance().Submit([this] { RunRebuild(); });
+  return true;
+}
+
+void DynamicIndex::Consolidate() {
+  // Always run a rebuild of our own rather than adopting one already in
+  // flight: an in-flight rebuild captured its survivors before this call,
+  // so mutations between its capture and now would stay unconsolidated.
+  // Claiming after the wait can race another claimant — just retry.
+  while (!ClaimRebuild()) {
+    WaitForRebuild();
+  }
+  RunRebuild();
+  WaitForRebuild();
+}
+
+void DynamicIndex::WaitForRebuild() const {
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(rebuild_mutex_);
+    rebuild_cv_.wait(lock, [&] { return !rebuild_in_flight_; });
+    std::swap(error, rebuild_error_);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void DynamicIndex::SerializeState(std::ostream& out,
+                                  const EpochWriter& writer) const {
+  auto lock = ReadLock();
+  out.write(kStateMagic, sizeof(kStateMagic));
+  WritePod(out, static_cast<uint32_t>(options_.metric));
+  WritePod(out, static_cast<uint64_t>(options_.dim));
+  WritePod(out, static_cast<int64_t>(next_id_));
+  WritePod(out, epoch_sequence_);
+
+  const uint64_t epoch_rows = epoch_ != nullptr ? epoch_->ids.size() : 0;
+  WritePod(out, epoch_rows);
+  if (epoch_rows > 0) {
+    out.write(reinterpret_cast<const char*>(epoch_->data.data.data()),
+              epoch_rows * options_.dim * sizeof(float));
+    out.write(reinterpret_cast<const char*>(epoch_->ids.data()),
+              epoch_rows * sizeof(int32_t));
+    out.write(reinterpret_cast<const char*>(epoch_->deleted.data()),
+              epoch_rows);
+    const uint8_t has_index = epoch_->index != nullptr ? 1 : 0;
+    WritePod(out, has_index);
+    if (has_index) writer(out, *epoch_->index);
+  }
+
+  WriteVec(out, delta_rows_);
+  WriteVec(out, delta_ids_);
+  WriteVec(out, delta_deleted_);
+  if (!out) throw std::runtime_error("dynamic index write error");
+}
+
+std::unique_ptr<DynamicIndex> DynamicIndex::DeserializeState(
+    std::istream& in, Factory factory, Options options,
+    const EpochReader& reader) {
+  char magic[sizeof(kStateMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || !std::equal(magic, magic + sizeof(magic), kStateMagic)) {
+    throw std::runtime_error("not an LCCS dynamic index stream");
+  }
+  uint32_t metric = 0;
+  uint64_t dim = 0, epoch_sequence = 0;
+  int64_t next_id = 0;
+  ReadPod(in, &metric);
+  ReadPod(in, &dim);
+  ReadPod(in, &next_id);
+  ReadPod(in, &epoch_sequence);
+  if (dim == 0 || dim > (uint64_t{1} << 24) || next_id < 0 ||
+      next_id > std::numeric_limits<int32_t>::max() ||
+      metric > static_cast<uint32_t>(util::Metric::kJaccard)) {
+    throw std::runtime_error("dynamic index stream corrupt: bad header");
+  }
+  options.metric = static_cast<util::Metric>(metric);
+  options.dim = dim;
+
+  auto index =
+      std::make_unique<DynamicIndex>(std::move(factory), options);
+  index->next_id_ = static_cast<int32_t>(next_id);
+  index->epoch_sequence_ = epoch_sequence;
+
+  uint64_t epoch_rows = 0;
+  ReadPod(in, &epoch_rows);
+  if (epoch_rows > static_cast<uint64_t>(next_id)) {
+    throw std::runtime_error(
+        "dynamic index stream corrupt: epoch larger than id space");
+  }
+  auto epoch = std::make_shared<Epoch>();
+  epoch->data.name = "dynamic-epoch";
+  epoch->data.metric = options.metric;
+  if (epoch_rows > 0) {
+    epoch->data.data.Resize(epoch_rows, dim);
+    in.read(reinterpret_cast<char*>(epoch->data.data.data()),
+            epoch_rows * dim * sizeof(float));
+    epoch->ids.resize(epoch_rows);
+    in.read(reinterpret_cast<char*>(epoch->ids.data()),
+            epoch_rows * sizeof(int32_t));
+    epoch->deleted.resize(epoch_rows);
+    in.read(reinterpret_cast<char*>(epoch->deleted.data()), epoch_rows);
+    if (!in) throw std::runtime_error("truncated dynamic index stream");
+    uint8_t has_index = 0;
+    ReadPod(in, &has_index);
+    if (!has_index) {
+      // SerializeState always persists an index alongside a non-empty
+      // snapshot; its absence means the flag byte was tampered with, and
+      // loading anyway would silently serve delta-only results.
+      throw std::runtime_error(
+          "dynamic index stream corrupt: snapshot without an epoch index");
+    }
+    epoch->index = reader(in, epoch->data);
+    epoch->index->set_deleted_filter(&epoch->deleted);
+  }
+  index->epoch_ = std::move(epoch);
+
+  const uint64_t max_points = static_cast<uint64_t>(next_id);
+  ReadSizedVec(in, &index->delta_rows_, max_points * dim, kStreamName);
+  ReadSizedVec(in, &index->delta_ids_, max_points, kStreamName);
+  ReadSizedVec(in, &index->delta_deleted_, max_points, kStreamName);
+  if (index->delta_rows_.size() != index->delta_ids_.size() * dim ||
+      index->delta_deleted_.size() != index->delta_ids_.size()) {
+    throw std::runtime_error(
+        "dynamic index stream corrupt: delta arrays disagree");
+  }
+
+  // The id invariant everything else relies on — epoch ids strictly
+  // ascending, then delta ids strictly ascending above them, all inside
+  // [0, next_id) — must hold before live_ is built from these arrays:
+  // duplicates or wild values would make live_.size() disagree with the
+  // tombstone-derived row counts and corrupt LiveVectors/consolidation.
+  int32_t prev = -1;
+  for (const int32_t id : index->epoch_->ids) {
+    if (id <= prev || static_cast<int64_t>(id) >= next_id) {
+      throw std::runtime_error(
+          "dynamic index stream corrupt: epoch ids out of order");
+    }
+    prev = id;
+  }
+  for (const int32_t id : index->delta_ids_) {
+    if (id <= prev || static_cast<int64_t>(id) >= next_id) {
+      throw std::runtime_error(
+          "dynamic index stream corrupt: delta ids out of order");
+    }
+    prev = id;
+  }
+
+  // Rebuild the id -> location map from the persisted tombstones.
+  for (size_t row = 0; row < index->epoch_->ids.size(); ++row) {
+    if (!index->epoch_->deleted[row]) {
+      index->live_[index->epoch_->ids[row]] = Location{false, row};
+    }
+  }
+  for (size_t slot = 0; slot < index->delta_ids_.size(); ++slot) {
+    if (!index->delta_deleted_[slot]) {
+      index->live_[index->delta_ids_[slot]] = Location{true, slot};
+    }
+  }
+  return index;
+}
+
+}  // namespace core
+}  // namespace lccs

@@ -1,0 +1,250 @@
+#ifndef LCCS_CORE_DYNAMIC_INDEX_H_
+#define LCCS_CORE_DYNAMIC_INDEX_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/ann_index.h"
+#include "dataset/dataset.h"
+#include "util/matrix.h"
+
+namespace lccs {
+namespace core {
+
+/// Mutable wrapper turning any build-once AnnIndex into an updatable,
+/// servable one (the ROADMAP "Incremental updates" item).
+///
+/// Three structures carry the mutations, the delta-consolidation design of
+/// the DiskANN line of work adapted to LCCS-LSH:
+///
+///   * a static **epoch**: an owned snapshot of the points at the last
+///     consolidation, indexed by the wrapped AnnIndex (LCCS-LSH, linear
+///     scan, ...) exactly as if it had been built offline;
+///   * an append-only **delta buffer** of vectors inserted since, answered
+///     by brute force with the batched SIMD verifier (util::VerifyCandidates
+///     makes a few thousand rows essentially free next to the probing cost);
+///   * a **tombstone** bitmap per region. Deleted epoch rows stay inside the
+///     static structure but are masked out of every result through
+///     AnnIndex::set_deleted_filter; deleted delta rows are masked in the
+///     brute-force scan.
+///
+/// Queries answer over (epoch ∪ delta) ∖ tombstones, merging the two
+/// partial results by (distance, id) — ids are global, assigned in insert
+/// order, so the merged ranking is exactly the ranking an index over the
+/// surviving points would produce (the oracle-equivalence property
+/// tests/test_dynamic_index.cc locks down).
+///
+/// When the delta outgrows Options::rebuild_threshold, an **epoch rebuild**
+/// consolidates survivors into a fresh static index on the shared
+/// util::ThreadPool (fire-and-forget Submit): the heavy build runs from an
+/// immutable copy without blocking anything, queries keep being served from
+/// the old epoch, and the finished epoch is installed with a shared_ptr
+/// swap under the writer lock — the only pause writers or readers ever see
+/// is the O(remaining delta) reconciliation, measured by
+/// bench/micro_dynamic.
+///
+/// Thread safety: Query/QueryBatch take a reader lock and may run freely in
+/// parallel; Insert/Remove take the writer lock and may be called from any
+/// thread. tests/test_dynamic_concurrency.cc stresses queries against
+/// inserts and a mid-query rebuild under TSAN.
+class DynamicIndex : public baselines::AnnIndex {
+ public:
+  /// Creates the epoch index for a snapshot. Called once per consolidation
+  /// with no arguments; the returned index is then Built over the snapshot
+  /// dataset. The index must honor set_deleted_filter (every index in this
+  /// repository routes verification through util::VerifyCandidates and
+  /// does).
+  using Factory = std::function<std::unique_ptr<baselines::AnnIndex>()>;
+
+  struct Options {
+    util::Metric metric = util::Metric::kEuclidean;
+    /// Dimensionality; required when inserting into a never-Built index
+    /// (Build overrides it from the dataset).
+    size_t dim = 0;
+    /// Delta size that triggers consolidation into a fresh epoch.
+    size_t rebuild_threshold = 1024;
+    /// Consolidate on the shared thread pool (true) or only when the caller
+    /// invokes Consolidate() explicitly (false — deterministic, used by the
+    /// property tests and benches that sweep delta sizes).
+    bool background_rebuild = true;
+  };
+
+  DynamicIndex(Factory factory, Options options);
+  /// Waits for an in-flight background rebuild (the task references this).
+  ~DynamicIndex() override;
+
+  // --- AnnIndex interface -------------------------------------------------
+
+  /// Bulk load: copies `data` into an owned epoch snapshot (unlike the
+  /// static indexes, a DynamicIndex does NOT require the dataset to outlive
+  /// it) and builds the wrapped index over it. Points get ids 0..n-1;
+  /// previous contents, delta and tombstones are discarded.
+  void Build(const dataset::Dataset& data) override;
+
+  /// k nearest surviving neighbors by true distance, global ids.
+  std::vector<util::Neighbor> Query(const float* query,
+                                    size_t k) const override;
+
+  /// Batched queries under one reader lock: the static epoch answers the
+  /// whole batch through its own QueryBatch (cache-blocked / parallel), the
+  /// delta is scanned per query in parallel, and the merges are identical
+  /// to per-row Query by construction.
+  std::vector<std::vector<util::Neighbor>> QueryBatch(
+      const float* queries, size_t num_queries, size_t k,
+      size_t num_threads = 0) const override;
+
+  /// Appends a dim()-dimensional vector; returns its global id (insert
+  /// order, monotone). May trigger a background consolidation.
+  int32_t Insert(const float* vec) override;
+
+  /// Tombstones the point with global id `id`; returns false when the id
+  /// was never assigned or is already deleted. O(1): the static epoch is
+  /// not touched until the next consolidation.
+  bool Remove(int32_t id) override;
+
+  /// Refused (throws std::runtime_error for a non-null bitmap): this index
+  /// manages its own tombstones via Remove, and an external bitmap indexed
+  /// by this wrapper's global ids would silently conflict with them.
+  /// Accepting it quietly would break the honor-the-filter contract every
+  /// other AnnIndex keeps, so the conflict fails loudly instead.
+  void set_deleted_filter(const std::vector<uint8_t>* deleted) override;
+
+  size_t dim() const override;
+  size_t IndexSizeBytes() const override;
+  std::string name() const override;
+  util::Metric metric() const;
+
+  // --- Mutation / epoch introspection ------------------------------------
+
+  size_t live_count() const;       ///< surviving points
+  size_t epoch_size() const;       ///< rows in the static snapshot
+  size_t delta_size() const;       ///< delta rows (live + tombstoned)
+  size_t tombstone_count() const;  ///< tombstones not yet consolidated away
+  uint64_t epoch_sequence() const; ///< consolidations completed so far
+  bool Contains(int32_t id) const; ///< id assigned and not deleted
+
+  /// Copies the surviving vectors in ascending global-id order; `ids`
+  /// (optional) receives the matching global ids. This is the from-scratch
+  /// rebuild input — the oracle tests and eval::DynamicRecall build their
+  /// exact reference over it.
+  util::Matrix LiveVectors(std::vector<int32_t>* ids = nullptr) const;
+
+  /// Starts a background consolidation on the thread pool if none is in
+  /// flight; returns false when one already is (or there is nothing to
+  /// consolidate). Queries and mutations proceed while it runs.
+  bool TriggerRebuild();
+
+  /// Synchronous consolidation: triggers a rebuild (or adopts the one in
+  /// flight) and waits for it to finish.
+  void Consolidate();
+
+  /// Blocks until no rebuild is in flight. Rethrows the first exception a
+  /// background rebuild died with (the error is cleared).
+  void WaitForRebuild() const;
+
+  // --- Persistence hooks (used by core/serialize.h) -----------------------
+
+  /// Writes the epoch payload of the wrapped index (e.g. its CSA). Receives
+  /// the built epoch index; layered this way so DynamicIndex stays agnostic
+  /// of what the wrapped index persists.
+  using EpochWriter =
+      std::function<void(std::ostream&, const baselines::AnnIndex&)>;
+  /// Restores an epoch index from its payload, bound to the snapshot
+  /// dataset (which outlives it inside the DynamicIndex).
+  using EpochReader = std::function<std::unique_ptr<baselines::AnnIndex>(
+      std::istream&, const dataset::Dataset&)>;
+
+  /// Streams the full mutable state — epoch snapshot, global ids, both
+  /// tombstone regions, the delta buffer and the id counter — under the
+  /// reader lock, delegating the wrapped index's payload to `writer`.
+  void SerializeState(std::ostream& out, const EpochWriter& writer) const;
+
+  /// Rebuilds a DynamicIndex from a SerializeState stream. Throws
+  /// std::runtime_error on malformed or truncated input.
+  static std::unique_ptr<DynamicIndex> DeserializeState(
+      std::istream& in, Factory factory, Options options,
+      const EpochReader& reader);
+
+ private:
+  /// Where a live global id currently resides.
+  struct Location {
+    bool in_delta = false;
+    size_t pos = 0;  ///< epoch row or delta slot
+  };
+
+  /// One consolidation generation. `data` owns the snapshot vectors; the
+  /// wrapped index references them, so it is declared after `data` and
+  /// destroyed first.
+  struct Epoch {
+    dataset::Dataset data;          ///< snapshot (queries member unused)
+    std::vector<int32_t> ids;       ///< row -> global id, strictly ascending
+    std::vector<uint8_t> deleted;   ///< row tombstones (sized once, stable)
+    std::unique_ptr<baselines::AnnIndex> index;  ///< null when no rows
+  };
+
+  /// Builds an Epoch over `rows` (global-id ascending) via the factory and
+  /// installs the deleted filter. Static so the background task can run it
+  /// without touching any member state.
+  static std::shared_ptr<Epoch> BuildEpoch(const Factory& factory,
+                                           util::Metric metric, size_t dim,
+                                           util::Matrix rows,
+                                           std::vector<int32_t> ids);
+
+  std::vector<util::Neighbor> QueryLocked(const float* query, size_t k) const;
+  /// LiveVectors body; caller must hold mutex_ (either mode).
+  util::Matrix LiveVectorsLocked(std::vector<int32_t>* ids) const;
+  std::vector<util::Neighbor> MergeParts(std::vector<util::Neighbor> stat,
+                                         std::vector<util::Neighbor> delta,
+                                         size_t k) const;
+  /// Delta brute force: top-k over live delta slots, ids remapped to global.
+  std::vector<util::Neighbor> QueryDelta(const float* query, size_t k) const;
+
+  /// Claims the rebuild-in-flight flag; false if already claimed.
+  bool ClaimRebuild();
+  /// The consolidation pipeline: capture (reader lock) -> build (no lock)
+  /// -> install (writer lock). Runs on the pool or inline (Consolidate).
+  void RunRebuild();
+  void FinishRebuild(std::exception_ptr error);
+
+  /// Reader lock with writer-starvation protection: pthread rwlocks (behind
+  /// std::shared_mutex on glibc) admit new readers while a writer waits, so
+  /// a steady query stream could park Insert/Remove/install forever. Writers
+  /// hold gate_ while acquiring exclusivity; readers tap it first, so they
+  /// queue up behind a pending writer instead of starving it.
+  std::shared_lock<std::shared_mutex> ReadLock() const;
+  std::unique_lock<std::shared_mutex> WriteLock() const;
+
+  Factory factory_;
+  Options options_;
+
+  /// Guards every field below. Queries: shared (via ReadLock). Mutations +
+  /// install: exclusive (via WriteLock).
+  mutable std::shared_mutex mutex_;
+  mutable std::mutex gate_;
+  std::shared_ptr<Epoch> epoch_;
+  std::vector<float> delta_rows_;      ///< delta_ids_.size() x dim
+  std::vector<int32_t> delta_ids_;     ///< slot -> global id, ascending
+  std::vector<uint8_t> delta_deleted_; ///< slot tombstones
+  std::unordered_map<int32_t, Location> live_;
+  int32_t next_id_ = 0;
+  uint64_t epoch_sequence_ = 0;
+
+  /// Rebuild coordination. Never held while acquiring mutex_.
+  mutable std::mutex rebuild_mutex_;
+  mutable std::condition_variable rebuild_cv_;
+  mutable bool rebuild_in_flight_ = false;
+  mutable std::exception_ptr rebuild_error_;
+};
+
+}  // namespace core
+}  // namespace lccs
+
+#endif  // LCCS_CORE_DYNAMIC_INDEX_H_

@@ -61,7 +61,7 @@ std::vector<util::Neighbor> LccsLsh::Query(const float* query, size_t k,
   for (const LccsCandidate& c : candidates) ids.push_back(c.id);
   util::TopK topk(k);
   util::VerifyCandidates(metric_, data_, d_, query, ids.data(), ids.size(),
-                         topk);
+                         topk, /*first_id=*/0, deleted_rows());
   return topk.Sorted();
 }
 

@@ -67,13 +67,28 @@ class LccsLsh {
   void AttachPrebuilt(const float* data, size_t n, size_t d,
                       CircularShiftArray csa);
 
+  /// Tombstone bitmap over the n() rows (borrowed; nullptr clears). Rows
+  /// marked deleted still live in the CSA — rebuilding it per deletion would
+  /// defeat the point — but are dropped during candidate verification, so
+  /// they can never appear in a Query result. core::DynamicIndex flips bits
+  /// here instead of rebuilding until the next consolidation epoch.
+  void set_deleted_filter(const std::vector<uint8_t>* deleted) {
+    deleted_ = deleted;
+  }
+
  protected:
+  /// Raw tombstone bitmap for verification call sites (nullptr = no filter).
+  const uint8_t* deleted_rows() const {
+    return deleted_ != nullptr ? deleted_->data() : nullptr;
+  }
+
   std::unique_ptr<lsh::HashFamily> family_;
   util::Metric metric_;
   const float* data_ = nullptr;  // not owned
   size_t n_ = 0;
   size_t d_ = 0;
   CircularShiftArray csa_;
+  const std::vector<uint8_t>* deleted_ = nullptr;  // not owned
 };
 
 }  // namespace core

@@ -3,22 +3,21 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "core/stream_io.h"
+
 namespace lccs {
 namespace core {
 
 namespace {
 
 constexpr char kMagic[8] = {'L', 'C', 'C', 'S', 'I', 'D', 'X', '1'};
+constexpr char kDynMagic[8] = {'L', 'C', 'C', 'S', 'D', 'Y', 'X', '1'};
 
-template <typename T>
-void WritePod(std::ostream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
+using io::WritePod;
 
 template <typename T>
 void ReadPod(std::istream& in, T* value) {
-  in.read(reinterpret_cast<char*>(value), sizeof(T));
-  if (!in) throw std::runtime_error("truncated index stream");
+  io::ReadPod(in, value, "index stream");
 }
 
 }  // namespace
@@ -88,6 +87,102 @@ std::unique_ptr<MpLccsLsh> LoadIndex(const std::string& path,
                                            descriptor.probes);
   index->AttachPrebuilt(data, n, d, std::move(csa));
   return index;
+}
+
+namespace {
+
+void WriteLccsParams(std::ostream& out,
+                     const baselines::LccsLshIndex::Params& params,
+                     util::Metric metric) {
+  const lsh::FamilyKind family =
+      params.family.value_or(lsh::DefaultFamilyFor(metric));
+  WritePod(out, static_cast<uint32_t>(family));
+  WritePod(out, static_cast<uint64_t>(params.m));
+  WritePod(out, static_cast<uint64_t>(params.lambda));
+  WritePod(out, static_cast<uint64_t>(params.num_probes));
+  WritePod(out, static_cast<int64_t>(params.max_gap));
+  WritePod(out, static_cast<uint64_t>(params.num_alternatives));
+  WritePod(out, params.w);
+  WritePod(out, params.seed);
+}
+
+baselines::LccsLshIndex::Params ReadLccsParams(std::istream& in) {
+  baselines::LccsLshIndex::Params params;
+  uint32_t family = 0;
+  uint64_t m = 0, lambda = 0, num_probes = 0, num_alternatives = 0;
+  int64_t max_gap = 0;
+  ReadPod(in, &family);
+  ReadPod(in, &m);
+  ReadPod(in, &lambda);
+  ReadPod(in, &num_probes);
+  ReadPod(in, &max_gap);
+  ReadPod(in, &num_alternatives);
+  ReadPod(in, &params.w);
+  ReadPod(in, &params.seed);
+  if (m == 0 || num_probes == 0 ||
+      family > static_cast<uint32_t>(lsh::FamilyKind::kMinHash)) {
+    throw std::runtime_error(
+        "dynamic index file corrupt: invalid LCCS parameters");
+  }
+  params.family = static_cast<lsh::FamilyKind>(family);
+  params.m = m;
+  params.lambda = lambda;
+  params.num_probes = num_probes;
+  params.max_gap = static_cast<int>(max_gap);
+  params.num_alternatives = num_alternatives;
+  return params;
+}
+
+}  // namespace
+
+void SaveDynamicIndex(const std::string& path,
+                      const baselines::LccsLshIndex::Params& params,
+                      const DynamicIndex& index) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out.write(kDynMagic, sizeof(kDynMagic));
+  // The factory parameters come first so Load can reconstruct the factory
+  // before touching the state stream.
+  WriteLccsParams(out, params, index.metric());
+  index.SerializeState(out, [&](std::ostream& stream,
+                                const baselines::AnnIndex& epoch_index) {
+    const auto* lccs =
+        dynamic_cast<const baselines::LccsLshIndex*>(&epoch_index);
+    if (lccs == nullptr) {
+      throw std::invalid_argument(
+          "SaveDynamicIndex: epoch index is not an LccsLshIndex");
+    }
+    lccs->scheme().csa().Serialize(stream);
+  });
+  if (!out) throw std::runtime_error("write error: " + path);
+}
+
+std::unique_ptr<DynamicIndex> LoadDynamicIndex(const std::string& path,
+                                               DynamicIndex::Options options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  char magic[sizeof(kDynMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || !std::equal(magic, magic + sizeof(magic), kDynMagic)) {
+    throw std::runtime_error("not an LCCS dynamic index file: " + path);
+  }
+  const baselines::LccsLshIndex::Params params = ReadLccsParams(in);
+  DynamicIndex::Factory factory = [params] {
+    return std::make_unique<baselines::LccsLshIndex>(params);
+  };
+  return DynamicIndex::DeserializeState(
+      in, std::move(factory), options,
+      [&params](std::istream& stream, const dataset::Dataset& data) {
+        CircularShiftArray csa = CircularShiftArray::Deserialize(stream);
+        if (csa.n() != data.n()) {
+          throw std::runtime_error(
+              "dynamic index file corrupt: epoch CSA size does not match "
+              "its snapshot");
+        }
+        auto epoch = std::make_unique<baselines::LccsLshIndex>(params);
+        epoch->AttachPrebuilt(data, std::move(csa));
+        return epoch;
+      });
 }
 
 }  // namespace core

@@ -4,6 +4,8 @@
 #include <memory>
 #include <string>
 
+#include "baselines/lccs_adapter.h"
+#include "core/dynamic_index.h"
 #include "core/mp_lccs_lsh.h"
 #include "lsh/family_factory.h"
 
@@ -41,6 +43,28 @@ void SaveIndex(const std::string& path, const IndexDescriptor& descriptor,
 /// single-probe scheme).
 std::unique_ptr<MpLccsLsh> LoadIndex(const std::string& path,
                                      const float* data, size_t n, size_t d);
+
+/// Dynamic-index persistence: a saved dynamic index is self-contained — the
+/// LCCS parameters of its epoch factory, the epoch snapshot vectors, global
+/// ids and tombstones, the epoch CSA, and the un-consolidated delta buffer
+/// (rows + ids + tombstones). Unlike SaveIndex, the raw vectors ARE stored:
+/// after mutations no caller-side dataset matches the index contents, so a
+/// mid-epoch index must carry its own. Requires the index's epoch to be a
+/// baselines::LccsLshIndex (throws std::invalid_argument otherwise);
+/// `params` must be the factory parameters, so a loaded index consolidates
+/// into identical epochs. Throws std::runtime_error on IO failure.
+void SaveDynamicIndex(const std::string& path,
+                      const baselines::LccsLshIndex::Params& params,
+                      const DynamicIndex& index);
+
+/// Restores a SaveDynamicIndex file: ready to query, insert, delete and
+/// consolidate, with no external data dependency. `options` seeds the
+/// rebuild policy (metric/dim are overwritten from the file). Throws
+/// std::runtime_error on malformed, truncated or version-mismatched input,
+/// naming what was wrong.
+std::unique_ptr<DynamicIndex> LoadDynamicIndex(
+    const std::string& path,
+    DynamicIndex::Options options = DynamicIndex::Options{});
 
 }  // namespace core
 }  // namespace lccs

@@ -1,0 +1,65 @@
+#ifndef LCCS_CORE_STREAM_IO_H_
+#define LCCS_CORE_STREAM_IO_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace lccs {
+namespace core {
+namespace io {
+
+/// Little-endian-native POD/array stream helpers shared by the index
+/// serialization code (core/serialize.cc, core/dynamic_index.cc). Readers
+/// throw std::runtime_error naming `what` — the stream being parsed — on
+/// short reads, so truncated files surface as errors, never as
+/// half-initialized structures.
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void ReadPod(std::istream& in, T* value, const char* what) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  if (!in) throw std::runtime_error(std::string("truncated ") + what);
+}
+
+template <typename T>
+void WriteVec(std::ostream& out, const std::vector<T>& v) {
+  WritePod(out, static_cast<uint64_t>(v.size()));
+  out.write(reinterpret_cast<const char*>(v.data()), v.size() * sizeof(T));
+}
+
+/// Reads exactly `size` elements (the count is already known/validated).
+template <typename T>
+void ReadVec(std::istream& in, std::vector<T>* v, uint64_t size,
+             const char* what) {
+  v->resize(size);
+  in.read(reinterpret_cast<char*>(v->data()), size * sizeof(T));
+  if (!in) throw std::runtime_error(std::string("truncated ") + what);
+}
+
+/// Reads a WriteVec-prefixed array, rejecting counts above `max_size` so a
+/// corrupted length can never drive a huge allocation.
+template <typename T>
+void ReadSizedVec(std::istream& in, std::vector<T>* v, uint64_t max_size,
+                  const char* what) {
+  uint64_t size = 0;
+  ReadPod(in, &size, what);
+  if (size > max_size) {
+    throw std::runtime_error(std::string(what) + " corrupt: array of " +
+                             std::to_string(size) + " exceeds limit");
+  }
+  ReadVec(in, v, size, what);
+}
+
+}  // namespace io
+}  // namespace core
+}  // namespace lccs
+
+#endif  // LCCS_CORE_STREAM_IO_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "eval/metrics.h"
+#include "util/simd_distance.h"
 #include "util/timer.h"
 
 namespace lccs {
@@ -72,6 +73,25 @@ ThroughputResult EvaluateThroughput(const baselines::AnnIndex& index,
   result.qps = seconds > 0.0 ? static_cast<double>(q) / seconds : 0.0;
   result.recall = q > 0 ? recall_sum / static_cast<double>(q) : 0.0;
   return result;
+}
+
+double DynamicRecall(const core::DynamicIndex& index,
+                     const util::Matrix& queries, size_t k) {
+  std::vector<int32_t> ids;
+  const util::Matrix live = index.LiveVectors(&ids);
+  const util::Metric metric = index.metric();
+  const size_t q = queries.rows();
+  if (q == 0) return 0.0;
+  double recall_sum = 0.0;
+  for (size_t i = 0; i < q; ++i) {
+    util::TopK topk(k);
+    util::VerifyCandidates(metric, live.data(), live.cols(), queries.Row(i),
+                           /*ids=*/nullptr, live.rows(), topk);
+    std::vector<util::Neighbor> exact = topk.Sorted();
+    for (util::Neighbor& nb : exact) nb.id = ids[nb.id];
+    recall_sum += Recall(index.Query(queries.Row(i), k), exact);
+  }
+  return recall_sum / static_cast<double>(q);
 }
 
 }  // namespace eval

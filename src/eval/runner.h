@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "baselines/ann_index.h"
+#include "core/dynamic_index.h"
 #include "dataset/ground_truth.h"
 
 namespace lccs {
@@ -57,6 +58,16 @@ ThroughputResult EvaluateThroughput(const baselines::AnnIndex& index,
                                     const dataset::Dataset& data,
                                     const dataset::GroundTruth& gt, size_t k,
                                     size_t batch_size, size_t num_threads = 0);
+
+/// Average recall@k of a *mutated* dynamic index. Precomputed ground-truth
+/// files describe the original dataset only; after inserts and deletes the
+/// exact answers must be recomputed over the survivors, so this helper
+/// snapshots index.LiveVectors(), brute-forces the exact k-NN per query
+/// (global ids), and scores index.Query against them. The index is queried
+/// after the snapshot — callers must not mutate it concurrently, or the
+/// recall is measured against a stale oracle.
+double DynamicRecall(const core::DynamicIndex& index,
+                     const util::Matrix& queries, size_t k);
 
 }  // namespace eval
 }  // namespace lccs

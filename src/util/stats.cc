@@ -53,9 +53,21 @@ double NormalQuantile(double p) {
 
 namespace {
 
+// std::lgamma writes the global `signgam` on glibc, which is a (benign but
+// TSAN-reported) data race when queries evaluate chi-squared CDFs on
+// several threads. The reentrant lgamma_r keeps the sign in a local.
+double LogGamma(double a) {
+#if defined(__GLIBC__)
+  int sign = 0;
+  return lgamma_r(a, &sign);
+#else
+  return std::lgamma(a);
+#endif
+}
+
 // Series representation of P(a, x), valid for x < a + 1.
 double GammaPSeries(double a, double x) {
-  const double gln = std::lgamma(a);
+  const double gln = LogGamma(a);
   double ap = a;
   double sum = 1.0 / a;
   double del = sum;
@@ -70,7 +82,7 @@ double GammaPSeries(double a, double x) {
 
 // Continued-fraction representation of Q(a, x) = 1 - P(a, x), for x >= a + 1.
 double GammaQContinuedFraction(double a, double x) {
-  const double gln = std::lgamma(a);
+  const double gln = LogGamma(a);
   const double kFpMin = std::numeric_limits<double>::min() / 1e-30;
   double b = x + 1.0 - a;
   double c = 1.0 / kFpMin;

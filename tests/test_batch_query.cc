@@ -14,7 +14,9 @@
 #include "baselines/qalsh.h"
 #include "baselines/srs.h"
 #include "baselines/static_lsh.h"
+#include "core/dynamic_index.h"
 #include "dataset/synthetic.h"
+#include "util/random.h"
 
 namespace lccs {
 namespace baselines {
@@ -103,8 +105,34 @@ std::vector<std::unique_ptr<AnnIndex>> AllIndexes(
     indexes.push_back(
         std::make_unique<LccsLshIndex>(params));  // MP-LCCS-LSH
   }
+  {
+    // Dynamic wrapper mid-epoch (delta + tombstones populated below): its
+    // QueryBatch merges a static batch with per-query delta scans and must
+    // obey the same identity contract as everything else.
+    core::DynamicIndex::Options options;
+    options.rebuild_threshold = size_t{1} << 30;
+    options.background_rebuild = false;
+    LccsLshIndex::Params params;
+    params.m = 32;
+    params.lambda = 80;
+    params.w = 8.0;
+    indexes.push_back(std::make_unique<core::DynamicIndex>(
+        [params] { return std::make_unique<LccsLshIndex>(params); },
+        options));
+  }
 
   for (auto& index : indexes) index->Build(data);
+
+  {
+    auto& dynamic = *indexes.back();
+    util::Rng rng(5150);
+    std::vector<float> vec(data.dim());
+    for (int i = 0; i < 50; ++i) {
+      rng.FillGaussian(vec.data(), vec.size());
+      dynamic.Insert(vec.data());
+    }
+    for (int32_t id = 0; id < 40; id += 2) dynamic.Remove(id);
+  }
   return indexes;
 }
 

@@ -1,0 +1,256 @@
+// Concurrency stress for core::DynamicIndex, written to run clean under
+// ThreadSanitizer (the CI tsan job builds everything with
+// -fsanitize=thread): queries and batched queries race against inserts,
+// deletes and background epoch rebuilds — including one forced to land in
+// the middle of a query storm. Functional assertions are deliberately
+// weak while threads are in flight (anything a linearizable history
+// allows) and exact once the index is quiescent.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/lccs_adapter.h"
+#include "baselines/linear_scan.h"
+#include "core/dynamic_index.h"
+#include "dataset/synthetic.h"
+#include "util/random.h"
+
+namespace lccs {
+namespace core {
+namespace {
+
+constexpr size_t kDim = 16;
+
+dataset::Dataset MakeData(size_t n, size_t num_queries, uint64_t seed) {
+  dataset::SyntheticConfig config;
+  config.n = n;
+  config.num_queries = num_queries;
+  config.dim = kDim;
+  config.num_clusters = 6;
+  config.seed = seed;
+  return dataset::GenerateClustered(config);
+}
+
+DynamicIndex::Options ExactOptions(size_t rebuild_threshold,
+                                   bool background) {
+  DynamicIndex::Options options;
+  options.dim = kDim;
+  options.rebuild_threshold = rebuild_threshold;
+  options.background_rebuild = background;
+  return options;
+}
+
+/// Sanity invariants any snapshot-consistent query result satisfies.
+void CheckResult(const std::vector<util::Neighbor>& result, size_t k,
+                 int32_t id_upper_bound) {
+  ASSERT_LE(result.size(), k);
+  for (size_t i = 0; i < result.size(); ++i) {
+    ASSERT_GE(result[i].id, 0);
+    ASSERT_LT(result[i].id, id_upper_bound);
+    if (i > 0) {
+      ASSERT_LE(result[i - 1].dist, result[i].dist);
+    }
+  }
+}
+
+TEST(DynamicConcurrency, QueriesRaceMutationsAndAutoRebuilds) {
+  const auto data = MakeData(1200, 16, 31);
+  // Low threshold so the mutator trips several background consolidations
+  // while the query threads are hammering the reader lock.
+  DynamicIndex index(
+      [] { return std::make_unique<baselines::LinearScan>(); },
+      ExactOptions(/*rebuild_threshold=*/128, /*background=*/true));
+  index.Build(data);
+
+  constexpr int kInserts = 1500;
+  const int32_t id_bound = static_cast<int32_t>(data.n()) + kInserts;
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      util::Rng rng(100 + t);
+      std::vector<float> q(kDim);
+      while (!stop.load(std::memory_order_acquire)) {
+        rng.FillGaussian(q.data(), q.size());
+        const auto result = index.Query(q.data(), 10);
+        CheckResult(result, 10, id_bound);
+      }
+    });
+  }
+  std::thread batch_reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const auto results =
+          index.QueryBatch(data.queries.Row(0), data.num_queries(), 5, 2);
+      ASSERT_EQ(results.size(), data.num_queries());
+      for (const auto& r : results) CheckResult(r, 5, id_bound);
+    }
+  });
+
+  // Mutator: inserts (tripping auto-rebuilds every 128) and deletes.
+  std::vector<int32_t> survivors;
+  {
+    util::Rng rng(7);
+    std::vector<float> vec(kDim);
+    for (size_t i = 0; i < data.n(); ++i) {
+      survivors.push_back(static_cast<int32_t>(i));
+    }
+    for (int i = 0; i < kInserts; ++i) {
+      rng.FillGaussian(vec.data(), vec.size());
+      survivors.push_back(index.Insert(vec.data()));
+      if (i % 3 == 0) {
+        const size_t victim = rng.NextBounded(survivors.size());
+        ASSERT_TRUE(index.Remove(survivors[victim]));
+        survivors.erase(survivors.begin() + victim);
+      }
+    }
+  }
+
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  batch_reader.join();
+  index.WaitForRebuild();
+  ASSERT_GT(index.epoch_sequence(), 0u) << "no background rebuild ran";
+
+  // Quiescent: the index must agree exactly with the mutator's bookkeeping.
+  ASSERT_EQ(index.live_count(), survivors.size());
+  std::vector<int32_t> ids;
+  index.LiveVectors(&ids);
+  std::sort(survivors.begin(), survivors.end());
+  ASSERT_EQ(ids, survivors);
+}
+
+TEST(DynamicConcurrency, ForcedRebuildLandsMidQueryStorm) {
+  const auto data = MakeData(1500, 12, 32);
+  baselines::LccsLshIndex::Params params;
+  params.m = 24;
+  params.lambda = 4096;  // exact mode: results comparable across epochs
+  params.w = 6.0;
+  DynamicIndex index(
+      [params] { return std::make_unique<baselines::LccsLshIndex>(params); },
+      ExactOptions(/*rebuild_threshold=*/size_t{1} << 30,
+                   /*background=*/true));
+  index.Build(data);
+
+  util::Rng rng(5);
+  std::vector<float> vec(kDim);
+  for (int i = 0; i < 400; ++i) {
+    rng.FillGaussian(vec.data(), vec.size());
+    index.Insert(vec.data());
+  }
+  for (int32_t id = 0; id < 600; id += 2) index.Remove(id);
+
+  // Exact-mode answers are a pure function of the surviving set, so every
+  // concurrent query must return the same thing before, during and after
+  // the rebuild — the strongest property a mid-flight check can assert.
+  const size_t k = 10;
+  std::vector<std::vector<util::Neighbor>> expected;
+  for (size_t q = 0; q < data.num_queries(); ++q) {
+    expected.push_back(index.Query(data.queries.Row(q), k));
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      size_t q = static_cast<size_t>(t) % data.num_queries();
+      while (!stop.load(std::memory_order_acquire)) {
+        const auto result = index.Query(data.queries.Row(q), k);
+        ASSERT_EQ(result, expected[q]) << "query " << q
+                                       << " changed across the rebuild";
+        q = (q + 1) % data.num_queries();
+      }
+    });
+  }
+
+  ASSERT_EQ(index.epoch_sequence(), 0u);
+  ASSERT_TRUE(index.TriggerRebuild());
+  index.WaitForRebuild();
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  ASSERT_EQ(index.epoch_sequence(), 1u);
+  ASSERT_EQ(index.delta_size(), 0u);
+  ASSERT_EQ(index.tombstone_count(), 0u);
+  // Consolidation must not have changed any answer.
+  for (size_t q = 0; q < data.num_queries(); ++q) {
+    ASSERT_EQ(index.Query(data.queries.Row(q), k), expected[q]);
+  }
+}
+
+// Build() must serialize against an in-flight background consolidation: a
+// rebuild captured against the pre-Build state installing over the reset
+// would slice the cleared delta buffer and resurrect retired ids.
+TEST(DynamicConcurrency, BuildWaitsOutInFlightRebuild) {
+  const auto first = MakeData(800, 4, 33);
+  const auto second = MakeData(500, 8, 34);
+  DynamicIndex index(
+      [] { return std::make_unique<baselines::LinearScan>(); },
+      ExactOptions(/*rebuild_threshold=*/size_t{1} << 30,
+                   /*background=*/true));
+  for (int round = 0; round < 20; ++round) {
+    index.Build(first);
+    util::Rng rng(50 + round);
+    std::vector<float> vec(kDim);
+    for (int i = 0; i < 64; ++i) {
+      rng.FillGaussian(vec.data(), vec.size());
+      index.Insert(vec.data());
+    }
+    index.Remove(3);
+    index.TriggerRebuild();
+    index.Build(second);  // races the consolidation above
+    ASSERT_EQ(index.live_count(), second.n());
+    ASSERT_EQ(index.delta_size(), 0u);
+    ASSERT_EQ(index.tombstone_count(), 0u);
+    const auto result = index.Query(second.queries.Row(0), 5);
+    CheckResult(result, 5, static_cast<int32_t>(second.n()));
+  }
+}
+
+TEST(DynamicConcurrency, ConcurrentInsertersAssignDistinctIds) {
+  DynamicIndex index(
+      [] { return std::make_unique<baselines::LinearScan>(); },
+      ExactOptions(/*rebuild_threshold=*/256, /*background=*/true));
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::vector<int32_t>> ids(kThreads);
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      util::Rng rng(40 + t);
+      std::vector<float> vec(kDim);
+      for (int i = 0; i < kPerThread; ++i) {
+        rng.FillGaussian(vec.data(), vec.size());
+        ids[t].push_back(index.Insert(vec.data()));
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  index.WaitForRebuild();
+
+  std::vector<int32_t> all;
+  for (const auto& per_thread : ids) {
+    // Ids handed to one thread are strictly increasing.
+    for (size_t i = 1; i < per_thread.size(); ++i) {
+      ASSERT_LT(per_thread[i - 1], per_thread[i]);
+    }
+    all.insert(all.end(), per_thread.begin(), per_thread.end());
+  }
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), static_cast<size_t>(kThreads * kPerThread));
+  for (size_t i = 0; i < all.size(); ++i) {
+    ASSERT_EQ(all[i], static_cast<int32_t>(i)) << "duplicate or hole in ids";
+  }
+  ASSERT_EQ(index.live_count(), all.size());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace lccs

@@ -149,6 +149,189 @@ TEST_F(IndexSerializeTest, MissingFileThrows) {
                std::runtime_error);
 }
 
+// ---------------------------------------------------------------------------
+// Dynamic index persistence: a mid-epoch index (live static rows, epoch
+// tombstones, delta rows, delta tombstones) must round-trip with full query
+// equivalence and keep mutating correctly afterwards.
+
+class DynamicSerializeTest : public ::testing::Test {
+ protected:
+  static std::string Path() {
+    return testing::TempDir() + "/lccs_dynamic_test.lccs";
+  }
+
+  static baselines::LccsLshIndex::Params ExactParams() {
+    baselines::LccsLshIndex::Params params;
+    params.m = 16;
+    params.lambda = 4096;  // exact mode: equivalence checks are strict
+    params.w = 6.0;
+    params.seed = 21;
+    return params;
+  }
+
+  /// Builds a dynamic LCCS index mid-epoch: 300 built points, 40 inserts in
+  /// the delta, deletions in both regions. The huge threshold guarantees
+  /// nothing consolidates, so the saved file genuinely carries a delta and
+  /// tombstones.
+  static std::unique_ptr<DynamicIndex> MakeMidEpochIndex(
+      const dataset::Dataset& data) {
+    const auto params = ExactParams();
+    DynamicIndex::Options options;
+    options.rebuild_threshold = size_t{1} << 30;
+    options.background_rebuild = false;
+    auto index = std::make_unique<DynamicIndex>(
+        [params] { return std::make_unique<baselines::LccsLshIndex>(params); },
+        options);
+    index->Build(data);
+    util::Rng rng(17);
+    std::vector<float> vec(data.dim());
+    for (int i = 0; i < 40; ++i) {
+      rng.FillGaussian(vec.data(), vec.size());
+      index->Insert(vec.data());
+    }
+    for (int32_t id = 0; id < 60; id += 2) index->Remove(id);      // epoch
+    for (int32_t id = 300; id < 320; id += 2) index->Remove(id);   // delta
+    return index;
+  }
+
+  void TearDown() override { std::remove(Path().c_str()); }
+};
+
+TEST_F(DynamicSerializeTest, MidEpochRoundTripPreservesEverything) {
+  dataset::SyntheticConfig config;
+  config.n = 300;
+  config.num_queries = 15;
+  config.dim = 12;
+  config.seed = 19;
+  const auto data = dataset::GenerateClustered(config);
+  const auto original = MakeMidEpochIndex(data);
+  ASSERT_EQ(original->delta_size(), 40u);
+  ASSERT_EQ(original->tombstone_count(), 40u);
+
+  SaveDynamicIndex(Path(), ExactParams(), *original);
+  const auto loaded = LoadDynamicIndex(Path());
+  ASSERT_NE(loaded, nullptr);
+
+  EXPECT_EQ(loaded->live_count(), original->live_count());
+  EXPECT_EQ(loaded->epoch_size(), original->epoch_size());
+  EXPECT_EQ(loaded->delta_size(), original->delta_size());
+  EXPECT_EQ(loaded->tombstone_count(), original->tombstone_count());
+  EXPECT_EQ(loaded->dim(), original->dim());
+
+  for (size_t q = 0; q < data.num_queries(); ++q) {
+    EXPECT_EQ(loaded->Query(data.queries.Row(q), 10),
+              original->Query(data.queries.Row(q), 10))
+        << "query " << q;
+  }
+
+  // The loaded index must keep behaving like the original under further
+  // mutations — including a consolidation, which exercises the restored
+  // factory end to end.
+  util::Rng rng(23);
+  std::vector<float> vec(data.dim());
+  for (int i = 0; i < 10; ++i) {
+    rng.FillGaussian(vec.data(), vec.size());
+    const auto id_a = original->Insert(vec.data());
+    const auto id_b = loaded->Insert(vec.data());
+    EXPECT_EQ(id_a, id_b);
+  }
+  original->Consolidate();
+  loaded->Consolidate();
+  EXPECT_EQ(loaded->tombstone_count(), 0u);
+  for (size_t q = 0; q < data.num_queries(); ++q) {
+    EXPECT_EQ(loaded->Query(data.queries.Row(q), 10),
+              original->Query(data.queries.Row(q), 10))
+        << "post-consolidation query " << q;
+  }
+}
+
+TEST_F(DynamicSerializeTest, GarbageFileThrowsWithUsefulMessage) {
+  {
+    std::ofstream out(Path(), std::ios::binary);
+    out << "these are not the bytes you are looking for";
+  }
+  try {
+    LoadDynamicIndex(Path());
+    FAIL() << "garbage file did not throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("not an LCCS dynamic index"),
+              std::string::npos)
+        << "unhelpful message: " << e.what();
+  }
+}
+
+TEST_F(DynamicSerializeTest, TruncatedFileThrowsAtEveryCutPoint) {
+  dataset::SyntheticConfig config;
+  config.n = 120;
+  config.num_queries = 2;
+  config.dim = 8;
+  config.seed = 29;
+  const auto data = dataset::GenerateClustered(config);
+  const auto index = MakeMidEpochIndex(data);
+  SaveDynamicIndex(Path(), ExactParams(), *index);
+
+  std::string payload;
+  {
+    std::ifstream in(Path(), std::ios::binary);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    payload = buffer.str();
+  }
+  ASSERT_GT(payload.size(), 100u);
+  // Cut the file at several depths: inside the header, the epoch snapshot,
+  // the CSA, and the delta arrays. Every cut must throw std::runtime_error
+  // (never crash or return a half-loaded index).
+  for (const double fraction : {0.02, 0.2, 0.5, 0.8, 0.99}) {
+    const auto cut = static_cast<size_t>(payload.size() * fraction);
+    {
+      std::ofstream out(Path(), std::ios::binary | std::ios::trunc);
+      out.write(payload.data(), static_cast<std::streamsize>(cut));
+    }
+    try {
+      LoadDynamicIndex(Path());
+      FAIL() << "truncation at " << cut << " bytes did not throw";
+    } catch (const std::runtime_error& e) {
+      EXPECT_FALSE(std::string(e.what()).empty());
+    }
+  }
+}
+
+TEST_F(DynamicSerializeTest, CorruptedCountsThrowInsteadOfAllocating) {
+  dataset::SyntheticConfig config;
+  config.n = 60;
+  config.num_queries = 2;
+  config.dim = 8;
+  config.seed = 31;
+  const auto data = dataset::GenerateClustered(config);
+  const auto index = MakeMidEpochIndex(data);
+  SaveDynamicIndex(Path(), ExactParams(), *index);
+
+  std::string payload;
+  {
+    std::ifstream in(Path(), std::ios::binary);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    payload = buffer.str();
+  }
+  // Stomp 8-byte windows with 0xFF at the family kind (8), the state magic
+  // (70), the metric (76), the id counter (90) and the epoch row count
+  // (104): each becomes absurd and must be rejected by a sanity check, not
+  // passed to a multi-gigabyte allocation or a silently-wrong enum.
+  for (const size_t offset :
+       {size_t{8}, size_t{70}, size_t{76}, size_t{90}, size_t{104}}) {
+    std::string corrupt = payload;
+    for (size_t i = offset; i < std::min(offset + 8, corrupt.size()); ++i) {
+      corrupt[i] = static_cast<char>(0xFF);
+    }
+    {
+      std::ofstream out(Path(), std::ios::binary | std::ios::trunc);
+      out.write(corrupt.data(), static_cast<std::streamsize>(corrupt.size()));
+    }
+    EXPECT_THROW(LoadDynamicIndex(Path()), std::runtime_error)
+        << "corruption at offset " << offset;
+  }
+}
+
 }  // namespace
 }  // namespace core
 }  // namespace lccs

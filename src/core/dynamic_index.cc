@@ -31,6 +31,28 @@ void ReadPod(std::istream& in, T* value) {
   io::ReadPod(in, value, kStreamName);
 }
 
+// Bytes left between the current position and the end of the stream, or
+// UINT64_MAX when the stream is not seekable. Header-derived allocations are
+// capped by this, so a corrupt header that passes the range checks (next_id
+// up to INT32_MAX, dim up to 2^24 — a legal combination ~2^55 elements
+// large) still cannot drive a resize beyond what the stream could possibly
+// back, surfacing as the corrupt-stream runtime_error instead of bad_alloc.
+uint64_t RemainingBytes(std::istream& in) {
+  const std::istream::pos_type pos = in.tellg();
+  if (pos == std::istream::pos_type(-1)) {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in.tellg();
+  in.seekg(pos);
+  if (!in || end == std::istream::pos_type(-1) || end < pos) {
+    in.clear();
+    in.seekg(pos);
+    return std::numeric_limits<uint64_t>::max();
+  }
+  return static_cast<uint64_t>(end - pos);
+}
+
 }  // namespace
 
 DynamicIndex::DynamicIndex(Factory factory, Options options)
@@ -39,10 +61,13 @@ DynamicIndex::DynamicIndex(Factory factory, Options options)
 }
 
 DynamicIndex::~DynamicIndex() {
-  // The background task captures `this`; it must have drained before any
+  // The background thread captures `this`; it must have drained before any
   // member is torn down. Errors are irrelevant during destruction.
-  std::unique_lock<std::mutex> lock(rebuild_mutex_);
-  rebuild_cv_.wait(lock, [&] { return !rebuild_in_flight_; });
+  {
+    std::unique_lock<std::mutex> lock(rebuild_mutex_);
+    rebuild_cv_.wait(lock, [&] { return !rebuild_in_flight_; });
+  }
+  if (rebuild_thread_.joinable()) rebuild_thread_.join();
 }
 
 std::shared_lock<std::shared_mutex> DynamicIndex::ReadLock() const {
@@ -234,9 +259,7 @@ int32_t DynamicIndex::Insert(const float* vec) {
     schedule = options_.background_rebuild &&
                delta_ids_.size() >= options_.rebuild_threshold;
   }
-  if (schedule && ClaimRebuild()) {
-    util::ThreadPool::Instance().Submit([this] { RunRebuild(); });
-  }
+  if (schedule && ClaimRebuild()) LaunchRebuild();
   return id;
 }
 
@@ -334,6 +357,36 @@ bool DynamicIndex::ClaimRebuild() {
   return true;
 }
 
+void DynamicIndex::LaunchRebuild() {
+  // A dedicated thread, NOT ThreadPool::Submit: RunRebuild blocks on mutex_
+  // (shared at capture, exclusive at install), and Submit tasks may be
+  // stolen by any thread helping to drain a ParallelRange — including a
+  // QueryBatch caller already holding mutex_ in shared mode, which would
+  // then recursively re-acquire the shared lock and self-deadlock waiting
+  // for exclusivity.
+  std::lock_guard<std::mutex> lock(rebuild_mutex_);
+  // The previous rebuild thread, if any, has already run FinishRebuild (the
+  // caller won ClaimRebuild, so rebuild_in_flight_ was observed false) and
+  // is at most a few instructions from exiting; joining it here reclaims
+  // the handle without waiting on real work.
+  if (rebuild_thread_.joinable()) rebuild_thread_.join();
+  // Assigning under rebuild_mutex_ closes a startup race: the new thread
+  // cannot complete FinishRebuild (which needs this mutex) until the handle
+  // is installed, so the next claimant's join above always sees it.
+  try {
+    rebuild_thread_ = std::thread([this] { RunRebuild(); });
+  } catch (...) {
+    // Thread creation failed (resource exhaustion). Release the claim
+    // inline — FinishRebuild would re-lock rebuild_mutex_ — or it would
+    // stay set forever, wedging Consolidate and the destructor. The caller
+    // mutation already succeeded, so park the error like any other
+    // background-rebuild failure; WaitForRebuild surfaces it.
+    rebuild_in_flight_ = false;
+    rebuild_error_ = std::current_exception();
+    rebuild_cv_.notify_all();
+  }
+}
+
 void DynamicIndex::FinishRebuild(std::exception_ptr error) {
   std::lock_guard<std::mutex> lock(rebuild_mutex_);
   rebuild_in_flight_ = false;
@@ -398,8 +451,8 @@ void DynamicIndex::RunRebuild() {
     }
     FinishRebuild(nullptr);
   } catch (...) {
-    // Submit() tasks that throw terminate the process; park the error for
-    // WaitForRebuild instead.
+    // An exception escaping the background thread would std::terminate;
+    // park the error for WaitForRebuild instead.
     FinishRebuild(std::current_exception());
   }
 }
@@ -413,7 +466,7 @@ bool DynamicIndex::TriggerRebuild() {
     }
   }
   if (!ClaimRebuild()) return false;
-  util::ThreadPool::Instance().Submit([this] { RunRebuild(); });
+  LaunchRebuild();
   return true;
 }
 
@@ -502,17 +555,31 @@ std::unique_ptr<DynamicIndex> DynamicIndex::DeserializeState(
     throw std::runtime_error(
         "dynamic index stream corrupt: epoch larger than id space");
   }
+  // dim <= 2^24 and epoch_rows <= 2^31, so this product cannot overflow.
+  const uint64_t epoch_bytes =
+      epoch_rows * (dim * sizeof(float) + sizeof(int32_t) + 1);
+  if (epoch_bytes > RemainingBytes(in)) {
+    throw std::runtime_error(
+        "dynamic index stream corrupt: epoch larger than stream");
+  }
   auto epoch = std::make_shared<Epoch>();
   epoch->data.name = "dynamic-epoch";
   epoch->data.metric = options.metric;
   if (epoch_rows > 0) {
-    epoch->data.data.Resize(epoch_rows, dim);
+    try {
+      epoch->data.data.Resize(epoch_rows, dim);
+      epoch->ids.resize(epoch_rows);
+      epoch->deleted.resize(epoch_rows);
+    } catch (const std::bad_alloc&) {
+      // Reachable only on non-seekable streams (no byte budget): translate
+      // the allocator's verdict into the promised corrupt-stream error.
+      throw std::runtime_error(
+          "dynamic index stream corrupt: epoch allocation failed");
+    }
     in.read(reinterpret_cast<char*>(epoch->data.data.data()),
             epoch_rows * dim * sizeof(float));
-    epoch->ids.resize(epoch_rows);
     in.read(reinterpret_cast<char*>(epoch->ids.data()),
             epoch_rows * sizeof(int32_t));
-    epoch->deleted.resize(epoch_rows);
     in.read(reinterpret_cast<char*>(epoch->deleted.data()), epoch_rows);
     if (!in) throw std::runtime_error("truncated dynamic index stream");
     uint8_t has_index = 0;
@@ -530,9 +597,20 @@ std::unique_ptr<DynamicIndex> DynamicIndex::DeserializeState(
   index->epoch_ = std::move(epoch);
 
   const uint64_t max_points = static_cast<uint64_t>(next_id);
-  ReadSizedVec(in, &index->delta_rows_, max_points * dim, kStreamName);
-  ReadSizedVec(in, &index->delta_ids_, max_points, kStreamName);
-  ReadSizedVec(in, &index->delta_deleted_, max_points, kStreamName);
+  const uint64_t delta_budget = RemainingBytes(in);
+  try {
+    ReadSizedVec(in, &index->delta_rows_,
+                 std::min(max_points * dim, delta_budget / sizeof(float)),
+                 kStreamName);
+    ReadSizedVec(in, &index->delta_ids_,
+                 std::min(max_points, delta_budget / sizeof(int32_t)),
+                 kStreamName);
+    ReadSizedVec(in, &index->delta_deleted_,
+                 std::min(max_points, delta_budget), kStreamName);
+  } catch (const std::bad_alloc&) {
+    throw std::runtime_error(
+        "dynamic index stream corrupt: delta allocation failed");
+  }
   if (index->delta_rows_.size() != index->delta_ids_.size() * dim ||
       index->delta_deleted_.size() != index->delta_ids_.size()) {
     throw std::runtime_error(

@@ -9,6 +9,7 @@
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -43,13 +44,16 @@ namespace core {
 /// tests/test_dynamic_index.cc locks down).
 ///
 /// When the delta outgrows Options::rebuild_threshold, an **epoch rebuild**
-/// consolidates survivors into a fresh static index on the shared
-/// util::ThreadPool (fire-and-forget Submit): the heavy build runs from an
-/// immutable copy without blocking anything, queries keep being served from
-/// the old epoch, and the finished epoch is installed with a shared_ptr
-/// swap under the writer lock — the only pause writers or readers ever see
-/// is the O(remaining delta) reconciliation, measured by
-/// bench/micro_dynamic.
+/// consolidates survivors into a fresh static index on a dedicated
+/// background thread: the heavy build runs from an immutable copy without
+/// blocking anything, queries keep being served from the old epoch, and the
+/// finished epoch is installed with a shared_ptr swap under the writer lock
+/// — the only pause writers or readers ever see is the O(remaining delta)
+/// reconciliation, measured by bench/micro_dynamic. (A dedicated thread and
+/// not ThreadPool::Submit: the rebuild blocks on the index rwlock, which
+/// Submit's no-blocking contract forbids — a QueryBatch caller helping to
+/// drain a ParallelRange could steal the task and deadlock against the
+/// shared lock it already holds.)
 ///
 /// Thread safety: Query/QueryBatch take a reader lock and may run freely in
 /// parallel; Insert/Remove take the writer lock and may be called from any
@@ -71,9 +75,9 @@ class DynamicIndex : public baselines::AnnIndex {
     size_t dim = 0;
     /// Delta size that triggers consolidation into a fresh epoch.
     size_t rebuild_threshold = 1024;
-    /// Consolidate on the shared thread pool (true) or only when the caller
-    /// invokes Consolidate() explicitly (false — deterministic, used by the
-    /// property tests and benches that sweep delta sizes).
+    /// Consolidate on a dedicated background thread (true) or only when the
+    /// caller invokes Consolidate() explicitly (false — deterministic, used
+    /// by the property tests and benches that sweep delta sizes).
     bool background_rebuild = true;
   };
 
@@ -137,7 +141,7 @@ class DynamicIndex : public baselines::AnnIndex {
   /// exact reference over it.
   util::Matrix LiveVectors(std::vector<int32_t>* ids = nullptr) const;
 
-  /// Starts a background consolidation on the thread pool if none is in
+  /// Starts a background consolidation on a dedicated thread if none is in
   /// flight; returns false when one already is (or there is nothing to
   /// consolidate). Queries and mutations proceed while it runs.
   bool TriggerRebuild();
@@ -209,8 +213,12 @@ class DynamicIndex : public baselines::AnnIndex {
 
   /// Claims the rebuild-in-flight flag; false if already claimed.
   bool ClaimRebuild();
+  /// Spawns rebuild_thread_ running RunRebuild (joining the previous,
+  /// already-finished thread first). Caller must have won ClaimRebuild.
+  void LaunchRebuild();
   /// The consolidation pipeline: capture (reader lock) -> build (no lock)
-  /// -> install (writer lock). Runs on the pool or inline (Consolidate).
+  /// -> install (writer lock). Runs on rebuild_thread_ or inline
+  /// (Consolidate).
   void RunRebuild();
   void FinishRebuild(std::exception_ptr error);
 
@@ -242,6 +250,10 @@ class DynamicIndex : public baselines::AnnIndex {
   mutable std::condition_variable rebuild_cv_;
   mutable bool rebuild_in_flight_ = false;
   mutable std::exception_ptr rebuild_error_;
+  /// Background consolidation thread. Launched and joined under
+  /// rebuild_mutex_ (LaunchRebuild); the destructor joins it lock-free
+  /// after draining the claim, when no other caller may touch the object.
+  std::thread rebuild_thread_;
 };
 
 }  // namespace core

@@ -1,7 +1,9 @@
 #include "core/serialize.h"
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -329,6 +331,79 @@ TEST_F(DynamicSerializeTest, CorruptedCountsThrowInsteadOfAllocating) {
     }
     EXPECT_THROW(LoadDynamicIndex(Path()), std::runtime_error)
         << "corruption at offset " << offset;
+  }
+}
+
+// A header can be corrupt without tripping any individual range check: dim
+// and next_id at their legal maxima imply up to ~2^57 bytes of payload. Such
+// counts must be rejected against the actual stream size — the promised
+// std::runtime_error — never handed to the allocator (std::bad_alloc /
+// std::length_error, or an OOM kill).
+TEST_F(DynamicSerializeTest, RangeLegalButHugeCountsThrowInsteadOfAllocating) {
+  dataset::SyntheticConfig config;
+  config.n = 60;
+  config.num_queries = 2;
+  config.dim = 8;
+  config.seed = 37;
+  const auto data = dataset::GenerateClustered(config);
+  const auto index = MakeMidEpochIndex(data);
+  SaveDynamicIndex(Path(), ExactParams(), *index);
+
+  std::string payload;
+  {
+    std::ifstream in(Path(), std::ios::binary);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    payload = buffer.str();
+  }
+  // Fixed-size prefix: LCCS params end at 68, state magic 68..75, metric
+  // @76, dim @80, next_id @88, epoch_sequence @96, epoch row count @104;
+  // with an empty epoch the delta row count follows at 112.
+  const auto patch_u64 = [](std::string* s, size_t offset, uint64_t value) {
+    std::memcpy(&(*s)[offset], &value, sizeof(value));
+  };
+  const auto rewrite = [&](const std::string& corrupt) {
+    std::ofstream out(Path(), std::ios::binary | std::ios::trunc);
+    out.write(corrupt.data(), static_cast<std::streamsize>(corrupt.size()));
+  };
+  const uint64_t max_id =
+      static_cast<uint64_t>(std::numeric_limits<int32_t>::max());
+
+  // Epoch variant: a full epoch of 2^31-1 rows of 2^24-dim vectors.
+  {
+    std::string corrupt = payload;
+    patch_u64(&corrupt, 80, uint64_t{1} << 24);   // dim
+    patch_u64(&corrupt, 88, max_id);              // next_id
+    patch_u64(&corrupt, 104, max_id);             // epoch rows
+    rewrite(corrupt);
+    try {
+      LoadDynamicIndex(Path());
+      FAIL() << "huge epoch header did not throw";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("larger than stream"),
+                std::string::npos)
+          << "unhelpful message: " << e.what();
+    }
+  }
+  // Delta variant: empty epoch, delta row count 2^50 — below the id-space
+  // cap of next_id * dim but far beyond the file.
+  {
+    std::string corrupt = payload;
+    patch_u64(&corrupt, 80, uint64_t{1} << 24);   // dim
+    patch_u64(&corrupt, 88, max_id);              // next_id
+    patch_u64(&corrupt, 104, 0);                  // epoch rows
+    patch_u64(&corrupt, 112, uint64_t{1} << 50);  // delta row count
+    rewrite(corrupt);
+    try {
+      LoadDynamicIndex(Path());
+      FAIL() << "huge delta count did not throw";
+    } catch (const std::runtime_error& e) {
+      // Specifically the byte-budget rejection, not some unrelated parse
+      // error that would leave this path uncovered.
+      EXPECT_NE(std::string(e.what()).find("exceeds limit"),
+                std::string::npos)
+          << "unhelpful message: " << e.what();
+    }
   }
 }
 

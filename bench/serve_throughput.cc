@@ -1,0 +1,185 @@
+// Serving-engine throughput: QPS + latency percentiles of serve::Server
+// over a ShardedIndex, comparing the unbatched single-request path
+// (max_batch = 1: every query is its own window, paying the full admission
+// round-trip and an unblocked scan) against batching windows (max_batch =
+// 64: admission amortized, the window executes as one cache-blocked
+// QueryBatch fanned out across shards), plus a mixed mutation/query row
+// showing the sequencer under write pressure. Results are written to a
+// JSON file (argv[1], default BENCH_serve_throughput.json).
+//
+// Knobs: LCCS_BENCH_N (base points), LCCS_BENCH_SHARDS, LCCS_BENCH_CLIENTS
+// (closed-loop clients), LCCS_BENCH_REQUESTS (per client),
+// LCCS_BENCH_DATASETS (first entry used), LCCS_BENCH_THREADS.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/lccs_adapter.h"
+#include "baselines/linear_scan.h"
+#include "bench_common.h"
+#include "eval/serve_workload.h"
+#include "serve/server.h"
+#include "serve/sharded_index.h"
+
+namespace lccs {
+namespace bench {
+namespace {
+
+struct Row {
+  std::string method;
+  size_t max_batch = 1;
+  double mutation_fraction = 0.0;
+  eval::ServeWorkloadReport report;
+};
+
+Row RunConfig(const std::string& method,
+              const core::DynamicIndex::Factory& factory,
+              const dataset::Dataset& data, size_t num_shards,
+              size_t max_batch, size_t num_clients, size_t requests,
+              size_t num_threads, double insert_fraction,
+              double remove_fraction) {
+  serve::ShardedIndex::Options index_options;
+  index_options.num_shards = num_shards;
+  index_options.rebuild_threshold = 1024;
+  serve::ShardedIndex index(factory, index_options);
+  index.Build(data);
+
+  serve::Server::Options server_options;
+  server_options.max_batch = max_batch;
+  // Generous window: with closed-loop clients the window closes full as
+  // soon as every in-flight client has resubmitted; a tight deadline would
+  // cut it at whatever fraction the scheduler woke in time and understate
+  // batching (the latency cost shows up honestly in the percentiles).
+  server_options.max_delay_us = eval::EnvSize("LCCS_BENCH_WINDOW_US", 20000);
+  server_options.num_threads = num_threads;
+  serve::Server server(&index, server_options);
+
+  eval::ServeWorkloadOptions workload;
+  workload.num_clients = num_clients;
+  workload.requests_per_client = requests;
+  workload.insert_fraction = insert_fraction;
+  workload.remove_fraction = remove_fraction;
+  workload.k = 10;
+  workload.seed = 17;
+
+  Row row;
+  row.method = method;
+  row.max_batch = max_batch;
+  row.mutation_fraction = insert_fraction + remove_fraction;
+  row.report = eval::RunServeWorkload(server, data.queries, workload);
+  server.Stop();
+  return row;
+}
+
+int Run(int argc, char** argv) {
+  eval::BenchScale scale = eval::GetBenchScale();
+  // Default raised to serving scale: batching's cache-blocked scan only
+  // shows its real gap once the per-shard slices spill past the caches —
+  // exactly the regime a sharded server exists for. CI smoke overrides it.
+  scale.n = eval::EnvSize("LCCS_BENCH_N", 100000);
+  scale.num_queries = eval::EnvSize("LCCS_BENCH_QUERIES", 256);
+  const size_t num_shards = eval::EnvSize("LCCS_BENCH_SHARDS", 4);
+  const size_t num_clients = eval::EnvSize("LCCS_BENCH_CLIENTS", 64);
+  const size_t requests = eval::EnvSize("LCCS_BENCH_REQUESTS", 48);
+  const size_t num_threads = eval::EnvSize("LCCS_BENCH_THREADS", 0);
+  const std::string dataset_name = DatasetNames().front();
+  const char* out_path =
+      argc > 1 ? argv[1] : "BENCH_serve_throughput.json";
+
+  PrintHeader("Sharded serving throughput (" + std::to_string(num_shards) +
+              " shards, " + std::to_string(num_clients) +
+              " closed-loop clients), dataset analogue: " + dataset_name);
+  const auto data =
+      eval::LoadAnalogue(dataset_name, util::Metric::kEuclidean, scale);
+  const double dist_scale = eval::EstimateDistanceScale(data);
+
+  baselines::LccsLshIndex::Params lccs;
+  lccs.m = 64;
+  lccs.lambda = 200;
+  lccs.w = 4.0 * dist_scale;
+  const std::vector<
+      std::pair<std::string, core::DynamicIndex::Factory>>
+      methods = {
+          {"LinearScan",
+           [] { return std::make_unique<baselines::LinearScan>(); }},
+          {"LCCS-LSH",
+           [lccs] {
+             return std::make_unique<baselines::LccsLshIndex>(lccs);
+           }},
+      };
+
+  std::vector<Row> rows;
+  for (const auto& [method, factory] : methods) {
+    for (const size_t max_batch : {size_t{1}, size_t{64}}) {
+      rows.push_back(RunConfig(method, factory, data, num_shards, max_batch,
+                               num_clients, requests, num_threads, 0.0, 0.0));
+    }
+    // Write pressure: 7% mutations sequenced between the windows.
+    rows.push_back(RunConfig(method, factory, data, num_shards, 64,
+                             num_clients, requests, num_threads, 0.05, 0.02));
+  }
+
+  util::Table table({"method", "window", "mut%", "qps", "mean_batch",
+                     "p50_us", "p95_us", "p99_us", "queries"});
+  for (const Row& row : rows) {
+    table.AddRow({row.method, std::to_string(row.max_batch),
+                  util::FormatDouble(100.0 * row.mutation_fraction, 0),
+                  util::FormatDouble(row.report.qps, 0),
+                  util::FormatDouble(row.report.mean_batch, 1),
+                  util::FormatDouble(row.report.p50_us, 0),
+                  util::FormatDouble(row.report.p95_us, 0),
+                  util::FormatDouble(row.report.p99_us, 0),
+                  std::to_string(row.report.queries)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  for (const auto& [method, factory] : methods) {
+    (void)factory;
+    double unbatched = 0.0, batched = 0.0;
+    for (const Row& row : rows) {
+      if (row.method != method || row.mutation_fraction > 0.0) continue;
+      (row.max_batch == 1 ? unbatched : batched) = row.report.qps;
+    }
+    std::printf("%s: batched (window 64) / unbatched single-request QPS = "
+                "%.2fx\n",
+                method.c_str(), unbatched > 0.0 ? batched / unbatched : 0.0);
+  }
+
+  FILE* out = std::fopen(out_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n  \"context\": {\n    \"dataset\": \"%s\",\n"
+               "    \"n\": %zu,\n    \"dim\": %zu,\n    \"shards\": %zu,\n"
+               "    \"clients\": %zu,\n    \"requests_per_client\": %zu\n"
+               "  },\n  \"results\": [\n",
+               dataset_name.c_str(), data.n(), data.dim(), num_shards,
+               num_clients, requests);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(
+        out,
+        "    {\"method\": \"%s\", \"max_batch\": %zu, "
+        "\"mutation_fraction\": %.2f, \"qps\": %.1f, \"mean_batch\": %.2f, "
+        "\"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f, "
+        "\"queries\": %zu, \"inserts\": %zu, \"removes\": %zu}%s\n",
+        row.method.c_str(), row.max_batch, row.mutation_fraction,
+        row.report.qps, row.report.mean_batch, row.report.p50_us,
+        row.report.p95_us, row.report.p99_us, row.report.queries,
+        row.report.inserts, row.report.removes,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lccs
+
+int main(int argc, char** argv) { return lccs::bench::Run(argc, argv); }

@@ -207,6 +207,31 @@ uint64_t DynamicIndex::epoch_sequence() const {
   return epoch_sequence_;
 }
 
+DynamicIndex::Stats DynamicIndex::stats() const {
+  Stats out;
+  {
+    auto lock = ReadLock();
+    out.live = live_.size();
+    out.epoch_rows = epoch_ != nullptr ? epoch_->ids.size() : 0;
+    out.delta_rows = delta_ids_.size();
+    out.tombstones = out.epoch_rows + out.delta_rows - out.live;
+    out.epoch_sequence = epoch_sequence_;
+  }
+  // The rebuild flag lives under its own mutex by design (never held while
+  // acquiring mutex_); sampled after the counters, so a scheduler that sees
+  // rebuild_in_flight == false knows the counters predate any later claim.
+  {
+    std::lock_guard<std::mutex> lock(rebuild_mutex_);
+    out.rebuild_in_flight = rebuild_in_flight_;
+  }
+  return out;
+}
+
+bool DynamicIndex::rebuild_in_flight() const {
+  std::lock_guard<std::mutex> lock(rebuild_mutex_);
+  return rebuild_in_flight_;
+}
+
 bool DynamicIndex::Contains(int32_t id) const {
   auto lock = ReadLock();
   return live_.count(id) != 0;

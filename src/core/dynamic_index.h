@@ -135,6 +135,27 @@ class DynamicIndex : public baselines::AnnIndex {
   uint64_t epoch_sequence() const; ///< consolidations completed so far
   bool Contains(int32_t id) const; ///< id assigned and not deleted
 
+  /// One mutually-consistent snapshot of the counters above — what an
+  /// external consolidation scheduler (serve::ShardedIndex::MaintainShards)
+  /// keys its decisions on. Reading the individual accessors back-to-back
+  /// can interleave with a mutation or an epoch install and yield an
+  /// impossible combination (e.g. delta_rows past the threshold of an epoch
+  /// that just absorbed it); this takes the reader lock once.
+  struct Stats {
+    size_t live = 0;            ///< surviving points
+    size_t epoch_rows = 0;      ///< rows in the static snapshot
+    size_t delta_rows = 0;      ///< delta rows (live + tombstoned)
+    size_t tombstones = 0;      ///< tombstones not yet consolidated away
+    uint64_t epoch_sequence = 0;
+    bool rebuild_in_flight = false;
+  };
+  Stats stats() const;
+
+  /// True while a consolidation (background or synchronous) is running —
+  /// the signal a scheduler uses to bound concurrent rebuilds across shards
+  /// instead of stacking TriggerRebuild calls that would all be refused.
+  bool rebuild_in_flight() const;
+
   /// Copies the surviving vectors in ascending global-id order; `ids`
   /// (optional) receives the matching global ids. This is the from-scratch
   /// rebuild input — the oracle tests and eval::DynamicRecall build their

@@ -1,0 +1,273 @@
+#include "eval/serve_workload.h"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace lccs {
+namespace eval {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MicrosSince(Clock::time_point t0, Clock::time_point t1) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+             t1 - t0)
+      .count();
+}
+
+/// Per-client tallies, merged after join.
+struct ClientResult {
+  std::vector<double> query_latencies_us;
+  size_t queries = 0;
+  size_t inserts = 0;
+  size_t removes = 0;
+  size_t shed = 0;  ///< requests the server rejected (broken futures)
+};
+
+/// Draws the next request kind; removes degrade to inserts (and inserts to
+/// queries) when the client has no removable id yet.
+enum class Kind { kQuery, kInsert, kRemove };
+
+Kind DrawKind(util::Rng& rng, const ServeWorkloadOptions& options,
+              bool has_removable) {
+  const double roll = rng.UniformDouble();
+  if (roll < options.insert_fraction) return Kind::kInsert;
+  if (roll < options.insert_fraction + options.remove_fraction) {
+    return has_removable ? Kind::kRemove : Kind::kInsert;
+  }
+  return Kind::kQuery;
+}
+
+/// Insert payload: a base query vector with small Gaussian noise, so
+/// inserted points land in-distribution.
+void FillInsertVector(util::Rng& rng, const util::Matrix& pool,
+                      std::vector<float>* vec) {
+  const float* base = pool.Row(rng.NextBounded(pool.rows()));
+  for (size_t j = 0; j < vec->size(); ++j) {
+    (*vec)[j] = base[j] + static_cast<float>(rng.Gaussian(0.0, 0.01));
+  }
+}
+
+void ClosedLoopClient(serve::Server& server, const util::Matrix& pool,
+                      const ServeWorkloadOptions& options, size_t client,
+                      ClientResult* out) {
+  util::Rng rng(options.seed * 0x9E3779B97F4A7C15ULL + client + 1);
+  std::vector<int32_t> owned;
+  std::vector<float> vec(pool.cols());
+  for (size_t r = 0; r < options.requests_per_client; ++r) {
+    // A rejection (admission bound, shutdown) is a legitimate serving
+    // outcome — count it and move on rather than letting the broken
+    // future's exception escape the thread.
+    try {
+      switch (DrawKind(rng, options, !owned.empty())) {
+        case Kind::kInsert: {
+          FillInsertVector(rng, pool, &vec);
+          owned.push_back(server.SubmitInsert(vec.data()).get().id);
+          ++out->inserts;
+          break;
+        }
+        case Kind::kRemove: {
+          const size_t victim = rng.NextBounded(owned.size());
+          const int32_t target = owned[victim];
+          owned.erase(owned.begin() + static_cast<ptrdiff_t>(victim));
+          server.SubmitRemove(target).get();
+          ++out->removes;
+          break;
+        }
+        case Kind::kQuery: {
+          const float* query = pool.Row(rng.NextBounded(pool.rows()));
+          const Clock::time_point t0 = Clock::now();
+          server.SubmitQuery(query, options.k).get();
+          out->query_latencies_us.push_back(MicrosSince(t0, Clock::now()));
+          ++out->queries;
+          break;
+        }
+      }
+    } catch (const std::runtime_error&) {
+      ++out->shed;
+    }
+  }
+}
+
+/// One in-flight open-loop request handed from the submitter to the
+/// collector.
+struct Pending {
+  Clock::time_point submitted;
+  std::future<serve::QueryResponse> query;      // valid() for queries
+  std::future<serve::MutationResponse> mutation;  // valid() for mutations
+  bool is_insert = false;
+};
+
+void OpenLoopClient(serve::Server& server, const util::Matrix& pool,
+                    const ServeWorkloadOptions& options, size_t client,
+                    ClientResult* out) {
+  util::Rng rng(options.seed * 0x9E3779B97F4A7C15ULL + client + 1);
+  // Split the aggregate rate evenly; only guard against a degenerate
+  // interval (a floor of 1 req/s would silently inflate low offered rates
+  // by up to num_clients x).
+  const double per_client_qps =
+      std::max(0.01, options.offered_qps /
+                         static_cast<double>(options.num_clients));
+  const auto interval = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(1.0 / per_client_qps));
+
+  std::mutex mu;
+  std::deque<Pending> in_flight;
+  std::vector<int32_t> removable;  // fed by the collector from insert acks
+  bool done = false;
+
+  // Collector: drains futures in admission order. Batches complete in
+  // admission order (single sequencer), so FIFO waits measure completion
+  // times accurately instead of serializing on the slowest future.
+  std::thread collector([&] {
+    for (;;) {
+      Pending pending;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        if (in_flight.empty()) {
+          if (done) return;
+          lock.unlock();
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+          continue;
+        }
+        pending = std::move(in_flight.front());
+        in_flight.pop_front();
+      }
+      // Completion counting lives here, not at submission, so a request
+      // the server shed is only ever tallied as shed — mirroring the
+      // closed-loop driver and the report's completed-queries semantics.
+      try {
+        if (pending.query.valid()) {
+          pending.query.get();
+          out->query_latencies_us.push_back(
+              MicrosSince(pending.submitted, Clock::now()));
+          ++out->queries;
+        } else {
+          const serve::MutationResponse ack = pending.mutation.get();
+          if (pending.is_insert) {
+            ++out->inserts;
+            if (ack.applied) {
+              std::lock_guard<std::mutex> lock(mu);
+              removable.push_back(ack.id);
+            }
+          } else {
+            ++out->removes;
+          }
+        }
+      } catch (const std::runtime_error&) {
+        ++out->shed;  // rejected at admission (bound / shutdown)
+      }
+    }
+  });
+
+  std::vector<float> vec(pool.cols());
+  Clock::time_point next_fire = Clock::now();
+  for (size_t r = 0; r < options.requests_per_client; ++r) {
+    std::this_thread::sleep_until(next_fire);
+    next_fire += interval;
+    Pending pending;
+    pending.submitted = Clock::now();
+    bool has_removable;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      has_removable = !removable.empty();
+    }
+    switch (DrawKind(rng, options, has_removable)) {
+      case Kind::kInsert: {
+        FillInsertVector(rng, pool, &vec);
+        pending.mutation = server.SubmitInsert(vec.data());
+        pending.is_insert = true;
+        break;
+      }
+      case Kind::kRemove: {
+        int32_t victim = -1;
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          const size_t index = rng.NextBounded(removable.size());
+          victim = removable[index];
+          removable.erase(removable.begin() + static_cast<ptrdiff_t>(index));
+        }
+        pending.mutation = server.SubmitRemove(victim);
+        break;
+      }
+      case Kind::kQuery: {
+        const float* query = pool.Row(rng.NextBounded(pool.rows()));
+        pending.query = server.SubmitQuery(query, options.k);
+        break;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      in_flight.push_back(std::move(pending));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    done = true;
+  }
+  collector.join();
+}
+
+}  // namespace
+
+ServeWorkloadReport RunServeWorkload(serve::Server& server,
+                                     const util::Matrix& queries,
+                                     const ServeWorkloadOptions& options) {
+  const serve::Server::Stats before = server.stats();
+  std::vector<ClientResult> results(options.num_clients);
+  std::vector<std::thread> clients;
+  clients.reserve(options.num_clients);
+
+  const Clock::time_point t0 = Clock::now();
+  for (size_t c = 0; c < options.num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      if (options.open_loop) {
+        OpenLoopClient(server, queries, options, c, &results[c]);
+      } else {
+        ClosedLoopClient(server, queries, options, c, &results[c]);
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  const double seconds =
+      MicrosSince(t0, Clock::now()) / 1e6;
+
+  ServeWorkloadReport report;
+  std::vector<double> latencies;
+  for (const ClientResult& result : results) {
+    report.queries += result.queries;
+    report.inserts += result.inserts;
+    report.removes += result.removes;
+    report.shed += result.shed;
+    latencies.insert(latencies.end(), result.query_latencies_us.begin(),
+                     result.query_latencies_us.end());
+  }
+  report.seconds = seconds;
+  report.qps = seconds > 0.0 ? static_cast<double>(report.queries) / seconds
+                             : 0.0;
+  if (!latencies.empty()) {
+    report.p50_us = util::Quantile(latencies, 0.50);
+    report.p95_us = util::Quantile(latencies, 0.95);
+    report.p99_us = util::Quantile(latencies, 0.99);
+    report.max_us = *std::max_element(latencies.begin(), latencies.end());
+  }
+  const serve::Server::Stats after = server.stats();
+  const uint64_t batches = after.batches - before.batches;
+  if (batches > 0) {
+    report.mean_batch =
+        static_cast<double>(after.queries_served - before.queries_served) /
+        static_cast<double>(batches);
+  }
+  return report;
+}
+
+}  // namespace eval
+}  // namespace lccs

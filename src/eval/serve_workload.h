@@ -1,0 +1,69 @@
+#ifndef LCCS_EVAL_SERVE_WORKLOAD_H_
+#define LCCS_EVAL_SERVE_WORKLOAD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "serve/server.h"
+#include "util/matrix.h"
+
+namespace lccs {
+namespace eval {
+
+/// Mixed query/mutation traffic driven against a serve::Server — the
+/// serving-engine analogue of EvaluateThroughput. Two load models:
+///
+///   * **closed loop** (default): each client submits one request, waits
+///     for its future, repeats — concurrency equals num_clients, the
+///     classic benchmark loop. Batching windows fill only as far as the
+///     number of clients in flight.
+///   * **open loop**: each client fires requests on a fixed arrival
+///     schedule (offered_qps / num_clients each) without waiting, and a
+///     per-client collector thread drains the futures in admission order —
+///     latency then includes queueing delay, the number a production SLO
+///     actually sees.
+struct ServeWorkloadOptions {
+  size_t num_clients = 4;
+  size_t requests_per_client = 256;
+  /// Per-request probability of an insert / remove instead of a query.
+  /// Inserts perturb a random base query vector; removes target ids the
+  /// client itself inserted earlier (until its first insert is acked, a
+  /// drawn remove degrades to an insert).
+  double insert_fraction = 0.0;
+  double remove_fraction = 0.0;
+  size_t k = 10;
+  uint64_t seed = 1;
+  bool open_loop = false;
+  /// Aggregate arrival rate for the open-loop model (split evenly across
+  /// clients). Ignored in closed loop.
+  double offered_qps = 10000.0;
+};
+
+struct ServeWorkloadReport {
+  size_t queries = 0;
+  size_t inserts = 0;
+  size_t removes = 0;
+  /// Requests the server rejected (admission bound / shutdown) — counted,
+  /// not crashed on, so overload experiments can drive past capacity.
+  size_t shed = 0;
+  double seconds = 0.0;     ///< wall-clock, first submit to last completion
+  double qps = 0.0;         ///< completed queries / seconds
+  double p50_us = 0.0;      ///< query latency percentiles (submit -> ready)
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+  double mean_batch = 0.0;  ///< queries served / batches (server stats delta)
+};
+
+/// Runs the workload and reports QPS + latency percentiles. `queries` rows
+/// are the vector pool requests draw from (dimensionality must match the
+/// server's index). The server must be idle-owned by the caller — the
+/// report's mean_batch is computed from the server's stats delta.
+ServeWorkloadReport RunServeWorkload(serve::Server& server,
+                                     const util::Matrix& queries,
+                                     const ServeWorkloadOptions& options);
+
+}  // namespace eval
+}  // namespace lccs
+
+#endif  // LCCS_EVAL_SERVE_WORKLOAD_H_

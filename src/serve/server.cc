@@ -1,0 +1,324 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace lccs {
+namespace serve {
+
+namespace {
+
+template <typename Response>
+std::future<Response> BrokenFuture(const char* what) {
+  std::promise<Response> promise;
+  promise.set_exception(std::make_exception_ptr(std::runtime_error(what)));
+  return promise.get_future();
+}
+
+}  // namespace
+
+Server::Server(ShardedIndex* index, Options options)
+    : index_(index), options_(std::move(options)) {
+  if (index_ == nullptr) {
+    throw std::invalid_argument("Server: index must not be null");
+  }
+  dim_ = index_->dim();
+  if (dim_ == 0) {
+    throw std::invalid_argument(
+        "Server: index dimensionality unknown — Build the ShardedIndex or "
+        "construct it with Options::dim before serving");
+  }
+  if (options_.max_batch == 0) options_.max_batch = 1;
+  sequencer_ = std::thread([this] { SequencerLoop(); });
+}
+
+Server::~Server() { Stop(); }
+
+uint64_t Server::NowUs() const {
+  if (options_.now_us) return options_.now_us();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Server::Admission Server::Admit(Request&& request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return Admission::kStopped;
+  }
+  if (options_.max_queue > 0 && queue_.size() >= options_.max_queue) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return Admission::kOverloaded;
+  }
+  // Stamped under the lock so arrival order matches queue order — the
+  // window-deadline logic relies on arrivals being monotone down the queue.
+  request.arrival_us = NowUs();
+  queue_.push_back(std::move(request));
+  cv_.notify_one();  // only the sequencer waits on cv_
+  return Admission::kAdmitted;
+}
+
+const char* Server::AdmissionError(Admission verdict) {
+  return verdict == Admission::kStopped ? "server stopped"
+                                        : "server overloaded";
+}
+
+std::future<QueryResponse> Server::SubmitQuery(const float* vec, size_t k) {
+  Request request;
+  request.kind = Request::kQuery;
+  request.vec.assign(vec, vec + dim_);
+  request.k = k;
+  std::future<QueryResponse> future = request.query_promise.get_future();
+  const Admission verdict = Admit(std::move(request));
+  if (verdict != Admission::kAdmitted) {
+    return BrokenFuture<QueryResponse>(AdmissionError(verdict));
+  }
+  return future;
+}
+
+std::future<MutationResponse> Server::SubmitInsert(const float* vec) {
+  Request request;
+  request.kind = Request::kInsert;
+  request.vec.assign(vec, vec + dim_);
+  std::future<MutationResponse> future = request.mutation_promise.get_future();
+  const Admission verdict = Admit(std::move(request));
+  if (verdict != Admission::kAdmitted) {
+    return BrokenFuture<MutationResponse>(AdmissionError(verdict));
+  }
+  return future;
+}
+
+std::future<MutationResponse> Server::SubmitRemove(int32_t id) {
+  Request request;
+  request.kind = Request::kRemove;
+  request.id = id;
+  std::future<MutationResponse> future = request.mutation_promise.get_future();
+  const Admission verdict = Admit(std::move(request));
+  if (verdict != Admission::kAdmitted) {
+    return BrokenFuture<MutationResponse>(AdmissionError(verdict));
+  }
+  return future;
+}
+
+void Server::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    cv_.notify_all();
+  }
+  // join() is not idempotent; the destructor and an explicit Stop() both
+  // land here, so guard on joinability (single-threaded teardown, as with
+  // every other owner-joins-thread type in this repository).
+  if (sequencer_.joinable()) sequencer_.join();
+}
+
+void Server::Poke() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cv_.notify_all();
+}
+
+Server::Stats Server::stats() const {
+  Stats out;
+  out.queries_served = queries_served_.load(std::memory_order_relaxed);
+  out.mutations_applied = mutations_applied_.load(std::memory_order_relaxed);
+  out.batches = batches_.load(std::memory_order_relaxed);
+  out.rejected = rejected_.load(std::memory_order_relaxed);
+  out.windows_closed_full = closed_full_.load(std::memory_order_relaxed);
+  out.windows_closed_deadline =
+      closed_deadline_.load(std::memory_order_relaxed);
+  out.windows_closed_mutation =
+      closed_mutation_.load(std::memory_order_relaxed);
+  out.windows_closed_shutdown =
+      closed_shutdown_.load(std::memory_order_relaxed);
+  out.rebuilds_triggered = rebuilds_triggered_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void Server::SequencerLoop() {
+  // Consolidation scheduling runs after every window, at the idle edge of a
+  // mutation run, and — so a saturating mutation-only stream that never
+  // drains the queue still consolidates — at least every this-many applied
+  // mutations.
+  constexpr size_t kMutationsPerMaintenance = 64;
+  size_t mutations_since_maintenance = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+
+    if (queue_.front().kind != Request::kQuery) {
+      Request request = std::move(queue_.front());
+      queue_.pop_front();
+      const bool idle_after = queue_.empty();
+      lock.unlock();
+      ApplyMutation(std::move(request));
+      ++mutations_since_maintenance;
+      if (idle_after ||
+          mutations_since_maintenance >= kMutationsPerMaintenance) {
+        rebuilds_triggered_.fetch_add(index_->MaintainShards(),
+                                      std::memory_order_relaxed);
+        mutations_since_maintenance = 0;
+      }
+      lock.lock();
+      continue;
+    }
+
+    // The front request is a query: open a batching window. Its deadline is
+    // anchored to the *first query's admission*, so a query cannot wait
+    // longer than max_delay_us however the window fills.
+    std::vector<Request> batch;
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+    const uint64_t deadline = batch.front().arrival_us + options_.max_delay_us;
+    WindowClose reason = WindowClose::kDeadline;
+    // Under an injected clock, only queries admitted before the deadline
+    // join; one admitted at or after it opens the *next* window. That keeps
+    // batch membership a pure function of the admission sequence (+ stamped
+    // arrivals), so the deterministic tests replay it exactly. On the real
+    // clock the cut would hurt exactly when batching matters most — a
+    // backlog whose stamps span the deadline would splinter into small
+    // windows — so there a closing window absorbs everything queued, up to
+    // max_batch.
+    const bool deterministic_membership = static_cast<bool>(options_.now_us);
+    for (;;) {
+      while (batch.size() < options_.max_batch && !queue_.empty() &&
+             queue_.front().kind == Request::kQuery &&
+             (!deterministic_membership ||
+              queue_.front().arrival_us < deadline)) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      if (batch.size() >= options_.max_batch) {
+        reason = WindowClose::kFull;
+        break;
+      }
+      if (!queue_.empty()) {
+        // A mutation is queued behind the window (mutations are sequenced
+        // between windows, so no later query may jump it), or the next
+        // query belongs to the next window — its arrival implies the
+        // deadline has passed.
+        reason = queue_.front().kind == Request::kQuery
+                     ? WindowClose::kDeadline
+                     : WindowClose::kMutation;
+        break;
+      }
+      if (stopping_) {
+        reason = WindowClose::kShutdown;
+        break;
+      }
+      const uint64_t now = NowUs();
+      if (now >= deadline) {
+        reason = WindowClose::kDeadline;
+        break;
+      }
+      if (options_.now_us) {
+        // Injected clock: time only moves when the test says so, and the
+        // test Poke()s after advancing — park until then.
+        cv_.wait(lock);
+      } else {
+        cv_.wait_for(lock, std::chrono::microseconds(deadline - now));
+      }
+    }
+    lock.unlock();
+    ExecuteBatch(std::move(batch), reason);
+    rebuilds_triggered_.fetch_add(index_->MaintainShards(),
+                                  std::memory_order_relaxed);
+    mutations_since_maintenance = 0;
+    lock.lock();
+  }
+}
+
+void Server::ApplyMutation(Request&& request) {
+  MutationResponse response;
+  try {
+    if (request.kind == Request::kInsert) {
+      response.id = index_->Insert(request.vec.data());
+      response.applied = true;
+    } else {
+      response.id = request.id;
+      response.applied = index_->Remove(request.id);
+    }
+  } catch (...) {
+    request.mutation_promise.set_exception(std::current_exception());
+    return;
+  }
+  // A refused remove still consumes a position: the log stays a dense total
+  // order and the oracle replays it as a no-op.
+  response.state_version = ++state_version_;
+  mutations_applied_.fetch_add(1, std::memory_order_relaxed);
+  request.mutation_promise.set_value(response);
+}
+
+void Server::ExecuteBatch(std::vector<Request> batch, WindowClose reason) {
+  switch (reason) {
+    case WindowClose::kFull:
+      closed_full_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case WindowClose::kDeadline:
+      closed_deadline_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case WindowClose::kMutation:
+      closed_mutation_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case WindowClose::kShutdown:
+      closed_shutdown_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+
+  const size_t n = batch.size();
+  const size_t d = dim_;
+  size_t k_max = 0;
+  for (const Request& request : batch) k_max = std::max(k_max, request.k);
+
+  // The window executes at its largest k and every query is truncated to
+  // its own k. For exact shard configurations the top-k is a prefix of the
+  // top-k_max (one total (distance, id) order), so truncation is identical
+  // to a solo Query — the property the oracle checker verifies.
+  std::vector<std::vector<util::Neighbor>> results(n);
+  if (k_max > 0) {
+    std::vector<float> block(n * d);
+    for (size_t i = 0; i < n; ++i) {
+      std::memcpy(block.data() + i * d, batch[i].vec.data(),
+                  d * sizeof(float));
+    }
+    try {
+      results = index_->QueryBatch(block.data(), n, k_max,
+                                   options_.num_threads);
+    } catch (...) {
+      const std::exception_ptr error = std::current_exception();
+      for (Request& request : batch) {
+        request.query_promise.set_exception(error);
+      }
+      return;
+    }
+  }
+
+  // Consumed only by a window that actually produced responses, so batch
+  // ids stay dense (a failed execution surfaces as exceptions above and
+  // must not burn an id).
+  const uint64_t batch_id = ++next_batch_id_;
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  queries_served_.fetch_add(n, std::memory_order_relaxed);
+  for (size_t i = 0; i < n; ++i) {
+    QueryResponse response;
+    response.neighbors = std::move(results[i]);
+    if (response.neighbors.size() > batch[i].k) {
+      response.neighbors.resize(batch[i].k);
+    }
+    response.batch_id = batch_id;
+    response.state_version = state_version_;
+    response.batch_size = n;
+    batch[i].query_promise.set_value(std::move(response));
+  }
+}
+
+}  // namespace serve
+}  // namespace lccs

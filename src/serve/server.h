@@ -1,0 +1,205 @@
+#ifndef LCCS_SERVE_SERVER_H_
+#define LCCS_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/sharded_index.h"
+
+namespace lccs {
+namespace serve {
+
+/// What a query future resolves to: the neighbors plus enough metadata to
+/// check the answer against a sequential oracle black-box (the consistency
+/// contract tests/test_serve.cc verifies).
+struct QueryResponse {
+  std::vector<util::Neighbor> neighbors;
+  /// Serving window that executed this query (1-based, dense). Queries with
+  /// equal batch_id were answered by one QueryBatch call against one
+  /// snapshot.
+  uint64_t batch_id = 0;
+  /// Number of mutations applied before this query's batch ran — the
+  /// batch's admission point. A sequential replay of mutations 1 ..
+  /// state_version followed by an exact k-NN over the survivors reproduces
+  /// `neighbors` exactly (with exhaustive shard configurations).
+  uint64_t state_version = 0;
+  /// Occupancy of the window (observability; tests assert window closure).
+  size_t batch_size = 0;
+};
+
+/// What an insert/remove future resolves to.
+struct MutationResponse {
+  /// Insert: always true. Remove: whether the id was live when sequenced.
+  bool applied = false;
+  /// Insert: the assigned global id. Remove: the target id echoed back.
+  int32_t id = -1;
+  /// This mutation's position in the applied total order (1-based): it is
+  /// mutation number `state_version`. Mutations are applied strictly in
+  /// admission order by the serving thread, so these are dense and unique —
+  /// the black-box checker rebuilds the full mutation log from them.
+  uint64_t state_version = 0;
+};
+
+/// Why a batching window closed (counters in Server::Stats; the
+/// deterministic window tests assert on them).
+enum class WindowClose : uint8_t {
+  kFull,      ///< max_batch queries collected
+  kDeadline,  ///< max_delay_us elapsed since the first query's admission
+  kMutation,  ///< a mutation is queued behind the collected queries
+  kShutdown,  ///< Stop() drained the window
+};
+
+/// Asynchronous serving engine over a ShardedIndex: clients submit
+/// Query / Insert / Remove requests from any thread and get futures; a
+/// single sequencer thread turns the admission queue into an alternation of
+///
+///   mutation, mutation, ..., [batch of queries], mutation, ...
+///
+/// applied strictly in admission order. Adjacent queries coalesce into a
+/// **batching window** that closes when it holds max_batch queries, when
+/// max_delay_us has passed since its first query was admitted, when a
+/// mutation arrives behind it (mutations are sequenced *between* windows,
+/// never inside one), or at shutdown. The window executes as one
+/// ShardedIndex::QueryBatch fanned out over the shared thread pool.
+///
+/// Consistency: because a window never spans a mutation, every query in a
+/// batch observes exactly the mutations admitted (equivalently: applied)
+/// before its own admission — the execution is serializable in admission
+/// order, and each QueryResponse names its snapshot via state_version.
+/// tests/test_serve.cc checks this black-box: an oracle replays mutations
+/// 1..state_version sequentially and must reproduce every batch result
+/// bit-for-bit.
+///
+/// Admission policy: Options::max_queue bounds the queue; when full, new
+/// requests are rejected with a broken future (std::runtime_error
+/// "server overloaded") instead of growing the backlog — callers see the
+/// overload immediately and can shed or retry.
+///
+/// Between windows the sequencer runs ShardedIndex::MaintainShards(), so
+/// per-shard consolidation is scheduled from the serving loop itself —
+/// rebuilds run on the shards' background threads and never block
+/// admission.
+///
+/// Shutdown: Stop() (or the destructor) closes admission, drains the queue
+/// — every already-admitted future is fulfilled — and joins the sequencer.
+/// Requests submitted after Stop() get the broken future
+/// ("server stopped").
+class Server {
+ public:
+  struct Options {
+    /// Window closes when it holds this many queries.
+    size_t max_batch = 64;
+    /// ... or this many microseconds after its first query was admitted.
+    uint64_t max_delay_us = 1000;
+    /// Fan-out for the batch execution (ShardedIndex::QueryBatch);
+    /// 0 = hardware concurrency.
+    size_t num_threads = 0;
+    /// Admission bound (queued, not-yet-sequenced requests); 0 = unbounded.
+    size_t max_queue = 0;
+    /// Injectable microsecond clock for the deterministic window tests;
+    /// nullptr = std::chrono::steady_clock. A test advancing a fake clock
+    /// must call Poke() afterwards — with an injected clock the sequencer
+    /// parks on its condition variable instead of a timed wait. The
+    /// function is called with internal locks held and must not call back
+    /// into the Server.
+    std::function<uint64_t()> now_us;
+  };
+
+  /// `index` is borrowed and must outlive the server. Its dim() must be
+  /// known (built, or constructed with Options::dim) — query/insert vectors
+  /// are copied at admission using it.
+  Server(ShardedIndex* index, Options options);
+  ~Server();  ///< Stop()s.
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  std::future<QueryResponse> SubmitQuery(const float* vec, size_t k);
+  std::future<MutationResponse> SubmitInsert(const float* vec);
+  std::future<MutationResponse> SubmitRemove(int32_t id);
+
+  /// Closes admission, serves everything already queued, joins the
+  /// sequencer. Idempotent.
+  void Stop();
+
+  /// Wakes the sequencer so it re-reads the (injected) clock.
+  void Poke();
+
+  /// Monotonic counters, readable at any time.
+  struct Stats {
+    uint64_t queries_served = 0;
+    uint64_t mutations_applied = 0;
+    uint64_t batches = 0;
+    uint64_t rejected = 0;  ///< admission-bound + post-Stop rejections
+    uint64_t windows_closed_full = 0;
+    uint64_t windows_closed_deadline = 0;
+    uint64_t windows_closed_mutation = 0;
+    uint64_t windows_closed_shutdown = 0;
+    uint64_t rebuilds_triggered = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Request {
+    enum Kind : uint8_t { kQuery, kInsert, kRemove };
+    Kind kind = kQuery;
+    std::vector<float> vec;  ///< query/insert payload (copied at admission)
+    size_t k = 0;            ///< query only
+    int32_t id = -1;         ///< remove only
+    uint64_t arrival_us = 0;
+    std::promise<QueryResponse> query_promise;        ///< kQuery
+    std::promise<MutationResponse> mutation_promise;  ///< kInsert/kRemove
+  };
+
+  uint64_t NowUs() const;
+  /// Admission verdict; the non-admitted cases carry distinguishable
+  /// errors so callers can retry overloads but give up on shutdown.
+  enum class Admission : uint8_t { kAdmitted, kOverloaded, kStopped };
+  static const char* AdmissionError(Admission verdict);
+  /// Enqueues under mu_; bumps rejected_ on either rejection.
+  Admission Admit(Request&& request);
+  void SequencerLoop();
+  void ApplyMutation(Request&& request);
+  void ExecuteBatch(std::vector<Request> batch, WindowClose reason);
+
+  ShardedIndex* index_;
+  Options options_;
+  /// index_->dim() captured at construction: serving assumes it fixed, and
+  /// reading it through the index would put the ShardedIndex reader gate on
+  /// every admission.
+  size_t dim_ = 0;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+
+  /// Owned by the sequencer thread exclusively; published to clients only
+  /// through response fields.
+  uint64_t state_version_ = 0;
+  uint64_t next_batch_id_ = 0;
+
+  std::atomic<uint64_t> queries_served_{0};
+  std::atomic<uint64_t> mutations_applied_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> closed_full_{0};
+  std::atomic<uint64_t> closed_deadline_{0};
+  std::atomic<uint64_t> closed_mutation_{0};
+  std::atomic<uint64_t> closed_shutdown_{0};
+  std::atomic<uint64_t> rebuilds_triggered_{0};
+
+  std::thread sequencer_;
+};
+
+}  // namespace serve
+}  // namespace lccs
+
+#endif  // LCCS_SERVE_SERVER_H_

@@ -1,0 +1,323 @@
+#include "serve/sharded_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "util/thread_pool.h"
+
+namespace lccs {
+namespace serve {
+
+namespace {
+
+/// splitmix64 finalizer: a full-avalanche mix, so consecutive global ids
+/// spread uniformly across shards instead of striping.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+size_t ShardedIndex::ShardOf(int32_t id, size_t num_shards) {
+  assert(num_shards > 0);
+  return static_cast<size_t>(Mix64(static_cast<uint64_t>(id)) % num_shards);
+}
+
+ShardedIndex::ShardedIndex(core::DynamicIndex::Factory factory,
+                           Options options)
+    : factory_(std::move(factory)), options_(options) {
+  if (options_.num_shards == 0) {
+    throw std::invalid_argument("ShardedIndex: num_shards must be positive");
+  }
+  core::DynamicIndex::Options shard_options;
+  shard_options.metric = options_.metric;
+  shard_options.dim = options_.dim;
+  shard_options.rebuild_threshold = options_.rebuild_threshold;
+  shard_options.background_rebuild = options_.shard_background_rebuild;
+  shards_.reserve(options_.num_shards);
+  local_to_global_.resize(options_.num_shards);
+  for (size_t s = 0; s < options_.num_shards; ++s) {
+    shards_.push_back(
+        std::make_unique<core::DynamicIndex>(factory_, shard_options));
+  }
+}
+
+std::shared_lock<std::shared_mutex> ShardedIndex::ReadLock() const {
+  { std::lock_guard<std::mutex> gate(gate_); }
+  return std::shared_lock<std::shared_mutex>(mutex_);
+}
+
+std::unique_lock<std::shared_mutex> ShardedIndex::WriteLock() const {
+  std::lock_guard<std::mutex> gate(gate_);
+  return std::unique_lock<std::shared_mutex>(mutex_);
+}
+
+void ShardedIndex::Build(const dataset::Dataset& data) {
+  const size_t S = options_.num_shards;
+  const size_t d = data.dim();
+
+  // Partition rows by the hash of the global id they are about to get.
+  std::vector<std::vector<int32_t>> shard_rows(S);
+  for (size_t i = 0; i < data.n(); ++i) {
+    shard_rows[ShardOf(static_cast<int32_t>(i), S)].push_back(
+        static_cast<int32_t>(i));
+  }
+
+  core::DynamicIndex::Options shard_options;
+  shard_options.metric = data.metric;
+  shard_options.dim = d;
+  shard_options.rebuild_threshold = options_.rebuild_threshold;
+  shard_options.background_rebuild = options_.shard_background_rebuild;
+
+  // Build fresh shards outside the lock — queries keep serving the old
+  // generation meanwhile, exactly like a DynamicIndex epoch install.
+  std::vector<std::unique_ptr<core::DynamicIndex>> shards;
+  shards.reserve(S);
+  for (size_t s = 0; s < S; ++s) {
+    shards.push_back(
+        std::make_unique<core::DynamicIndex>(factory_, shard_options));
+    if (shard_rows[s].empty()) continue;  // never-built shard serves empty
+    dataset::Dataset slice;
+    slice.name = data.name + "/shard" + std::to_string(s);
+    slice.metric = data.metric;
+    slice.data.Resize(shard_rows[s].size(), d);
+    for (size_t r = 0; r < shard_rows[s].size(); ++r) {
+      std::memcpy(slice.data.Row(r),
+                  data.data.Row(static_cast<size_t>(shard_rows[s][r])),
+                  d * sizeof(float));
+    }
+    shards[s]->Build(slice);
+  }
+
+  std::vector<Location> locations(data.n());
+  for (size_t s = 0; s < S; ++s) {
+    for (size_t r = 0; r < shard_rows[s].size(); ++r) {
+      locations[static_cast<size_t>(shard_rows[s][r])] =
+          Location{static_cast<uint32_t>(s), static_cast<int32_t>(r)};
+    }
+  }
+
+  auto lock = WriteLock();
+  options_.metric = data.metric;
+  options_.dim = d;
+  // The replaced shards drain their own in-flight rebuilds in ~DynamicIndex.
+  shards_ = std::move(shards);
+  locations_ = std::move(locations);
+  local_to_global_ = std::move(shard_rows);
+  next_id_ = static_cast<int32_t>(data.n());
+}
+
+size_t ShardedIndex::dim() const {
+  auto lock = ReadLock();
+  return options_.dim;
+}
+
+size_t ShardedIndex::num_shards() const {
+  // Build() replaces the shard vector under the writer lock, so even the
+  // (invariant) size must be read under the reader lock.
+  auto lock = ReadLock();
+  return shards_.size();
+}
+
+std::string ShardedIndex::name() const {
+  size_t count = 0;
+  std::string inner;
+  {
+    auto lock = ReadLock();
+    count = shards_.size();
+    inner = shards_.front()->name();
+  }
+  return "Sharded(" + std::to_string(count) + ", " + inner + ")";
+}
+
+size_t ShardedIndex::IndexSizeBytes() const {
+  auto lock = ReadLock();
+  size_t bytes = locations_.size() * sizeof(Location);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    bytes += shards_[s]->IndexSizeBytes() +
+             local_to_global_[s].size() * sizeof(int32_t);
+  }
+  return bytes;
+}
+
+size_t ShardedIndex::live_count() const {
+  auto lock = ReadLock();
+  size_t live = 0;
+  for (const auto& shard : shards_) live += shard->live_count();
+  return live;
+}
+
+bool ShardedIndex::Contains(int32_t id) const {
+  auto lock = ReadLock();
+  if (id < 0 || id >= next_id_) return false;
+  const Location loc = locations_[static_cast<size_t>(id)];
+  return shards_[loc.shard]->Contains(loc.local);
+}
+
+std::vector<core::DynamicIndex::Stats> ShardedIndex::ShardStats() const {
+  auto lock = ReadLock();
+  std::vector<core::DynamicIndex::Stats> stats;
+  stats.reserve(shards_.size());
+  for (const auto& shard : shards_) stats.push_back(shard->stats());
+  return stats;
+}
+
+util::Matrix ShardedIndex::LiveVectors(std::vector<int32_t>* ids) const {
+  auto lock = ReadLock();
+  const size_t d = options_.dim;
+  // Gather per-shard survivors, then emit in ascending global-id order.
+  struct Source {
+    int32_t global = 0;
+    size_t shard = 0;
+    size_t row = 0;
+  };
+  std::vector<Source> sources;
+  std::vector<util::Matrix> rows(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::vector<int32_t> local_ids;
+    rows[s] = shards_[s]->LiveVectors(&local_ids);
+    for (size_t r = 0; r < local_ids.size(); ++r) {
+      sources.push_back(
+          Source{local_to_global_[s][static_cast<size_t>(local_ids[r])], s, r});
+    }
+  }
+  std::sort(sources.begin(), sources.end(),
+            [](const Source& a, const Source& b) { return a.global < b.global; });
+  util::Matrix out(sources.size(), d);
+  if (ids != nullptr) {
+    ids->clear();
+    ids->reserve(sources.size());
+  }
+  for (size_t i = 0; i < sources.size(); ++i) {
+    std::memcpy(out.Row(i), rows[sources[i].shard].Row(sources[i].row),
+                d * sizeof(float));
+    if (ids != nullptr) ids->push_back(sources[i].global);
+  }
+  return out;
+}
+
+int32_t ShardedIndex::Insert(const float* vec) {
+  auto lock = WriteLock();
+  const int32_t id = next_id_;
+  const size_t s = ShardOf(id, shards_.size());
+  // Shard insert first: if it throws (e.g. dim never set), no map changes.
+  const int32_t local = shards_[s]->Insert(vec);
+  assert(static_cast<size_t>(local) == local_to_global_[s].size());
+  (void)local;
+  local_to_global_[s].push_back(id);
+  locations_.push_back(Location{static_cast<uint32_t>(s), local});
+  ++next_id_;
+  if (options_.dim == 0) options_.dim = shards_[s]->dim();
+  return id;
+}
+
+bool ShardedIndex::Remove(int32_t id) {
+  auto lock = WriteLock();
+  if (id < 0 || id >= next_id_) return false;
+  const Location loc = locations_[static_cast<size_t>(id)];
+  return shards_[loc.shard]->Remove(loc.local);
+}
+
+void ShardedIndex::set_deleted_filter(const std::vector<uint8_t>* deleted) {
+  if (deleted != nullptr) {
+    throw std::runtime_error(
+        "ShardedIndex manages its own tombstones; use Remove() instead of "
+        "set_deleted_filter()");
+  }
+}
+
+std::vector<util::Neighbor> ShardedIndex::Query(const float* query,
+                                                size_t k) const {
+  auto lock = ReadLock();
+  std::vector<std::vector<util::Neighbor>> per_shard(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    per_shard[s] = shards_[s]->Query(query, k);
+    // Local -> global is monotone (ascending within a shard), so each list
+    // stays sorted by (distance, global id) after the remap.
+    for (util::Neighbor& nb : per_shard[s]) {
+      nb.id = local_to_global_[s][static_cast<size_t>(nb.id)];
+    }
+  }
+  return util::MergeSortedTopK(per_shard, k);
+}
+
+std::vector<std::vector<util::Neighbor>> ShardedIndex::QueryBatch(
+    const float* queries, size_t num_queries, size_t k,
+    size_t num_threads) const {
+  auto lock = ReadLock();
+  // Scatter: every shard answers the whole batch through its own QueryBatch
+  // (cache-blocked epoch scan + parallel delta scan on the shared pool).
+  std::vector<std::vector<std::vector<util::Neighbor>>> per_shard(
+      shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    per_shard[s] = shards_[s]->QueryBatch(queries, num_queries, k, num_threads);
+  }
+  // Gather: remap + S-way merge per query, fanned out over the pool.
+  std::vector<std::vector<util::Neighbor>> results(num_queries);
+  util::ParallelFor(
+      num_queries,
+      [&](size_t begin, size_t end) {
+        std::vector<std::vector<util::Neighbor>> lists(shards_.size());
+        for (size_t q = begin; q < end; ++q) {
+          for (size_t s = 0; s < shards_.size(); ++s) {
+            lists[s] = std::move(per_shard[s][q]);
+            for (util::Neighbor& nb : lists[s]) {
+              nb.id = local_to_global_[s][static_cast<size_t>(nb.id)];
+            }
+          }
+          results[q] = util::MergeSortedTopK(lists, k);
+        }
+      },
+      num_threads);
+  return results;
+}
+
+size_t ShardedIndex::MaintainShards() {
+  auto lock = ReadLock();
+  struct Due {
+    size_t shard = 0;
+    size_t delta = 0;
+  };
+  std::vector<Due> due;
+  size_t in_flight = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const core::DynamicIndex::Stats stats = shards_[s]->stats();
+    if (stats.rebuild_in_flight) {
+      ++in_flight;
+    } else if (stats.delta_rows >= options_.rebuild_threshold) {
+      due.push_back(Due{s, stats.delta_rows});
+    }
+  }
+  // Largest backlog first: that shard's delta brute-force is the slowest
+  // part of every query fan-out, so consolidating it buys the most.
+  std::sort(due.begin(), due.end(),
+            [](const Due& a, const Due& b) { return a.delta > b.delta; });
+  size_t triggered = 0;
+  for (const Due& candidate : due) {
+    if (in_flight >= options_.max_concurrent_rebuilds) break;
+    if (shards_[candidate.shard]->TriggerRebuild()) {
+      ++in_flight;
+      ++triggered;
+    }
+  }
+  return triggered;
+}
+
+void ShardedIndex::ConsolidateAll() {
+  auto lock = ReadLock();
+  for (const auto& shard : shards_) shard->Consolidate();
+}
+
+void ShardedIndex::WaitForRebuilds() const {
+  auto lock = ReadLock();
+  for (const auto& shard : shards_) shard->WaitForRebuild();
+}
+
+}  // namespace serve
+}  // namespace lccs

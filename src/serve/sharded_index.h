@@ -1,0 +1,171 @@
+#ifndef LCCS_SERVE_SHARDED_INDEX_H_
+#define LCCS_SERVE_SHARDED_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/dynamic_index.h"
+
+namespace lccs {
+namespace serve {
+
+/// Hash-partitions points across S per-shard core::DynamicIndex instances —
+/// the data-plane half of the serving engine (serve::Server is the control
+/// plane). Sharding bounds per-shard epoch size, so consolidations rebuild
+/// 1/S of the data at a time, and lets a batch of queries fan out across
+/// shards on the shared thread pool.
+///
+/// Id spaces: the ShardedIndex assigns **global** ids in insert order
+/// (0, 1, 2, ... — exactly like a single DynamicIndex, so the two are
+/// drop-in interchangeable); each point lives in the shard picked by a
+/// splitmix64 hash of its global id, under that shard's own **local** id.
+/// The global → (shard, local) map answers Remove; the per-shard
+/// local → global arrays remap query results. Both remaps are monotone
+/// (later local id ⇒ later global id within a shard), so per-shard result
+/// lists stay sorted by (distance, global id) after remapping and the S-way
+/// util::MergeSortedTopK produces exactly the ranking a single index over
+/// all survivors would — with exhaustive-verification shard configurations
+/// this is bit-identical, the property tests/test_serve.cc's black-box
+/// checker relies on.
+///
+/// Consolidation is *scheduled externally* by default: shards are built
+/// with background_rebuild = false and MaintainShards() — called by
+/// serve::Server between batching windows — triggers per-shard background
+/// rebuilds off the DynamicIndex::stats() snapshots, at most
+/// Options::max_concurrent_rebuilds shards at a time (rebuilds are
+/// memory- and CPU-hungry; S of them at once would starve the query path).
+///
+/// Thread safety: mirrors DynamicIndex. Query/QueryBatch take a reader
+/// lock on the id maps (shard queries run under it — they are const and
+/// internally locked); Insert/Remove take the writer lock. Lock order is
+/// always ShardedIndex → shard, and shard rebuild threads never touch the
+/// ShardedIndex, so the hierarchy is acyclic.
+class ShardedIndex : public baselines::AnnIndex {
+ public:
+  struct Options {
+    size_t num_shards = 4;
+    util::Metric metric = util::Metric::kEuclidean;
+    /// Dimensionality; required when inserting before any Build (Build
+    /// overrides it from the dataset).
+    size_t dim = 0;
+    /// Per-shard delta size at which MaintainShards triggers consolidation.
+    size_t rebuild_threshold = 1024;
+    /// At most this many shards consolidating concurrently (MaintainShards
+    /// policy knob).
+    size_t max_concurrent_rebuilds = 1;
+    /// Let every shard self-schedule rebuilds (DynamicIndex's own
+    /// background path) instead of waiting for MaintainShards. Off by
+    /// default: the serving loop calls MaintainShards between windows,
+    /// which bounds concurrent rebuilds globally — a per-shard trigger
+    /// cannot.
+    bool shard_background_rebuild = false;
+  };
+
+  /// `factory` creates the epoch index of every shard (same contract as
+  /// DynamicIndex::Factory — called once per shard consolidation).
+  ShardedIndex(core::DynamicIndex::Factory factory, Options options);
+
+  // --- AnnIndex interface -------------------------------------------------
+
+  /// Bulk load: rows get global ids 0..n-1, are hash-partitioned across the
+  /// shards, and each non-empty shard is built over its slice. Previous
+  /// contents are discarded (in-flight shard rebuilds are drained first).
+  void Build(const dataset::Dataset& data) override;
+
+  /// k nearest surviving neighbors by true distance, global ids: each shard
+  /// answers for k, results are remapped to global ids and S-way merged.
+  std::vector<util::Neighbor> Query(const float* query,
+                                    size_t k) const override;
+
+  /// Batched queries: the whole batch is scattered to every shard's
+  /// QueryBatch (which fans out over the shared pool), then the per-shard
+  /// answer lists are remapped and merged per query in parallel. Identical
+  /// to per-row Query by construction.
+  std::vector<std::vector<util::Neighbor>> QueryBatch(
+      const float* queries, size_t num_queries, size_t k,
+      size_t num_threads = 0) const override;
+
+  /// Appends a dim()-dimensional vector; returns its global id (insert
+  /// order, monotone across the whole sharded index).
+  int32_t Insert(const float* vec) override;
+
+  /// Tombstones the point with global id `id`; returns false when the id
+  /// was never assigned or is already deleted.
+  bool Remove(int32_t id) override;
+
+  /// Refused for non-null bitmaps, same contract as DynamicIndex: the
+  /// shards manage their own tombstones via Remove.
+  void set_deleted_filter(const std::vector<uint8_t>* deleted) override;
+
+  size_t dim() const override;
+  size_t IndexSizeBytes() const override;
+  std::string name() const override;
+
+  // --- Sharding introspection ---------------------------------------------
+
+  size_t num_shards() const;
+  size_t live_count() const;       ///< surviving points across all shards
+  bool Contains(int32_t id) const; ///< id assigned and not deleted
+
+  /// Per-shard DynamicIndex::stats() snapshots (index = shard number).
+  std::vector<core::DynamicIndex::Stats> ShardStats() const;
+
+  /// Copies the surviving vectors in ascending global-id order across all
+  /// shards; `ids` (optional) receives the matching global ids. The oracle
+  /// input, exactly like DynamicIndex::LiveVectors.
+  util::Matrix LiveVectors(std::vector<int32_t>* ids = nullptr) const;
+
+  // --- Consolidation scheduling -------------------------------------------
+
+  /// The per-shard consolidation scheduler: triggers a background rebuild
+  /// on the shards whose delta has outgrown Options::rebuild_threshold —
+  /// largest delta first — until Options::max_concurrent_rebuilds are in
+  /// flight. Returns the number of rebuilds triggered by this call. Cheap
+  /// when nothing is due (S stats snapshots); serve::Server calls it after
+  /// every batching window.
+  size_t MaintainShards();
+
+  /// Synchronously consolidates every shard (tests / shutdown barrier).
+  void ConsolidateAll();
+
+  /// Blocks until no shard rebuild is in flight; rethrows the first error a
+  /// background rebuild died with.
+  void WaitForRebuilds() const;
+
+  /// The shard a global id hashes to, given S shards (splitmix64 finalizer;
+  /// exposed for tests).
+  static size_t ShardOf(int32_t id, size_t num_shards);
+
+ private:
+  /// Where a global id lives. Never erased — ids are not reused, and
+  /// Remove answers "already deleted" through the shard itself.
+  struct Location {
+    uint32_t shard = 0;
+    int32_t local = 0;
+  };
+
+  std::shared_lock<std::shared_mutex> ReadLock() const;
+  std::unique_lock<std::shared_mutex> WriteLock() const;
+
+  core::DynamicIndex::Factory factory_;
+  Options options_;
+
+  /// Guards the id maps and next_id_ (the shards guard themselves).
+  /// Same writer-starvation gate as DynamicIndex: readers tap gate_ first,
+  /// so a steady query stream cannot park a writer forever.
+  mutable std::shared_mutex mutex_;
+  mutable std::mutex gate_;
+  std::vector<std::unique_ptr<core::DynamicIndex>> shards_;
+  std::vector<Location> locations_;             ///< global id -> residence
+  std::vector<std::vector<int32_t>> local_to_global_;  ///< per shard, ascending
+  int32_t next_id_ = 0;
+};
+
+}  // namespace serve
+}  // namespace lccs
+
+#endif  // LCCS_SERVE_SHARDED_INDEX_H_

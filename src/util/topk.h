@@ -63,6 +63,53 @@ class TopK {
   std::vector<Neighbor> heap_;  // max-heap on dist
 };
 
+/// Merges S individually-sorted neighbor lists into the k best overall,
+/// ordered by (distance, id) — the scatter/gather step of every sharded
+/// query path (serve::ShardedIndex fans a query out to S shards and merges
+/// the per-shard top-k lists with this). A loser-tree-style heap over the
+/// list heads: O(m log S) for m emitted results, and ties are broken exactly
+/// like Neighbor::operator<, so the merged ranking is identical to sorting
+/// the concatenation.
+inline std::vector<Neighbor> MergeSortedTopK(
+    const std::vector<std::vector<Neighbor>>& lists, size_t k) {
+  std::vector<Neighbor> merged;
+  if (k == 0) return merged;
+  if (lists.size() == 1) {
+    merged = lists.front();
+    if (merged.size() > k) merged.resize(k);
+    return merged;
+  }
+  // Heap entries are (next neighbor, source list); the comparator inverts
+  // Neighbor::operator< to make std::push_heap/pop_heap a min-heap.
+  struct Head {
+    Neighbor nb;
+    size_t list = 0;
+    size_t pos = 0;
+  };
+  const auto later = [](const Head& a, const Head& b) { return b.nb < a.nb; };
+  std::vector<Head> heap;
+  heap.reserve(lists.size());
+  for (size_t s = 0; s < lists.size(); ++s) {
+    if (!lists[s].empty()) heap.push_back({lists[s][0], s, 0});
+  }
+  std::make_heap(heap.begin(), heap.end(), later);
+  size_t total = 0;
+  for (const auto& list : lists) total += list.size();
+  merged.reserve(std::min(k, total));
+  while (!heap.empty() && merged.size() < k) {
+    std::pop_heap(heap.begin(), heap.end(), later);
+    Head head = heap.back();
+    heap.pop_back();
+    merged.push_back(head.nb);
+    if (++head.pos < lists[head.list].size()) {
+      head.nb = lists[head.list][head.pos];
+      heap.push_back(head);
+      std::push_heap(heap.begin(), heap.end(), later);
+    }
+  }
+  return merged;
+}
+
 }  // namespace util
 }  // namespace lccs
 

@@ -351,6 +351,59 @@ TEST(DynamicOracleEquivalence, MpLccsLsh) {
   RunSequences(ConfigsUnderTest()[2], SequencesPerConfig(), 3000);
 }
 
+// The stats() snapshot feeds the shard consolidation scheduler
+// (serve::ShardedIndex::MaintainShards): all counters must come from one
+// lock acquisition and agree with the individual accessors at quiescence.
+TEST(DynamicIndexStats, SnapshotTracksMutationsAndConsolidation) {
+  DynamicIndex::Options options;
+  options.dim = kDim;
+  options.rebuild_threshold = 1 << 30;  // no automatic consolidation
+  options.background_rebuild = false;
+  DynamicIndex index(ConfigsUnderTest()[0].make, options);
+
+  DynamicIndex::Stats stats = index.stats();
+  EXPECT_EQ(stats.live, 0u);
+  EXPECT_EQ(stats.epoch_rows, 0u);
+  EXPECT_EQ(stats.delta_rows, 0u);
+  EXPECT_EQ(stats.tombstones, 0u);
+  EXPECT_EQ(stats.epoch_sequence, 0u);
+  EXPECT_FALSE(stats.rebuild_in_flight);
+  EXPECT_FALSE(index.rebuild_in_flight());
+
+  for (uint64_t payload = 0; payload < 10; ++payload) {
+    const auto vec = VectorFromPayload(payload);
+    index.Insert(vec.data());
+  }
+  ASSERT_TRUE(index.Remove(2));
+  ASSERT_TRUE(index.Remove(7));
+  stats = index.stats();
+  EXPECT_EQ(stats.live, 8u);
+  EXPECT_EQ(stats.epoch_rows, 0u);
+  EXPECT_EQ(stats.delta_rows, 10u);  // live + tombstoned delta slots
+  EXPECT_EQ(stats.tombstones, 2u);
+  EXPECT_EQ(stats.delta_rows, index.delta_size());
+  EXPECT_EQ(stats.tombstones, index.tombstone_count());
+
+  index.Consolidate();
+  stats = index.stats();
+  EXPECT_EQ(stats.live, 8u);
+  EXPECT_EQ(stats.epoch_rows, 8u);
+  EXPECT_EQ(stats.delta_rows, 0u);
+  EXPECT_EQ(stats.tombstones, 0u);
+  EXPECT_EQ(stats.epoch_sequence, 1u);
+  EXPECT_FALSE(stats.rebuild_in_flight);
+
+  // TriggerRebuild claims the in-flight slot; a second trigger while one
+  // runs must be refused (the scheduler counts on that to bound fan-out).
+  const auto vec = VectorFromPayload(99);
+  index.Insert(vec.data());
+  ASSERT_TRUE(index.TriggerRebuild());
+  EXPECT_FALSE(index.TriggerRebuild());
+  index.WaitForRebuild();
+  EXPECT_FALSE(index.rebuild_in_flight());
+  EXPECT_EQ(index.stats().epoch_sequence, 2u);
+}
+
 // Non-exhaustive λ: results are approximate, so oracle identity does not
 // apply — but every returned id must be a survivor, rankings must be
 // sorted, and recall against the recomputed exact answers should be decent

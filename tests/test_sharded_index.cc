@@ -1,0 +1,344 @@
+// Sharding unit tests for serve::ShardedIndex: global ↔ local id mapping,
+// k larger than any shard, empty shards, the S = 1 degenerate case (must be
+// bit-identical to a single core::DynamicIndex), and the consolidation
+// scheduler (MaintainShards policy over DynamicIndex::stats snapshots).
+//
+// Shard configurations run in exhaustive-verification mode where oracle
+// identity is asserted, exactly like tests/test_dynamic_index.cc.
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/lccs_adapter.h"
+#include "baselines/linear_scan.h"
+#include "core/dynamic_index.h"
+#include "dataset/synthetic.h"
+#include "serve/sharded_index.h"
+#include "util/random.h"
+
+namespace lccs {
+namespace serve {
+namespace {
+
+constexpr size_t kDim = 10;
+
+core::DynamicIndex::Factory LinearScanFactory() {
+  return [] { return std::make_unique<baselines::LinearScan>(); };
+}
+
+core::DynamicIndex::Factory ExhaustiveLccsFactory() {
+  baselines::LccsLshIndex::Params params;
+  params.m = 16;
+  params.lambda = 4096;  // verifies every candidate -> exact k-NN
+  params.w = 4.0;
+  return [params] { return std::make_unique<baselines::LccsLshIndex>(params); };
+}
+
+dataset::Dataset MakeData(size_t n, uint64_t seed, size_t num_queries = 8) {
+  dataset::SyntheticConfig config;
+  config.n = n;
+  config.num_queries = num_queries;
+  config.dim = kDim;
+  config.num_clusters = 4;
+  config.seed = seed;
+  return dataset::GenerateClustered(config);
+}
+
+std::vector<float> RandomVector(util::Rng& rng) {
+  std::vector<float> vec(kDim);
+  rng.FillGaussian(vec.data(), vec.size());
+  return vec;
+}
+
+TEST(ShardOf, DeterministicAndInRange) {
+  for (const size_t shards : {size_t{1}, size_t{3}, size_t{8}}) {
+    for (int32_t id = 0; id < 1000; ++id) {
+      const size_t s = ShardedIndex::ShardOf(id, shards);
+      EXPECT_LT(s, shards);
+      EXPECT_EQ(s, ShardedIndex::ShardOf(id, shards));  // pure function
+    }
+  }
+  // The hash actually spreads consecutive ids: with 4 shards and 1000 ids,
+  // no shard should be starved or hoard everything.
+  std::vector<size_t> counts(4, 0);
+  for (int32_t id = 0; id < 1000; ++id) ++counts[ShardedIndex::ShardOf(id, 4)];
+  for (const size_t count : counts) {
+    EXPECT_GT(count, 150u);
+    EXPECT_LT(count, 350u);
+  }
+}
+
+TEST(ShardedIndexIds, GlobalLocalRoundTrip) {
+  const auto data = MakeData(100, 7);
+  ShardedIndex::Options options;
+  options.num_shards = 4;
+  ShardedIndex index(LinearScanFactory(), options);
+  index.Build(data);
+
+  // Build assigns global ids 0..n-1; every one resolves and its vector
+  // round-trips: querying a stored vector must return its own global id at
+  // distance 0 first (exact mode).
+  for (int32_t id = 0; id < 100; ++id) {
+    ASSERT_TRUE(index.Contains(id));
+    const auto result = index.Query(data.data.Row(static_cast<size_t>(id)), 1);
+    ASSERT_EQ(result.size(), 1u);
+    EXPECT_EQ(result[0].id, id);
+    EXPECT_EQ(result[0].dist, 0.0);
+  }
+
+  // Inserts continue the global id sequence regardless of which shard the
+  // point hashes to.
+  util::Rng rng(11);
+  std::vector<std::vector<float>> inserted;
+  for (int32_t i = 0; i < 20; ++i) {
+    inserted.push_back(RandomVector(rng));
+    EXPECT_EQ(index.Insert(inserted.back().data()), 100 + i);
+  }
+  for (int32_t i = 0; i < 20; ++i) {
+    const auto result = index.Query(inserted[static_cast<size_t>(i)].data(), 1);
+    ASSERT_EQ(result.size(), 1u);
+    EXPECT_EQ(result[0].id, 100 + i);
+  }
+
+  // Removes address points through the same map; double-removes and
+  // never-assigned ids are refused.
+  EXPECT_TRUE(index.Remove(3));
+  EXPECT_FALSE(index.Remove(3));
+  EXPECT_FALSE(index.Contains(3));
+  EXPECT_FALSE(index.Remove(-1));
+  EXPECT_FALSE(index.Remove(120));
+  EXPECT_EQ(index.live_count(), 119u);
+
+  // LiveVectors is the global-id-ascending union of the shards.
+  std::vector<int32_t> ids;
+  const util::Matrix live = index.LiveVectors(&ids);
+  ASSERT_EQ(ids.size(), 119u);
+  EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+  EXPECT_EQ(std::count(ids.begin(), ids.end(), 3), 0);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const float* want = ids[i] < 100
+                            ? data.data.Row(static_cast<size_t>(ids[i]))
+                            : inserted[static_cast<size_t>(ids[i] - 100)].data();
+    for (size_t j = 0; j < kDim; ++j) {
+      EXPECT_EQ(live.At(i, j), want[j]) << "row " << i << " col " << j;
+    }
+  }
+}
+
+TEST(ShardedIndexQueries, KLargerThanAnyShard) {
+  const auto data = MakeData(10, 3);
+  ShardedIndex::Options options;
+  options.num_shards = 4;
+  ShardedIndex index(ExhaustiveLccsFactory(), options);
+  index.Build(data);
+
+  // k = 50 over 10 points spread across 4 shards: every survivor comes
+  // back, globally sorted, no padding and no duplicates.
+  auto result = index.Query(data.queries.Row(0), 50);
+  ASSERT_EQ(result.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(result.begin(), result.end()));
+  std::vector<int32_t> seen;
+  for (const auto& nb : result) seen.push_back(nb.id);
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen, (std::vector<int32_t>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+
+  ASSERT_TRUE(index.Remove(4));
+  ASSERT_TRUE(index.Remove(7));
+  result = index.Query(data.queries.Row(0), 50);
+  ASSERT_EQ(result.size(), 8u);
+  for (const auto& nb : result) {
+    EXPECT_NE(nb.id, 4);
+    EXPECT_NE(nb.id, 7);
+  }
+}
+
+TEST(ShardedIndexQueries, EmptyShardsAndEmptyIndex) {
+  // Fresh index, never built: queries answer empty, inserts work from
+  // Options::dim alone.
+  ShardedIndex::Options options;
+  options.num_shards = 8;
+  options.dim = kDim;
+  ShardedIndex empty(LinearScanFactory(), options);
+  util::Rng rng(5);
+  const auto probe = RandomVector(rng);
+  EXPECT_TRUE(empty.Query(probe.data(), 5).empty());
+  EXPECT_EQ(empty.live_count(), 0u);
+  EXPECT_EQ(empty.Insert(probe.data()), 0);
+  const auto result = empty.Query(probe.data(), 5);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].id, 0);
+
+  // 3 points across 8 shards: at least 5 shards are empty, and the empty
+  // ones must neither contribute results nor break the merge.
+  const auto data = MakeData(3, 9);
+  ShardedIndex sparse(LinearScanFactory(), options);
+  sparse.Build(data);
+  const auto stats = sparse.ShardStats();
+  ASSERT_EQ(stats.size(), 8u);
+  size_t empty_shards = 0;
+  size_t total = 0;
+  for (const auto& s : stats) {
+    total += s.live;
+    if (s.live == 0 && s.epoch_rows == 0) ++empty_shards;
+  }
+  EXPECT_EQ(total, 3u);
+  EXPECT_GE(empty_shards, 5u);
+  EXPECT_EQ(sparse.Query(data.queries.Row(0), 10).size(), 3u);
+}
+
+// S = 1 degenerates bit-identically to a single DynamicIndex: same global
+// ids, same results — including in a *non-exhaustive* (approximate) LCCS
+// configuration, where identity only holds if the sharded path adds exactly
+// nothing (same factory, same build inputs, monotone id remap, 1-way merge).
+TEST(ShardedIndexDegenerate, SingleShardBitIdenticalToDynamicIndex) {
+  baselines::LccsLshIndex::Params params;
+  params.m = 24;
+  params.lambda = 40;  // approximate mode
+  params.w = 8.0;
+  auto factory = [params] {
+    return std::make_unique<baselines::LccsLshIndex>(params);
+  };
+
+  const auto data = MakeData(300, 21, 12);
+
+  ShardedIndex::Options sharded_options;
+  sharded_options.num_shards = 1;
+  sharded_options.rebuild_threshold = 16;
+  ShardedIndex sharded(factory, sharded_options);
+  sharded.Build(data);
+
+  core::DynamicIndex::Options dynamic_options;
+  dynamic_options.dim = kDim;
+  dynamic_options.rebuild_threshold = 16;
+  dynamic_options.background_rebuild = false;
+  core::DynamicIndex dynamic(factory, dynamic_options);
+  dynamic.Build(data);
+
+  const auto check_identical = [&](const char* where) {
+    for (size_t q = 0; q < data.num_queries(); ++q) {
+      const auto got = sharded.Query(data.queries.Row(q), 10);
+      const auto want = dynamic.Query(data.queries.Row(q), 10);
+      ASSERT_EQ(got.size(), want.size()) << where << " query " << q;
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].id, want[i].id) << where << " query " << q;
+        EXPECT_EQ(got[i].dist, want[i].dist) << where << " query " << q;
+      }
+    }
+  };
+  check_identical("after build");
+
+  util::Rng rng(33);
+  for (int i = 0; i < 40; ++i) {
+    const auto vec = RandomVector(rng);
+    ASSERT_EQ(sharded.Insert(vec.data()), dynamic.Insert(vec.data()));
+  }
+  for (int32_t id = 0; id < 100; id += 7) {
+    ASSERT_EQ(sharded.Remove(id), dynamic.Remove(id));
+  }
+  check_identical("after mutations");
+
+  // Batched path degenerates identically too.
+  const auto batched =
+      sharded.QueryBatch(data.queries.data(), data.num_queries(), 10);
+  for (size_t q = 0; q < data.num_queries(); ++q) {
+    EXPECT_EQ(batched[q], dynamic.Query(data.queries.Row(q), 10));
+  }
+}
+
+TEST(ShardedIndexBatch, BatchIdenticalToSequentialQueries) {
+  const auto data = MakeData(120, 17, 16);
+  ShardedIndex::Options options;
+  options.num_shards = 4;
+  ShardedIndex index(ExhaustiveLccsFactory(), options);
+  index.Build(data);
+  util::Rng rng(2);
+  for (int i = 0; i < 30; ++i) {
+    const auto vec = RandomVector(rng);
+    index.Insert(vec.data());
+  }
+  for (int32_t id = 0; id < 120; id += 5) index.Remove(id);
+
+  for (const size_t threads : {size_t{1}, size_t{0}}) {
+    const auto batched =
+        index.QueryBatch(data.queries.data(), data.num_queries(), 7, threads);
+    ASSERT_EQ(batched.size(), data.num_queries());
+    for (size_t q = 0; q < data.num_queries(); ++q) {
+      EXPECT_EQ(batched[q], index.Query(data.queries.Row(q), 7))
+          << "threads " << threads << " query " << q;
+    }
+  }
+}
+
+TEST(ShardedIndexScheduler, MaintainShardsConsolidatesOverThreshold) {
+  ShardedIndex::Options options;
+  options.num_shards = 4;
+  options.dim = kDim;
+  options.rebuild_threshold = 8;
+  options.max_concurrent_rebuilds = 1;
+  ShardedIndex index(LinearScanFactory(), options);
+
+  util::Rng rng(44);
+  for (int i = 0; i < 64; ++i) {
+    const auto vec = RandomVector(rng);
+    index.Insert(vec.data());
+  }
+
+  // Everything sits in the deltas: no shard has consolidated yet.
+  size_t delta_total = 0;
+  for (const auto& stats : index.ShardStats()) {
+    EXPECT_EQ(stats.epoch_rows, 0u);
+    delta_total += stats.delta_rows;
+  }
+  EXPECT_EQ(delta_total, 64u);
+
+  // Drive the scheduler to quiescence. Each round triggers at most
+  // max_concurrent_rebuilds, so a single call must not consolidate every
+  // overdue shard at once.
+  const size_t first_round = index.MaintainShards();
+  EXPECT_EQ(first_round, 1u);
+  index.WaitForRebuilds();
+  size_t rounds = 1;
+  while (index.MaintainShards() > 0) {
+    index.WaitForRebuilds();
+    ++rounds;
+    ASSERT_LT(rounds, 32u) << "scheduler failed to converge";
+  }
+  EXPECT_GE(rounds, 2u);  // 64 points over 4 shards: several shards overdue
+
+  for (const auto& stats : index.ShardStats()) {
+    EXPECT_LT(stats.delta_rows, options.rebuild_threshold);
+    EXPECT_FALSE(stats.rebuild_in_flight);
+  }
+  EXPECT_EQ(index.live_count(), 64u);
+
+  // Consolidation must not have disturbed the id mapping.
+  std::vector<int32_t> ids;
+  index.LiveVectors(&ids);
+  ASSERT_EQ(ids.size(), 64u);
+  for (int32_t id = 0; id < 64; ++id) {
+    EXPECT_EQ(ids[static_cast<size_t>(id)], id);
+  }
+}
+
+TEST(ShardedIndexContract, RefusesExternalDeletedFilter) {
+  ShardedIndex::Options options;
+  options.dim = kDim;
+  ShardedIndex index(LinearScanFactory(), options);
+  const std::vector<uint8_t> bitmap(4, 0);
+  EXPECT_THROW(index.set_deleted_filter(&bitmap), std::runtime_error);
+  EXPECT_NO_THROW(index.set_deleted_filter(nullptr));
+}
+
+TEST(ShardedIndexContract, RejectsZeroShards) {
+  ShardedIndex::Options options;
+  options.num_shards = 0;
+  EXPECT_THROW(ShardedIndex(LinearScanFactory(), options),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace lccs

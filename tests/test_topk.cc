@@ -82,6 +82,40 @@ TEST(NeighborTest, OrderingBreaksTiesById) {
   EXPECT_TRUE(a == Neighbor({1, 2.0}));
 }
 
+TEST(MergeSortedTopKTest, MatchesSortedConcatenationOnRandomLists) {
+  Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t num_lists = 1 + rng.NextBounded(6);
+    const size_t k = rng.NextBounded(12);
+    std::vector<std::vector<Neighbor>> lists(num_lists);
+    std::vector<Neighbor> all;
+    int32_t next_id = 0;
+    for (auto& list : lists) {
+      const size_t len = rng.NextBounded(8);
+      for (size_t i = 0; i < len; ++i) {
+        // Few distinct distances -> plenty of cross-list ties, which must
+        // come out in (distance, id) order exactly like a full sort.
+        list.push_back({next_id++, 1.0 + rng.NextBounded(4)});
+      }
+      std::sort(list.begin(), list.end());
+      all.insert(all.end(), list.begin(), list.end());
+    }
+    std::sort(all.begin(), all.end());
+    if (all.size() > k) all.resize(k);
+    EXPECT_EQ(MergeSortedTopK(lists, k), all) << "trial " << trial;
+  }
+}
+
+TEST(MergeSortedTopKTest, EmptyAndDegenerateInputs) {
+  EXPECT_TRUE(MergeSortedTopK({}, 5).empty());
+  EXPECT_TRUE(MergeSortedTopK({{}, {}, {}}, 5).empty());
+  EXPECT_TRUE(MergeSortedTopK({{{1, 1.0}}}, 0).empty());
+  const std::vector<std::vector<Neighbor>> single = {
+      {{3, 1.0}, {4, 2.0}, {5, 3.0}}};
+  EXPECT_EQ(MergeSortedTopK(single, 2),
+            (std::vector<Neighbor>{{3, 1.0}, {4, 2.0}}));
+}
+
 }  // namespace
 }  // namespace util
 }  // namespace lccs

@@ -10,8 +10,16 @@
 //   lccs_tool query <base.fvecs> <index.lccs> <queries.fvecs> [k] [lambda]
 //       Loads the index, answers each query, prints ids and distances.
 //
+//   lccs_tool convert <in.fvecs|in.bvecs> <out.flat>
+//       Streams a TEXMEX file into the LCCS flat format (O(dim) memory).
+//
 //   lccs_tool demo
 //       Self-contained round trip on synthetic data (no files needed).
+//
+// Everywhere a <base> file is expected, a .flat file produced by `convert`
+// works too: it is served zero-copy through a memory-mapped
+// storage::MmapStore (validated header + checksum) instead of being loaded
+// into RAM — the way to run paper-scale bases on small machines.
 
 #include <cstdio>
 #include <cstdlib>
@@ -23,6 +31,7 @@
 #include "dataset/io.h"
 #include "dataset/synthetic.h"
 #include "eval/workloads.h"
+#include "storage/mmap_store.h"
 #include "util/timer.h"
 
 namespace {
@@ -32,12 +41,40 @@ using namespace lccs;
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  lccs_tool build <base.fvecs> <index.lccs> [m=64] [w=auto] "
-               "[metric=euclidean]\n"
-               "  lccs_tool query <base.fvecs> <index.lccs> <queries.fvecs> "
-               "[k=10] [lambda=200]\n"
+               "  lccs_tool build <base.fvecs|base.flat> <index.lccs> "
+               "[m=64] [w=auto] [metric=euclidean]\n"
+               "  lccs_tool query <base.fvecs|base.flat> <index.lccs> "
+               "<queries.fvecs> [k=10] [lambda=200]\n"
+               "  lccs_tool convert <in.fvecs|in.bvecs> <out.flat>\n"
                "  lccs_tool demo\n");
   return 2;
+}
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  const size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+/// Loads a base file either as a heap matrix (.fvecs) or as a zero-copy
+/// memory-mapped store (.flat).
+storage::VectorStoreRef LoadBase(const std::string& path) {
+  if (EndsWith(path, ".flat")) {
+    return storage::MmapStore::Open(path);
+  }
+  return dataset::ReadFvecs(path);
+}
+
+/// Unit-normalizes the base set for angular metrics, flagging the hidden
+/// cost when that set was memory-mapped (copy-on-write clones it to heap).
+void NormalizeForAngular(dataset::Dataset* data, const std::string& base_path) {
+  if (EndsWith(base_path, ".flat")) {
+    std::fprintf(stderr,
+                 "note: angular metric normalizes the base set, which "
+                 "copies the whole mapped file onto the heap — store "
+                 "pre-normalized vectors in the .flat file to keep the "
+                 "mmap footprint\n");
+  }
+  data->NormalizeAll();
 }
 
 util::Metric ParseMetric(const char* name) {
@@ -57,9 +94,9 @@ int Build(int argc, char** argv) {
 
   std::printf("reading %s ...\n", base_path.c_str());
   dataset::Dataset data;
-  data.data = dataset::ReadFvecs(base_path);
+  data.data = LoadBase(base_path);
   data.metric = metric;
-  if (metric == util::Metric::kAngular) data.NormalizeAll();
+  if (metric == util::Metric::kAngular) NormalizeForAngular(&data, base_path);
   std::printf("%zu vectors, d=%zu\n", data.n(), data.dim());
   if (w <= 0.0) {
     w = 2.0 * eval::EstimateDistanceScale(data);
@@ -95,11 +132,18 @@ int QueryCmd(int argc, char** argv) {
   const size_t lambda = argc > 6 ? std::strtoul(argv[6], nullptr, 10) : 200;
 
   dataset::Dataset data;
-  data.data = dataset::ReadFvecs(base_path);
+  data.data = LoadBase(base_path);
   const auto queries = dataset::ReadFvecs(query_path);
+  // Normalization must happen BEFORE LoadIndex exports the raw base
+  // pointer: NormalizeAll's copy-on-write would otherwise swap the store
+  // out from under the bound index (unmapping a .flat base entirely).
+  // Peeking the descriptor tells us the metric without binding anything.
+  data.metric = core::ReadIndexDescriptor(index_path).metric;
+  if (data.metric == util::Metric::kAngular) {
+    NormalizeForAngular(&data, base_path);
+  }
   auto index = core::LoadIndex(index_path, data.data.data(), data.data.rows(),
                                data.data.cols());
-  if (index->metric() == util::Metric::kAngular) data.NormalizeAll();
   std::printf("loaded index: n=%zu m=%zu metric=%s\n", index->n(), index->m(),
               util::MetricName(index->metric()).c_str());
 
@@ -114,6 +158,24 @@ int QueryCmd(int argc, char** argv) {
   }
   std::printf("%.3f ms/query average\n",
               timer.ElapsedMillis() / static_cast<double>(queries.rows()));
+  return 0;
+}
+
+int Convert(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const std::string in_path = argv[2];
+  const std::string out_path = argv[3];
+  util::Timer timer;
+  const storage::FlatHeader header =
+      EndsWith(in_path, ".bvecs")
+          ? dataset::ConvertBvecsToFlat(in_path, out_path)
+          : dataset::ConvertFvecsToFlat(in_path, out_path);
+  std::printf("wrote %s: %llu x %llu floats, checksum %016llx (%.2f s)\n",
+              out_path.c_str(),
+              static_cast<unsigned long long>(header.rows),
+              static_cast<unsigned long long>(header.cols),
+              static_cast<unsigned long long>(header.checksum),
+              timer.ElapsedSeconds());
   return 0;
 }
 
@@ -147,6 +209,7 @@ int main(int argc, char** argv) {
     if (argc < 2) return Usage();
     if (std::strcmp(argv[1], "build") == 0) return Build(argc, argv);
     if (std::strcmp(argv[1], "query") == 0) return QueryCmd(argc, argv);
+    if (std::strcmp(argv[1], "convert") == 0) return Convert(argc, argv);
     if (std::strcmp(argv[1], "demo") == 0) return Demo();
     return Usage();
   } catch (const std::exception& e) {

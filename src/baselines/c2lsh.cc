@@ -33,15 +33,17 @@ C2Lsh::C2Lsh(Params params) : params_(params) {
 }
 
 void C2Lsh::Build(const dataset::Dataset& data) {
-  data_ = &data;
+  store_ = data.data.store();
+  metric_ = data.metric;
   const size_t m = params_.num_functions;
   family_ = lsh::MakeFamily(lsh::DefaultFamilyFor(data.metric), data.dim(), m,
                             params_.w, params_.seed);
+  const storage::VectorStore& rows = *store_;
   std::vector<lsh::HashValue> hashes(data.n() * m);
   util::ParallelFor(data.n(), [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      family_->Hash(data.data.Row(i), hashes.data() + i * m);
-    }
+    storage::ScanRows(rows, begin, end, [&](size_t i) {
+      family_->Hash(rows.Row(i), hashes.data() + i * m);
+    });
   });
   entries_.assign(m, {});
   for (size_t f = 0; f < m; ++f) {
@@ -55,11 +57,11 @@ void C2Lsh::Build(const dataset::Dataset& data) {
 }
 
 std::vector<util::Neighbor> C2Lsh::Query(const float* query, size_t k) const {
-  assert(data_ != nullptr);
+  assert(store_ != nullptr);
   const size_t m = params_.num_functions;
-  const size_t n = data_->n();
-  const size_t d = data_->dim();
-  const bool euclidean = data_->metric == util::Metric::kEuclidean;
+  const size_t n = store_->rows();
+  const size_t d = store_->cols();
+  const bool euclidean = metric_ == util::Metric::kEuclidean;
   std::vector<lsh::HashValue> hq(m);
   family_->Hash(query, hq.data());
 
@@ -172,9 +174,10 @@ std::vector<util::Neighbor> C2Lsh::Query(const float* query, size_t k) const {
       pending.push_back(id);
     }
   }
+  store_->PrefetchRows(pending.data(), pending.size());
   util::TopK topk(k);
-  util::VerifyCandidates(data_->metric, data_->data.data(), d, query,
-                         pending.data(), pending.size(), topk,
+  util::VerifyCandidates(metric_, store_->data(), d, query, pending.data(),
+                         pending.size(), topk,
                          /*first_id=*/0, deleted_rows());
   return topk.Sorted();
 }

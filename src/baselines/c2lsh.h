@@ -44,10 +44,12 @@ class C2Lsh : public AnnIndex {
 
   explicit C2Lsh(Params params);
 
+  /// Retains the dataset's vector store (shared, zero-copy); the Dataset
+  /// struct itself is not referenced afterwards.
   void Build(const dataset::Dataset& data) override;
   std::vector<util::Neighbor> Query(const float* query,
                                     size_t k) const override;
-  size_t dim() const override { return data_ != nullptr ? data_->dim() : 0; }
+  size_t dim() const override { return store_ ? store_->cols() : 0; }
   size_t IndexSizeBytes() const override;
   std::string name() const override { return "C2LSH"; }
 
@@ -66,7 +68,8 @@ class C2Lsh : public AnnIndex {
   Params params_;
   size_t threshold_ = 0;
   std::unique_ptr<lsh::HashFamily> family_;
-  const dataset::Dataset* data_ = nullptr;
+  std::shared_ptr<const storage::VectorStore> store_;
+  util::Metric metric_ = util::Metric::kEuclidean;
   // entries_[f] = points sorted by their bucket under function f.
   std::vector<std::vector<Entry>> entries_;
 };

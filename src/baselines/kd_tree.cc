@@ -5,19 +5,24 @@
 #include <cassert>
 #include <limits>
 #include <numeric>
+#include <utility>
 
 namespace lccs {
 namespace baselines {
 
 void KdTree::Build(const util::Matrix& points, size_t leaf_size) {
+  Build(util::Matrix(points), leaf_size);
+}
+
+void KdTree::Build(util::Matrix&& points, size_t leaf_size) {
   assert(points.rows() > 0 && leaf_size >= 1);
-  points_ = points;
-  perm_.resize(points.rows());
+  points_ = std::move(points);
+  perm_.resize(points_.rows());
   std::iota(perm_.begin(), perm_.end(), 0);
   nodes_.clear();
   bboxes_.clear();
-  nodes_.reserve(2 * points.rows() / leaf_size + 2);
-  root_ = BuildNode(0, static_cast<int32_t>(points.rows()), leaf_size);
+  nodes_.reserve(2 * points_.rows() / leaf_size + 2);
+  root_ = BuildNode(0, static_cast<int32_t>(points_.rows()), leaf_size);
 }
 
 int32_t KdTree::BuildNode(int32_t begin, int32_t end, size_t leaf_size) {

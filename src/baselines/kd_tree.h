@@ -18,9 +18,12 @@ namespace baselines {
 /// the standard in-memory choice for d' <= 10).
 class KdTree {
  public:
-  /// Builds over `points` (copied). Splits on the widest dimension at the
-  /// median; leaves hold up to `leaf_size` points.
+  /// Builds over `points` (copied — or adopted without a copy through the
+  /// rvalue overload, which SRS uses for its freshly projected matrix).
+  /// Splits on the widest dimension at the median; leaves hold up to
+  /// `leaf_size` points.
   void Build(const util::Matrix& points, size_t leaf_size = 16);
+  void Build(util::Matrix&& points, size_t leaf_size = 16);
 
   size_t size() const { return points_.rows(); }
   size_t dim() const { return points_.cols(); }

@@ -11,15 +11,14 @@ LccsLshIndex::LccsLshIndex(Params params) : params_(params) {
 
 void LccsLshIndex::Build(const dataset::Dataset& data) {
   scheme_ = MakeScheme(data);
-  scheme_->Build(data.data.data(), data.n(), data.dim());
+  scheme_->Build(data.data.store());
   scheme_->set_deleted_filter(deleted_filter_);
 }
 
 void LccsLshIndex::AttachPrebuilt(const dataset::Dataset& data,
                                   core::CircularShiftArray csa) {
   scheme_ = MakeScheme(data);
-  scheme_->AttachPrebuilt(data.data.data(), data.n(), data.dim(),
-                          std::move(csa));
+  scheme_->AttachPrebuilt(data.data.store(), std::move(csa));
   scheme_->set_deleted_filter(deleted_filter_);
 }
 

@@ -9,25 +9,43 @@
 namespace lccs {
 namespace baselines {
 
-void LinearScan::Build(const dataset::Dataset& data) { data_ = &data; }
+void LinearScan::Build(const dataset::Dataset& data) {
+  store_ = data.data.store();
+  metric_ = data.metric;
+}
 
 std::vector<util::Neighbor> LinearScan::Query(const float* query,
                                               size_t k) const {
-  assert(data_ != nullptr);
+  assert(store_ != nullptr);
   util::TopK topk(k);
-  util::VerifyCandidates(data_->metric, data_->data.data(), data_->dim(),
-                         query, /*ids=*/nullptr, data_->n(), topk,
-                         /*first_id=*/0, deleted_rows());
+  // Blocked sweep rather than one VerifyCandidates over all n: contiguous
+  // blocks with ascending first_id offer candidates in exactly the same
+  // order (bit-identical results — the invariant QueryBatch already leans
+  // on), while the per-block advisories let a budgeted mmap store bound its
+  // residency mid-scan instead of being told about the whole file once.
+  const size_t d = store_->cols();
+  const size_t n = store_->rows();
+  const float* base = store_->data();
+  const size_t block =
+      d > 0 ? std::max<size_t>(4, (size_t{4} << 20) / (d * sizeof(float))) : n;
+  for (size_t row = 0; row < n; row += block) {
+    const size_t len = std::min(block, n - row);
+    store_->PrefetchRange(row, len);
+    util::VerifyCandidates(metric_, base, d, query, /*ids=*/nullptr, len,
+                           topk, static_cast<int32_t>(row), deleted_rows());
+  }
   return topk.Sorted();
 }
 
 std::vector<std::vector<util::Neighbor>> LinearScan::QueryBatch(
     const float* queries, size_t num_queries, size_t k,
     size_t num_threads) const {
-  assert(data_ != nullptr);
-  const size_t d = data_->dim();
-  const util::Metric metric = data_->metric;
-  const float* base = data_->data.data();
+  assert(store_ != nullptr);
+  const size_t d = store_->cols();
+  const size_t n = store_->rows();
+  const util::Metric metric = metric_;
+  const float* base = store_->data();
+  const storage::VectorStore& rows = *store_;
   const uint8_t* deleted = deleted_rows();
   // Cache blocking: a block of rows is verified against every query in the
   // chunk before moving on, so the block stays resident across queries.
@@ -41,8 +59,11 @@ std::vector<std::vector<util::Neighbor>> LinearScan::QueryBatch(
         std::vector<util::TopK> heaps;
         heaps.reserve(end - begin);
         for (size_t q = begin; q < end; ++q) heaps.emplace_back(k);
-        for (size_t row = 0; row < data_->n(); row += block) {
-          const size_t len = std::min(block, data_->n() - row);
+        for (size_t row = 0; row < n; row += block) {
+          const size_t len = std::min(block, n - row);
+          // One advisory per block, not per query: the block is re-scanned
+          // (end - begin) times but only faulted / charged once.
+          rows.PrefetchRange(row, len);
           for (size_t q = begin; q < end; ++q) {
             util::VerifyCandidates(metric, base, d, queries + q * d,
                                    /*ids=*/nullptr, len, heaps[q - begin],

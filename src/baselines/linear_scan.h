@@ -11,6 +11,9 @@ namespace baselines {
 /// (LCCS-LSH with O(1) hash functions degenerates to linear-scan cost).
 class LinearScan : public AnnIndex {
  public:
+  /// Retains the dataset's vector store (shared, zero-copy — possibly a
+  /// memory-mapped flat file); the Dataset struct itself is not referenced
+  /// afterwards.
   void Build(const dataset::Dataset& data) override;
   std::vector<util::Neighbor> Query(const float* query,
                                     size_t k) const override;
@@ -24,12 +27,13 @@ class LinearScan : public AnnIndex {
   std::vector<std::vector<util::Neighbor>> QueryBatch(
       const float* queries, size_t num_queries, size_t k,
       size_t num_threads = 0) const override;
-  size_t dim() const override { return data_ != nullptr ? data_->dim() : 0; }
+  size_t dim() const override { return store_ ? store_->cols() : 0; }
   size_t IndexSizeBytes() const override { return 0; }
   std::string name() const override { return "LinearScan"; }
 
  private:
-  const dataset::Dataset* data_ = nullptr;
+  std::shared_ptr<const storage::VectorStore> store_;
+  util::Metric metric_ = util::Metric::kEuclidean;
 };
 
 }  // namespace baselines

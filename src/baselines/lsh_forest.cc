@@ -43,15 +43,17 @@ int LshForest::Compare(size_t tree, int32_t id,
 }
 
 void LshForest::Build(const dataset::Dataset& data) {
-  data_ = &data;
+  store_ = data.data.store();
+  metric_ = data.metric;
   const size_t total = params_.num_trees * params_.depth;
   family_ = lsh::MakeFamily(family_kind_, data.dim(), total, params_.w,
                             params_.seed);
+  const storage::VectorStore& rows = *store_;
   strings_.assign(data.n() * total, 0);
   util::ParallelFor(data.n(), [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      family_->Hash(data.data.Row(i), strings_.data() + i * total);
-    }
+    storage::ScanRows(rows, begin, end, [&](size_t i) {
+      family_->Hash(rows.Row(i), strings_.data() + i * total);
+    });
   });
   sorted_.assign(params_.num_trees, {});
   for (size_t tree = 0; tree < params_.num_trees; ++tree) {
@@ -76,11 +78,11 @@ void LshForest::Build(const dataset::Dataset& data) {
 
 std::vector<util::Neighbor> LshForest::Query(const float* query,
                                              size_t k) const {
-  assert(data_ != nullptr);
+  assert(store_ != nullptr);
   const size_t total = params_.num_trees * params_.depth;
   std::vector<lsh::HashValue> hq(total);
   family_->Hash(query, hq.data());
-  const auto n = static_cast<int32_t>(data_->n());
+  const auto n = static_cast<int32_t>(store_->rows());
 
   // One frontier entry per (tree, direction); pops in non-increasing prefix
   // length order across trees (the "synchronous descent" of the original
@@ -136,9 +138,10 @@ std::vector<util::Neighbor> LshForest::Query(const float* query,
                e.dir});
     }
   }
+  store_->PrefetchRows(cand_ids.data(), cand_ids.size());
   util::TopK topk(k);
-  util::VerifyCandidates(data_->metric, data_->data.data(), data_->dim(),
-                         query, cand_ids.data(), cand_ids.size(), topk,
+  util::VerifyCandidates(metric_, store_->data(), store_->cols(), query,
+                         cand_ids.data(), cand_ids.size(), topk,
                          /*first_id=*/0, deleted_rows());
   return topk.Sorted();
 }

@@ -37,10 +37,12 @@ class LshForest : public AnnIndex {
 
   LshForest(lsh::FamilyKind family, Params params);
 
+  /// Retains the dataset's vector store (shared, zero-copy); the Dataset
+  /// struct itself is not referenced afterwards.
   void Build(const dataset::Dataset& data) override;
   std::vector<util::Neighbor> Query(const float* query,
                                     size_t k) const override;
-  size_t dim() const override { return data_ != nullptr ? data_->dim() : 0; }
+  size_t dim() const override { return store_ ? store_->cols() : 0; }
   size_t IndexSizeBytes() const override;
   std::string name() const override { return "LSH-Forest"; }
 
@@ -59,7 +61,8 @@ class LshForest : public AnnIndex {
   lsh::FamilyKind family_kind_;
   Params params_;
   std::unique_ptr<lsh::HashFamily> family_;  // num_trees * depth functions
-  const dataset::Dataset* data_ = nullptr;
+  std::shared_ptr<const storage::VectorStore> store_;
+  util::Metric metric_ = util::Metric::kEuclidean;
   std::vector<lsh::HashValue> strings_;      // n x (num_trees * depth)
   std::vector<std::vector<int32_t>> sorted_;  // per tree: ids sorted lexicog.
 };

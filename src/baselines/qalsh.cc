@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 #include "util/random.h"
 #include "util/simd_distance.h"
@@ -21,8 +22,13 @@ QaLsh::QaLsh(Params params) : params_(params) {
 }
 
 void QaLsh::Build(const dataset::Dataset& data) {
-  assert(data.metric == util::Metric::kEuclidean);
-  data_ = &data;
+  // Loud even in Release: QALSH's hash needs a linear order on
+  // projections, and Query verifies with Euclidean distance — building
+  // over another metric would silently rank candidates wrong.
+  if (data.metric != util::Metric::kEuclidean) {
+    throw std::invalid_argument("QALSH supports the Euclidean metric only");
+  }
+  store_ = data.data.store();
   const size_t m = params_.num_functions;
   const size_t d = data.dim();
   projections_.Resize(m, d);
@@ -30,14 +36,15 @@ void QaLsh::Build(const dataset::Dataset& data) {
   rng.FillGaussian(projections_.data(), m * d);
 
   columns_.assign(m, {});
+  const storage::VectorStore& rows = *store_;
   std::vector<float> projected(data.n() * m);
   util::ParallelFor(data.n(), [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
+    storage::ScanRows(rows, begin, end, [&](size_t i) {
       for (size_t f = 0; f < m; ++f) {
         projected[i * m + f] = static_cast<float>(
-            util::Dot(projections_.Row(f), data.data.Row(i), d));
+            util::Dot(projections_.Row(f), rows.Row(i), d));
       }
-    }
+    });
   });
   for (size_t f = 0; f < m; ++f) {
     auto& column = columns_[f];
@@ -50,10 +57,10 @@ void QaLsh::Build(const dataset::Dataset& data) {
 }
 
 std::vector<util::Neighbor> QaLsh::Query(const float* query, size_t k) const {
-  assert(data_ != nullptr);
+  assert(store_ != nullptr);
   const size_t m = params_.num_functions;
-  const size_t n = data_->n();
-  const size_t d = data_->dim();
+  const size_t n = store_->rows();
+  const size_t d = store_->cols();
 
   std::vector<double> pq(m);
   for (size_t f = 0; f < m; ++f) {
@@ -108,8 +115,9 @@ std::vector<util::Neighbor> QaLsh::Query(const float* query, size_t k) const {
     }
     if (verified >= budget || all_covered) break;
   }
+  store_->PrefetchRows(pending.data(), pending.size());
   util::TopK topk(k);
-  util::VerifyCandidates(data_->metric, data_->data.data(), d, query,
+  util::VerifyCandidates(util::Metric::kEuclidean, store_->data(), d, query,
                          pending.data(), pending.size(), topk,
                          /*first_id=*/0, deleted_rows());
   return topk.Sorted();

@@ -42,10 +42,12 @@ class QaLsh : public AnnIndex {
 
   explicit QaLsh(Params params);
 
+  /// Retains the dataset's vector store (shared, zero-copy); the Dataset
+  /// struct itself is not referenced afterwards.
   void Build(const dataset::Dataset& data) override;
   std::vector<util::Neighbor> Query(const float* query,
                                     size_t k) const override;
-  size_t dim() const override { return data_ != nullptr ? data_->dim() : 0; }
+  size_t dim() const override { return store_ ? store_->cols() : 0; }
   size_t IndexSizeBytes() const override;
   std::string name() const override { return "QALSH"; }
 
@@ -63,7 +65,7 @@ class QaLsh : public AnnIndex {
 
   Params params_;
   size_t threshold_ = 0;
-  const dataset::Dataset* data_ = nullptr;
+  std::shared_ptr<const storage::VectorStore> store_;  ///< Euclidean only
   util::Matrix projections_;  // m x d Gaussian directions
   std::vector<std::vector<Entry>> columns_;  // per function, sorted
 };

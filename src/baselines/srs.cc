@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 #include "util/random.h"
 #include "util/simd_distance.h"
@@ -23,32 +24,39 @@ void Srs::Project(const float* v, float* out) const {
 }
 
 void Srs::Build(const dataset::Dataset& data) {
-  assert(data.metric == util::Metric::kEuclidean);
-  data_ = &data;
+  // Loud even in Release: the χ² early-termination theory and the
+  // verification below are Euclidean — another metric would silently rank
+  // candidates wrong.
+  if (data.metric != util::Metric::kEuclidean) {
+    throw std::invalid_argument("SRS supports the Euclidean metric only");
+  }
+  store_ = data.data.store();
   const size_t dp = params_.projected_dim;
   projection_.Resize(dp, data.dim());
   util::Rng rng(params_.seed);
   rng.FillGaussian(projection_.data(), dp * data.dim());
 
+  const storage::VectorStore& rows = *store_;
   util::Matrix projected(data.n(), dp);
   util::ParallelFor(data.n(), [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      Project(data.data.Row(i), projected.Row(i));
-    }
+    storage::ScanRows(rows, begin, end, [&](size_t i) {
+      Project(rows.Row(i), projected.Row(i));
+    });
   });
-  tree_.Build(projected);
+  // The projected points are the kd-tree's to keep — moved, not copied.
+  tree_.Build(std::move(projected));
 }
 
 std::vector<util::Neighbor> Srs::Query(const float* query, size_t k) const {
-  assert(data_ != nullptr);
-  const size_t d = data_->dim();
+  assert(store_ != nullptr);
+  const size_t d = store_->cols();
   const auto dp = static_cast<int>(params_.projected_dim);
   std::vector<float> pq(params_.projected_dim);
   Project(query, pq.data());
 
   const size_t budget = std::max(
       k, static_cast<size_t>(params_.candidate_fraction *
-                             static_cast<double>(data_->n())));
+                             static_cast<double>(store_->rows())));
   util::TopK topk(k);
   KdTree::IncrementalSearch search(tree_, pq.data());
   int32_t id = -1;
@@ -77,8 +85,9 @@ std::vector<util::Neighbor> Srs::Query(const float* query, size_t k) const {
     // One candidate at a time through the batched verifier: the early-stop
     // test above consults the heap threshold after every push, so SRS can't
     // defer verification the way the count-based methods do.
-    util::VerifyCandidates(data_->metric, data_->data.data(), d, query, &id,
-                           1, topk);
+    store_->PrefetchRows(&id, 1);
+    util::VerifyCandidates(util::Metric::kEuclidean, store_->data(), d, query,
+                           &id, 1, topk);
     if (++examined >= budget) break;
   }
   return topk.Sorted();

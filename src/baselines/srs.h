@@ -38,10 +38,12 @@ class Srs : public AnnIndex {
 
   explicit Srs(Params params);
 
+  /// Retains the dataset's vector store (shared, zero-copy); the Dataset
+  /// struct itself is not referenced afterwards.
   void Build(const dataset::Dataset& data) override;
   std::vector<util::Neighbor> Query(const float* query,
                                     size_t k) const override;
-  size_t dim() const override { return data_ != nullptr ? data_->dim() : 0; }
+  size_t dim() const override { return store_ ? store_->cols() : 0; }
   size_t IndexSizeBytes() const override;
   std::string name() const override { return "SRS"; }
 
@@ -50,7 +52,7 @@ class Srs : public AnnIndex {
 
  private:
   Params params_;
-  const dataset::Dataset* data_ = nullptr;
+  std::shared_ptr<const storage::VectorStore> store_;  ///< Euclidean only
   util::Matrix projection_;  // d' x d
   KdTree tree_;
 };

@@ -42,7 +42,8 @@ uint64_t StaticLsh::TableKey(size_t t, const lsh::HashValue* hashes) const {
 }
 
 void StaticLsh::Build(const dataset::Dataset& data) {
-  data_ = &data;
+  store_ = data.data.store();
+  metric_ = data.metric;
   const size_t total_funcs = params_.k_funcs * params_.num_tables;
   family_ = lsh::MakeFamily(family_kind_, data.dim(), total_funcs, params_.w,
                             params_.seed);
@@ -50,11 +51,12 @@ void StaticLsh::Build(const dataset::Dataset& data) {
 
   // Hash all points in parallel, then fill tables sequentially (the table
   // maps are not thread-safe; hashing dominates anyway).
+  const storage::VectorStore& rows = *store_;
   std::vector<lsh::HashValue> hashes(data.n() * total_funcs);
   util::ParallelFor(data.n(), [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      family_->Hash(data.data.Row(i), hashes.data() + i * total_funcs);
-    }
+    storage::ScanRows(rows, begin, end, [&](size_t i) {
+      family_->Hash(rows.Row(i), hashes.data() + i * total_funcs);
+    });
   });
   for (size_t i = 0; i < data.n(); ++i) {
     const lsh::HashValue* h = hashes.data() + i * total_funcs;
@@ -66,13 +68,13 @@ void StaticLsh::Build(const dataset::Dataset& data) {
 
 std::vector<util::Neighbor> StaticLsh::Query(const float* query,
                                              size_t k) const {
-  assert(data_ != nullptr);
+  assert(store_ != nullptr);
   const size_t total_funcs = params_.k_funcs * params_.num_tables;
   std::vector<lsh::HashValue> hq(total_funcs);
   family_->Hash(query, hq.data());
 
   std::unordered_set<int32_t> seen;
-  const size_t d = data_->dim();
+  const size_t d = store_->cols();
   // Bucket probing only collects unique candidate ids; the true-distance
   // work happens in one batched verification pass at the end.
   std::vector<int32_t> cand_ids;
@@ -123,9 +125,10 @@ std::vector<util::Neighbor> StaticLsh::Query(const float* query,
       probe_bucket(t, key);
     }
   }
+  store_->PrefetchRows(cand_ids.data(), cand_ids.size());
   util::TopK topk(k);
-  util::VerifyCandidates(data_->metric, data_->data.data(), d, query,
-                         cand_ids.data(), cand_ids.size(), topk);
+  util::VerifyCandidates(metric_, store_->data(), d, query, cand_ids.data(),
+                         cand_ids.size(), topk);
   last_candidates_.store(cand_ids.size(), std::memory_order_relaxed);
   return topk.Sorted();
 }

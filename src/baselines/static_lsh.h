@@ -41,10 +41,12 @@ class StaticLsh : public AnnIndex {
   /// "Multi-Probe LSH", "FALCONN", ...).
   StaticLsh(std::string display_name, lsh::FamilyKind family, Params params);
 
+  /// Retains the dataset's vector store (shared, zero-copy); the Dataset
+  /// struct itself is not referenced afterwards.
   void Build(const dataset::Dataset& data) override;
   std::vector<util::Neighbor> Query(const float* query,
                                     size_t k) const override;
-  size_t dim() const override { return data_ != nullptr ? data_->dim() : 0; }
+  size_t dim() const override { return store_ ? store_->cols() : 0; }
   size_t IndexSizeBytes() const override;
   std::string name() const override { return display_name_; }
 
@@ -73,7 +75,8 @@ class StaticLsh : public AnnIndex {
   lsh::FamilyKind family_kind_;
   Params params_;
   std::unique_ptr<lsh::HashFamily> family_;  // K*L functions
-  const dataset::Dataset* data_ = nullptr;
+  std::shared_ptr<const storage::VectorStore> store_;
+  util::Metric metric_ = util::Metric::kEuclidean;
   std::vector<std::unordered_map<uint64_t, std::vector<int32_t>>> tables_;
   mutable std::atomic<size_t> last_candidates_{0};
 };

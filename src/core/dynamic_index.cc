@@ -9,7 +9,13 @@
 #include <stdexcept>
 #include <utility>
 
+#include <unistd.h>
+
+#include <atomic>
+
 #include "core/stream_io.h"
+#include "storage/flat_file.h"
+#include "storage/mmap_store.h"
 #include "util/simd_distance.h"
 #include "util/thread_pool.h"
 
@@ -18,8 +24,18 @@ namespace core {
 
 namespace {
 
-constexpr char kStateMagic[8] = {'L', 'C', 'C', 'S', 'D', 'Y', 'N', '1'};
+// Version 2: an epoch-storage-kind byte follows the row count (inline
+// floats vs a path + checksum reference to the backing flat file).
+constexpr char kStateMagic[8] = {'L', 'C', 'C', 'S', 'D', 'Y', 'N', '2'};
 constexpr char kStreamName[] = "dynamic index stream";
+
+// Epoch storage kinds of the state stream.
+constexpr uint8_t kEpochInline = 0;    ///< floats embedded in the stream
+constexpr uint8_t kEpochExternal = 1;  ///< path + checksum of a flat file
+
+/// Process-wide suffix for spill files, so concurrent rebuilds of several
+/// indexes sharing one spill_dir never collide.
+std::atomic<uint64_t> g_spill_counter{0};
 
 using io::ReadSizedVec;
 using io::ReadVec;
@@ -90,7 +106,7 @@ std::unique_lock<std::shared_mutex> DynamicIndex::WriteLock() const {
 
 std::shared_ptr<DynamicIndex::Epoch> DynamicIndex::BuildEpoch(
     const Factory& factory, util::Metric metric, size_t dim,
-    util::Matrix rows, std::vector<int32_t> ids) {
+    storage::VectorStoreRef rows, std::vector<int32_t> ids) {
   auto epoch = std::make_shared<Epoch>();
   epoch->data.name = "dynamic-epoch";
   epoch->data.metric = metric;
@@ -118,15 +134,22 @@ void DynamicIndex::Build(const dataset::Dataset& data) {
     rebuild_in_flight_ = true;
   }
   try {
-    // Copy the base vectors into an owned snapshot; the caller's dataset is
-    // not referenced afterwards.
-    util::Matrix rows(data.n(), data.dim());
-    std::memcpy(rows.data(), data.data.data(),
-                data.n() * data.dim() * sizeof(float));
+    // Share the caller's store zero-copy (for a memory-mapped dataset the
+    // base set is never duplicated). Copy-on-write isolation on the handle
+    // means the caller's later writes land in a private clone, so the epoch
+    // still behaves like an owned snapshot. A store that pins nothing (a
+    // BorrowedStore wrapping a caller-managed buffer) is deep-copied
+    // instead — this class promises the dataset need not outlive it.
+    storage::VectorStoreRef rows = data.data;
+    if (rows.get() != nullptr && !rows.get()->KeepsVectorsAlive()) {
+      util::Matrix copy(rows.rows(), rows.cols());
+      std::memcpy(copy.data(), rows.data(), rows.SizeBytes());
+      rows = std::move(copy);
+    }
     std::vector<int32_t> ids(data.n());
     for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int32_t>(i);
-    auto epoch = BuildEpoch(factory_, data.metric, data.dim(),
-                            std::move(rows), std::move(ids));
+    auto epoch = BuildEpoch(factory_, data.metric, data.dim(), std::move(rows),
+                            std::move(ids));
 
     auto lock = WriteLock();
     options_.metric = data.metric;
@@ -253,10 +276,13 @@ util::Matrix DynamicIndex::LiveVectorsLocked(std::vector<int32_t>* ids) const {
     ++row;
   };
   // Epoch ids all precede delta ids, and both regions are stored ascending,
-  // so this sweep emits global-id order without sorting.
+  // so this sweep emits global-id order without sorting. Const access only:
+  // a non-const Row() on the shared epoch handle would trigger its
+  // copy-on-write clone.
   if (epoch_ != nullptr) {
-    for (size_t r = 0; r < epoch_->ids.size(); ++r) {
-      if (!epoch_->deleted[r]) append(epoch_->ids[r], epoch_->data.data.Row(r));
+    const Epoch& ep = *epoch_;
+    for (size_t r = 0; r < ep.ids.size(); ++r) {
+      if (!ep.deleted[r]) append(ep.ids[r], ep.data.data.Row(r));
     }
   }
   for (size_t s = 0; s < delta_ids_.size(); ++s) {
@@ -425,19 +451,105 @@ void DynamicIndex::FinishRebuild(std::exception_ptr error) {
 
 void DynamicIndex::RunRebuild() {
   try {
-    // Capture: copy every survivor in global-id order under the reader
-    // lock. Queries proceed concurrently; writers wait only for this copy.
-    util::Matrix rows;
-    std::vector<int32_t> ids;
+    // Capture *by reference*: under the reader lock, take the epoch
+    // shared_ptr, a snapshot of its tombstone bitmap, and a copy of the
+    // (small) delta region — never the epoch floats themselves. The epoch
+    // store is immutable and kept alive by the shared_ptr, so the heavy
+    // survivor materialization below runs with no lock held; for a
+    // memory-mapped epoch this is the difference between consolidation
+    // costing O(delta) heap and costing the whole base set. Writers wait
+    // only for the O(epoch tombstones + delta) copies.
+    std::shared_ptr<Epoch> old_epoch;
+    std::vector<uint8_t> epoch_deleted;
+    std::vector<float> cap_delta_rows;
+    std::vector<int32_t> cap_delta_ids;
+    std::vector<uint8_t> cap_delta_deleted;
     size_t delta_end = 0;
+    const size_t d = options_.dim;
     {
       auto lock = ReadLock();
+      old_epoch = epoch_;
+      if (old_epoch != nullptr) epoch_deleted = old_epoch->deleted;
       delta_end = delta_ids_.size();
-      rows = LiveVectorsLocked(&ids);
+      cap_delta_rows.assign(delta_rows_.begin(),
+                            delta_rows_.begin() +
+                                static_cast<ptrdiff_t>(delta_end * d));
+      cap_delta_ids.assign(delta_ids_.begin(),
+                           delta_ids_.begin() +
+                               static_cast<ptrdiff_t>(delta_end));
+      cap_delta_deleted.assign(delta_deleted_.begin(),
+                               delta_deleted_.begin() +
+                                   static_cast<ptrdiff_t>(delta_end));
     }
 
+    // Survivors, in ascending global-id order (epoch ids all precede delta
+    // ids; both regions are stored ascending).
+    std::vector<int32_t> ids;
+    storage::VectorStoreRef rows;
+    const Epoch* ep = old_epoch.get();
+    const size_t epoch_rows = ep != nullptr ? ep->ids.size() : 0;
+    size_t live = 0;
+    for (size_t r = 0; r < epoch_rows; ++r) live += epoch_deleted[r] ? 0 : 1;
+    for (size_t s = 0; s < delta_end; ++s) live += cap_delta_deleted[s] ? 0 : 1;
+    ids.reserve(live);
+    // One survivor sweep for both sinks below, so the spill and heap
+    // epochs can never diverge in ordering or tombstone handling (the
+    // equivalence the spill-vs-heap test protects). ScanRows, not a bare
+    // loop: the old epoch may itself be a budgeted mmap store, and this
+    // full sweep is exactly the scan the residency clock (and read-ahead)
+    // must see.
+    const auto sweep_survivors = [&](auto&& sink) {
+      if (epoch_rows > 0) {
+        storage::ScanRows(*ep->data.data.get(), 0, epoch_rows, [&](size_t r) {
+          if (!epoch_deleted[r]) sink(ep->ids[r], ep->data.data.Row(r));
+        });
+      }
+      for (size_t s = 0; s < delta_end; ++s) {
+        if (!cap_delta_deleted[s]) {
+          sink(cap_delta_ids[s], cap_delta_rows.data() + s * d);
+        }
+      }
+    };
+    if (!options_.spill_dir.empty()) {
+      // Spill: stream survivors into a flat file (O(row) memory) and map it
+      // back. The MmapStore unlinks the file when the epoch is released, so
+      // retired generations clean up after themselves. No checksum pass on
+      // open — this process just wrote the bytes.
+      // PID + per-process counter: several processes may share one
+      // spill_dir, and a name collision would truncate a flat file another
+      // process is actively serving from.
+      const std::string path =
+          options_.spill_dir + "/lccs-epoch-" + std::to_string(::getpid()) +
+          "-" + std::to_string(g_spill_counter.fetch_add(1)) + ".flat";
+      storage::FlatFileWriter writer(path, d);
+      sweep_survivors([&](int32_t id, const float* vec) {
+        writer.AppendRow(vec);
+        ids.push_back(id);
+      });
+      writer.Finish();
+      storage::MmapStore::Options open_options;
+      open_options.verify_checksum = false;
+      open_options.unlink_on_close = true;
+      try {
+        rows = storage::MmapStore::Open(path, open_options);
+      } catch (...) {
+        // unlink_on_close only guards the file once a store owns it; a
+        // failed Open (fd exhaustion, ENOMEM) must not leave an orphaned
+        // epoch-sized file behind on a long-running server.
+        std::remove(path.c_str());
+        throw;
+      }
+    } else {
+      util::Matrix heap_rows(live, d);
+      size_t row = 0;
+      sweep_survivors([&](int32_t id, const float* vec) {
+        std::memcpy(heap_rows.Row(row++), vec, d * sizeof(float));
+        ids.push_back(id);
+      });
+      rows = std::move(heap_rows);
+    }
     // Build: the expensive part — hashing + CSA construction — runs with no
-    // lock held, from the immutable copy. Old epoch keeps serving.
+    // lock held, from the immutable snapshot. Old epoch keeps serving.
     auto epoch = BuildEpoch(factory_, options_.metric, options_.dim,
                             std::move(rows), std::move(ids));
 
@@ -517,8 +629,8 @@ void DynamicIndex::WaitForRebuild() const {
   if (error) std::rethrow_exception(error);
 }
 
-void DynamicIndex::SerializeState(std::ostream& out,
-                                  const EpochWriter& writer) const {
+void DynamicIndex::SerializeState(std::ostream& out, const EpochWriter& writer,
+                                  bool external_vectors) const {
   auto lock = ReadLock();
   out.write(kStateMagic, sizeof(kStateMagic));
   WritePod(out, static_cast<uint32_t>(options_.metric));
@@ -529,8 +641,39 @@ void DynamicIndex::SerializeState(std::ostream& out,
   const uint64_t epoch_rows = epoch_ != nullptr ? epoch_->ids.size() : 0;
   WritePod(out, epoch_rows);
   if (epoch_rows > 0) {
-    out.write(reinterpret_cast<const char*>(epoch_->data.data.data()),
-              epoch_rows * options_.dim * sizeof(float));
+    if (external_vectors) {
+      // Out-of-line mode: record where the epoch floats live instead of
+      // inlining half a gigabyte of them — path, checksum (revalidated at
+      // load against the file's own header) and this epoch's first row
+      // inside the file (a sharded or sliced epoch need not start at 0).
+      size_t row_offset = 0;
+      const storage::MmapStore* backing =
+          epoch_->data.data.store()->BackingMmap(&row_offset);
+      if (backing == nullptr) {
+        throw std::invalid_argument(
+            "SerializeState: external_vectors requires an mmap-backed "
+            "epoch (got " + epoch_->data.data.store()->DebugName() + ")");
+      }
+      if (backing->unlink_on_close()) {
+        // A spill epoch's flat file is unlinked the moment the epoch is
+        // replaced or the index destroyed — recording its path would
+        // produce a save that silently stops loading. Fail now instead.
+        throw std::invalid_argument(
+            "SerializeState: external_vectors cannot reference the "
+            "self-deleting spill file " + backing->path() +
+            "; consolidate to a persistent flat file or save inline");
+      }
+      WritePod(out, kEpochExternal);
+      const std::string& path = backing->path();
+      WritePod(out, static_cast<uint64_t>(path.size()));
+      out.write(path.data(), static_cast<std::streamsize>(path.size()));
+      WritePod(out, backing->checksum());
+      WritePod(out, static_cast<uint64_t>(row_offset));
+    } else {
+      WritePod(out, kEpochInline);
+      out.write(reinterpret_cast<const char*>(epoch_->data.data.data()),
+                epoch_rows * options_.dim * sizeof(float));
+    }
     out.write(reinterpret_cast<const char*>(epoch_->ids.data()),
               epoch_rows * sizeof(int32_t));
     out.write(reinterpret_cast<const char*>(epoch_->deleted.data()),
@@ -580,19 +723,66 @@ std::unique_ptr<DynamicIndex> DynamicIndex::DeserializeState(
     throw std::runtime_error(
         "dynamic index stream corrupt: epoch larger than id space");
   }
-  // dim <= 2^24 and epoch_rows <= 2^31, so this product cannot overflow.
-  const uint64_t epoch_bytes =
-      epoch_rows * (dim * sizeof(float) + sizeof(int32_t) + 1);
-  if (epoch_bytes > RemainingBytes(in)) {
-    throw std::runtime_error(
-        "dynamic index stream corrupt: epoch larger than stream");
-  }
   auto epoch = std::make_shared<Epoch>();
   epoch->data.name = "dynamic-epoch";
   epoch->data.metric = options.metric;
   if (epoch_rows > 0) {
+    uint8_t storage_kind = 0;
+    ReadPod(in, &storage_kind);
+    if (storage_kind != kEpochInline && storage_kind != kEpochExternal) {
+      throw std::runtime_error(
+          "dynamic index stream corrupt: unknown epoch storage kind");
+    }
+    // dim <= 2^24 and epoch_rows <= 2^31, so these products cannot
+    // overflow. The inline kind must additionally back its floats.
+    const uint64_t epoch_bytes =
+        epoch_rows * (sizeof(int32_t) + 1) +
+        (storage_kind == kEpochInline ? epoch_rows * dim * sizeof(float) : 0);
+    if (epoch_bytes > RemainingBytes(in)) {
+      throw std::runtime_error(
+          "dynamic index stream corrupt: epoch larger than stream");
+    }
+    if (storage_kind == kEpochExternal) {
+      // Out-of-line epoch: re-map the recorded flat file and hold the
+      // stream to its promises — the file must still match the checksum
+      // recorded at save time, and the recorded row range must exist.
+      uint64_t path_len = 0, checksum = 0, row_offset = 0;
+      ReadPod(in, &path_len);
+      if (path_len == 0 || path_len > 4096 ||
+          path_len > RemainingBytes(in)) {
+        throw std::runtime_error(
+            "dynamic index stream corrupt: bad epoch file path length");
+      }
+      std::string path(path_len, '\0');
+      in.read(path.data(), static_cast<std::streamsize>(path_len));
+      ReadPod(in, &checksum);
+      ReadPod(in, &row_offset);
+      if (!in) throw std::runtime_error("truncated dynamic index stream");
+      auto store = storage::MmapStore::Open(path);  // validates its header
+      if (store->checksum() != checksum) {
+        throw std::runtime_error(
+            "dynamic index epoch file checksum mismatch (file replaced "
+            "since save?): " + path);
+      }
+      if (store->cols() != dim || row_offset > store->rows() ||
+          epoch_rows > store->rows() - row_offset) {
+        throw std::runtime_error(
+            "dynamic index stream corrupt: epoch rows not contained in " +
+            path);
+      }
+      if (row_offset == 0 && epoch_rows == store->rows()) {
+        epoch->data.data = storage::VectorStoreRef(store);
+      } else {
+        epoch->data.data =
+            storage::VectorStoreRef(std::make_shared<storage::SliceStore>(
+                store, static_cast<size_t>(row_offset),
+                static_cast<size_t>(epoch_rows)));
+      }
+    }
     try {
-      epoch->data.data.Resize(epoch_rows, dim);
+      if (storage_kind == kEpochInline) {
+        epoch->data.data.Resize(epoch_rows, dim);
+      }
       epoch->ids.resize(epoch_rows);
       epoch->deleted.resize(epoch_rows);
     } catch (const std::bad_alloc&) {
@@ -601,8 +791,10 @@ std::unique_ptr<DynamicIndex> DynamicIndex::DeserializeState(
       throw std::runtime_error(
           "dynamic index stream corrupt: epoch allocation failed");
     }
-    in.read(reinterpret_cast<char*>(epoch->data.data.data()),
-            epoch_rows * dim * sizeof(float));
+    if (storage_kind == kEpochInline) {
+      in.read(reinterpret_cast<char*>(epoch->data.data.MutableData()),
+              epoch_rows * dim * sizeof(float));
+    }
     in.read(reinterpret_cast<char*>(epoch->ids.data()),
             epoch_rows * sizeof(int32_t));
     in.read(reinterpret_cast<char*>(epoch->deleted.data()), epoch_rows);

@@ -15,6 +15,7 @@
 
 #include "baselines/ann_index.h"
 #include "dataset/dataset.h"
+#include "storage/vector_store.h"
 #include "util/matrix.h"
 
 namespace lccs {
@@ -26,9 +27,11 @@ namespace core {
 /// Three structures carry the mutations, the delta-consolidation design of
 /// the DiskANN line of work adapted to LCCS-LSH:
 ///
-///   * a static **epoch**: an owned snapshot of the points at the last
-///     consolidation, indexed by the wrapped AnnIndex (LCCS-LSH, linear
-///     scan, ...) exactly as if it had been built offline;
+///   * a static **epoch**: a snapshot of the points at the last
+///     consolidation — a shared storage::VectorStore (heap, the caller's
+///     mmap-backed dataset store, or a spill file; see Options::spill_dir) —
+///     indexed by the wrapped AnnIndex (LCCS-LSH, linear scan, ...) exactly
+///     as if it had been built offline;
 ///   * an append-only **delta buffer** of vectors inserted since, answered
 ///     by brute force with the batched SIMD verifier (util::VerifyCandidates
 ///     makes a few thousand rows essentially free next to the probing cost);
@@ -79,6 +82,14 @@ class DynamicIndex : public baselines::AnnIndex {
     /// caller invokes Consolidate() explicitly (false — deterministic, used
     /// by the property tests and benches that sweep delta sizes).
     bool background_rebuild = true;
+    /// When non-empty, consolidation *spills*: survivors are streamed into a
+    /// flat file under this directory (O(row) memory — the base set is never
+    /// materialized on the heap) and the new epoch is a memory-mapped
+    /// storage::MmapStore over it, unlinked automatically when the epoch is
+    /// released. The disk-resident counterpart of the default heap epochs;
+    /// required for mmap-backed indexes that must stay inside an RSS budget
+    /// across consolidations. The directory must exist and be writable.
+    std::string spill_dir;
   };
 
   DynamicIndex(Factory factory, Options options);
@@ -87,10 +98,14 @@ class DynamicIndex : public baselines::AnnIndex {
 
   // --- AnnIndex interface -------------------------------------------------
 
-  /// Bulk load: copies `data` into an owned epoch snapshot (unlike the
-  /// static indexes, a DynamicIndex does NOT require the dataset to outlive
-  /// it) and builds the wrapped index over it. Points get ids 0..n-1;
-  /// previous contents, delta and tombstones are discarded.
+  /// Bulk load: the epoch snapshot *shares* the dataset's vector store
+  /// (zero-copy — for a memory-mapped store the base set is never
+  /// duplicated). The Dataset struct itself still need not outlive the
+  /// index: the store is kept alive by the shared handle, and the handles
+  /// are copy-on-write, so the caller mutating its dataset afterwards
+  /// writes into a private clone — exactly the isolation the old deep copy
+  /// provided. Points get ids 0..n-1; previous contents, delta and
+  /// tombstones are discarded.
   void Build(const dataset::Dataset& data) override;
 
   /// k nearest surviving neighbors by true distance, global ids.
@@ -190,7 +205,17 @@ class DynamicIndex : public baselines::AnnIndex {
   /// Streams the full mutable state — epoch snapshot, global ids, both
   /// tombstone regions, the delta buffer and the id counter — under the
   /// reader lock, delegating the wrapped index's payload to `writer`.
-  void SerializeState(std::ostream& out, const EpochWriter& writer) const;
+  ///
+  /// With `external_vectors` the epoch's floats are NOT inlined: the stream
+  /// records the backing flat file's path, checksum and row offset instead
+  /// (out-of-line mode), and DeserializeState re-maps and re-validates that
+  /// file. Requires the epoch store to be mmap-backed (storage::MmapStore
+  /// or a slice of one) and its file persistent: a heap epoch, or a spill
+  /// epoch whose file self-deletes on release (Options::spill_dir), throws
+  /// std::invalid_argument — recording a path that is about to be unlinked
+  /// would produce a save that silently stops loading.
+  void SerializeState(std::ostream& out, const EpochWriter& writer,
+                      bool external_vectors = false) const;
 
   /// Rebuilds a DynamicIndex from a SerializeState stream. Throws
   /// std::runtime_error on malformed or truncated input.
@@ -205,9 +230,9 @@ class DynamicIndex : public baselines::AnnIndex {
     size_t pos = 0;  ///< epoch row or delta slot
   };
 
-  /// One consolidation generation. `data` owns the snapshot vectors; the
-  /// wrapped index references them, so it is declared after `data` and
-  /// destroyed first.
+  /// One consolidation generation. `data` holds the snapshot store (heap,
+  /// shared with the caller's dataset, or a spill-file mmap); the wrapped
+  /// index retains the same store, so either keeps it alive.
   struct Epoch {
     dataset::Dataset data;          ///< snapshot (queries member unused)
     std::vector<int32_t> ids;       ///< row -> global id, strictly ascending
@@ -215,12 +240,12 @@ class DynamicIndex : public baselines::AnnIndex {
     std::unique_ptr<baselines::AnnIndex> index;  ///< null when no rows
   };
 
-  /// Builds an Epoch over `rows` (global-id ascending) via the factory and
-  /// installs the deleted filter. Static so the background task can run it
-  /// without touching any member state.
+  /// Builds an Epoch over the store behind `rows` (global-id ascending) via
+  /// the factory and installs the deleted filter. Static so the background
+  /// task can run it without touching any member state.
   static std::shared_ptr<Epoch> BuildEpoch(const Factory& factory,
                                            util::Metric metric, size_t dim,
-                                           util::Matrix rows,
+                                           storage::VectorStoreRef rows,
                                            std::vector<int32_t> ids);
 
   std::vector<util::Neighbor> QueryLocked(const float* query, size_t k) const;

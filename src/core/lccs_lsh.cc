@@ -13,38 +13,52 @@ LccsLsh::LccsLsh(std::unique_ptr<lsh::HashFamily> family, util::Metric metric)
   assert(family_ != nullptr);
 }
 
-void LccsLsh::Build(const float* data, size_t n, size_t d) {
-  assert(data != nullptr && n >= 1);
-  assert(d == family_->dim());
-  data_ = data;
-  n_ = n;
-  d_ = d;
+void LccsLsh::Build(std::shared_ptr<const storage::VectorStore> store) {
+  assert(store != nullptr && store->rows() >= 1);
+  assert(store->cols() == family_->dim());
+  store_ = std::move(store);
+  n_ = store_->rows();
+  d_ = store_->cols();
   const size_t m = family_->num_functions();
   // Hashing is embarrassingly parallel; the CSA build itself is sequential,
-  // mirroring the paper's single-thread indexing cost model.
-  std::vector<HashValue> strings(n * m);
-  util::ParallelFor(n, [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      family_->Hash(data + i * d_, strings.data() + i * m);
-    }
+  // mirroring the paper's single-thread indexing cost model. Each chunk
+  // advises the store first so a memory-mapped base set streams in with
+  // read-ahead and stays inside its residency budget.
+  std::vector<HashValue> strings(n_ * m);
+  const storage::VectorStore& rows = *store_;
+  util::ParallelFor(n_, [&](size_t begin, size_t end) {
+    storage::ScanRows(rows, begin, end, [&](size_t i) {
+      family_->Hash(rows.Row(i), strings.data() + i * m);
+    });
   });
-  csa_.Build(strings.data(), n, m);
+  csa_.Build(strings.data(), n_, m);
+}
+
+void LccsLsh::Build(const float* data, size_t n, size_t d) {
+  assert(data != nullptr);
+  Build(storage::WrapBorrowed(data, n, d));
+}
+
+void LccsLsh::AttachPrebuilt(std::shared_ptr<const storage::VectorStore> store,
+                             CircularShiftArray csa) {
+  assert(store != nullptr);
+  assert(store->cols() == family_->dim());
+  assert(csa.n() == store->rows() && csa.m() == family_->num_functions());
+  store_ = std::move(store);
+  n_ = store_->rows();
+  d_ = store_->cols();
+  csa_ = std::move(csa);
 }
 
 void LccsLsh::AttachPrebuilt(const float* data, size_t n, size_t d,
                              CircularShiftArray csa) {
   assert(data != nullptr);
-  assert(d == family_->dim());
-  assert(csa.n() == n && csa.m() == family_->num_functions());
-  data_ = data;
-  n_ = n;
-  d_ = d;
-  csa_ = std::move(csa);
+  AttachPrebuilt(storage::WrapBorrowed(data, n, d), std::move(csa));
 }
 
 std::vector<LccsCandidate> LccsLsh::Candidates(const float* query,
                                                size_t count) const {
-  assert(data_ != nullptr);
+  assert(store_ != nullptr);
   const size_t m = family_->num_functions();
   std::vector<HashValue> hq(m);
   family_->Hash(query, hq.data());
@@ -53,15 +67,16 @@ std::vector<LccsCandidate> LccsLsh::Candidates(const float* query,
 
 std::vector<util::Neighbor> LccsLsh::Query(const float* query, size_t k,
                                            size_t lambda) const {
-  assert(data_ != nullptr);
+  assert(store_ != nullptr);
   const size_t count = lambda + (k > 0 ? k - 1 : 0);
   const std::vector<LccsCandidate> candidates = Candidates(query, count);
   std::vector<int32_t> ids;
   ids.reserve(candidates.size());
   for (const LccsCandidate& c : candidates) ids.push_back(c.id);
+  store_->PrefetchRows(ids.data(), ids.size());
   util::TopK topk(k);
-  util::VerifyCandidates(metric_, data_, d_, query, ids.data(), ids.size(),
-                         topk, /*first_id=*/0, deleted_rows());
+  util::VerifyCandidates(metric_, store_->data(), d_, query, ids.data(),
+                         ids.size(), topk, /*first_id=*/0, deleted_rows());
   return topk.Sorted();
 }
 

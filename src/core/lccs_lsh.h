@@ -6,6 +6,7 @@
 
 #include "core/csa.h"
 #include "lsh/hash_family.h"
+#include "storage/vector_store.h"
 #include "util/metric.h"
 #include "util/topk.h"
 
@@ -32,9 +33,15 @@ class LccsLsh {
   /// num_functions()); `metric` is used only for candidate verification.
   LccsLsh(std::unique_ptr<lsh::HashFamily> family, util::Metric metric);
 
-  /// Builds the index over `n` row-major `d`-dimensional vectors. The data
-  /// is *referenced*, not copied — it must outlive the index (verification
-  /// reads it). `d` must equal family->dim().
+  /// Builds the index over a shared vector store (heap, borrowed, or
+  /// memory-mapped — see storage/vector_store.h). The store is retained,
+  /// never copied: hashing reads rows through it and verification runs off
+  /// its contiguous base pointer. store->cols() must equal family->dim().
+  void Build(std::shared_ptr<const storage::VectorStore> store);
+
+  /// Raw-pointer convenience over `n` row-major `d`-dimensional vectors.
+  /// The data is *referenced* (a non-owning BorrowedStore), not copied — it
+  /// must outlive the index. `d` must equal family->dim().
   void Build(const float* data, size_t n, size_t d);
 
   /// c-k-ANNS query: verifies (λ + k - 1) candidates from the k-LCCS search
@@ -64,6 +71,8 @@ class LccsLsh {
   /// Binds a previously serialized CSA instead of hashing + rebuilding
   /// (see core/serialize.h). The CSA must have been built over exactly this
   /// data with this index's family; n/m consistency is checked.
+  void AttachPrebuilt(std::shared_ptr<const storage::VectorStore> store,
+                      CircularShiftArray csa);
   void AttachPrebuilt(const float* data, size_t n, size_t d,
                       CircularShiftArray csa);
 
@@ -84,7 +93,7 @@ class LccsLsh {
 
   std::unique_ptr<lsh::HashFamily> family_;
   util::Metric metric_;
-  const float* data_ = nullptr;  // not owned
+  std::shared_ptr<const storage::VectorStore> store_;  ///< base vectors
   size_t n_ = 0;
   size_t d_ = 0;
   CircularShiftArray csa_;

@@ -16,7 +16,7 @@ MpLccsLsh::MpLccsLsh(std::unique_ptr<lsh::HashFamily> family,
 
 std::vector<LccsCandidate> MpLccsLsh::Candidates(const float* query,
                                                  size_t count) const {
-  assert(data_ != nullptr);
+  assert(store_ != nullptr);
   const size_t m = family_->num_functions();
   const auto n = static_cast<int32_t>(n_);
 
@@ -140,9 +140,10 @@ std::vector<util::Neighbor> MpLccsLsh::Query(const float* query, size_t k,
   std::vector<int32_t> ids;
   ids.reserve(candidates.size());
   for (const LccsCandidate& c : candidates) ids.push_back(c.id);
+  store_->PrefetchRows(ids.data(), ids.size());
   util::TopK topk(k);
-  util::VerifyCandidates(metric_, data_, d_, query, ids.data(), ids.size(),
-                         topk, /*first_id=*/0, deleted_rows());
+  util::VerifyCandidates(metric_, store_->data(), d_, query, ids.data(),
+                         ids.size(), topk, /*first_id=*/0, deleted_rows());
   return topk.Sorted();
 }
 

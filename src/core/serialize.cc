@@ -11,7 +11,9 @@ namespace core {
 namespace {
 
 constexpr char kMagic[8] = {'L', 'C', 'C', 'S', 'I', 'D', 'X', '1'};
-constexpr char kDynMagic[8] = {'L', 'C', 'C', 'S', 'D', 'Y', 'X', '1'};
+// Version 2: the embedded state stream gained an epoch-storage-kind byte
+// (inline floats vs external flat-file reference).
+constexpr char kDynMagic[8] = {'L', 'C', 'C', 'S', 'D', 'Y', 'X', '2'};
 
 using io::WritePod;
 
@@ -41,10 +43,11 @@ void SaveIndex(const std::string& path, const IndexDescriptor& descriptor,
   if (!out) throw std::runtime_error("write error: " + path);
 }
 
-std::unique_ptr<MpLccsLsh> LoadIndex(const std::string& path,
-                                     const float* data, size_t n, size_t d) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+namespace {
+
+/// Shared header parse of LoadIndex / ReadIndexDescriptor; leaves `in`
+/// positioned at the CSA payload.
+IndexDescriptor ReadDescriptor(std::istream& in, const std::string& path) {
   char magic[sizeof(kMagic)];
   in.read(magic, sizeof(magic));
   if (!in || !std::equal(magic, magic + sizeof(magic), kMagic)) {
@@ -71,6 +74,22 @@ std::unique_ptr<MpLccsLsh> LoadIndex(const std::string& path,
   descriptor.probes.max_gap = static_cast<int>(max_gap);
   descriptor.probes.num_alternatives = num_alternatives;
   descriptor.probes.skip_unaffected = skip_unaffected != 0;
+  return descriptor;
+}
+
+}  // namespace
+
+IndexDescriptor ReadIndexDescriptor(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return ReadDescriptor(in, path);
+}
+
+std::unique_ptr<MpLccsLsh> LoadIndex(const std::string& path,
+                                     const float* data, size_t n, size_t d) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  const IndexDescriptor descriptor = ReadDescriptor(in, path);
 
   if (descriptor.dim != d) {
     throw std::runtime_error("index dimension mismatch");
@@ -137,23 +156,25 @@ baselines::LccsLshIndex::Params ReadLccsParams(std::istream& in) {
 
 void SaveDynamicIndex(const std::string& path,
                       const baselines::LccsLshIndex::Params& params,
-                      const DynamicIndex& index) {
+                      const DynamicIndex& index, SaveMode mode) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("cannot open for writing: " + path);
   out.write(kDynMagic, sizeof(kDynMagic));
   // The factory parameters come first so Load can reconstruct the factory
   // before touching the state stream.
   WriteLccsParams(out, params, index.metric());
-  index.SerializeState(out, [&](std::ostream& stream,
-                                const baselines::AnnIndex& epoch_index) {
-    const auto* lccs =
-        dynamic_cast<const baselines::LccsLshIndex*>(&epoch_index);
-    if (lccs == nullptr) {
-      throw std::invalid_argument(
-          "SaveDynamicIndex: epoch index is not an LccsLshIndex");
-    }
-    lccs->scheme().csa().Serialize(stream);
-  });
+  index.SerializeState(
+      out,
+      [&](std::ostream& stream, const baselines::AnnIndex& epoch_index) {
+        const auto* lccs =
+            dynamic_cast<const baselines::LccsLshIndex*>(&epoch_index);
+        if (lccs == nullptr) {
+          throw std::invalid_argument(
+              "SaveDynamicIndex: epoch index is not an LccsLshIndex");
+        }
+        lccs->scheme().csa().Serialize(stream);
+      },
+      /*external_vectors=*/mode == SaveMode::kExternalVectors);
   if (!out) throw std::runtime_error("write error: " + path);
 }
 

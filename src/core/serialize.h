@@ -36,6 +36,11 @@ struct IndexDescriptor {
 void SaveIndex(const std::string& path, const IndexDescriptor& descriptor,
                const CircularShiftArray& csa);
 
+/// Reads just the descriptor of a saved index — metric, dim, family, m —
+/// without touching the CSA. Lets a caller prepare its dataset (e.g.
+/// normalize for angular metrics) *before* binding vectors to LoadIndex.
+IndexDescriptor ReadIndexDescriptor(const std::string& path);
+
 /// Loads an index saved by SaveIndex and binds it to `data` (n row-major
 /// d-dimensional vectors — must be the same data the index was built over;
 /// n and d are validated against the stored CSA). Returns a ready-to-query
@@ -44,18 +49,35 @@ void SaveIndex(const std::string& path, const IndexDescriptor& descriptor,
 std::unique_ptr<MpLccsLsh> LoadIndex(const std::string& path,
                                      const float* data, size_t n, size_t d);
 
+/// How SaveDynamicIndex stores the epoch snapshot vectors.
+enum class SaveMode {
+  /// Self-contained: the floats are inlined into the saved file (the only
+  /// choice for heap-backed epochs).
+  kInlineVectors,
+  /// Out-of-line: the file records the epoch's backing flat file by path +
+  /// checksum + row offset instead of inlining the floats — a paper-scale
+  /// mmap-backed index saves in O(delta) bytes. Requires the epoch store to
+  /// be mmap-backed with a *persistent* file (a heap epoch or a
+  /// self-deleting spill epoch throws std::invalid_argument); at load the
+  /// flat file is re-mapped and must still match the recorded checksum.
+  kExternalVectors,
+};
+
 /// Dynamic-index persistence: a saved dynamic index is self-contained — the
-/// LCCS parameters of its epoch factory, the epoch snapshot vectors, global
-/// ids and tombstones, the epoch CSA, and the un-consolidated delta buffer
-/// (rows + ids + tombstones). Unlike SaveIndex, the raw vectors ARE stored:
-/// after mutations no caller-side dataset matches the index contents, so a
-/// mid-epoch index must carry its own. Requires the index's epoch to be a
-/// baselines::LccsLshIndex (throws std::invalid_argument otherwise);
-/// `params` must be the factory parameters, so a loaded index consolidates
-/// into identical epochs. Throws std::runtime_error on IO failure.
+/// LCCS parameters of its epoch factory, the epoch snapshot vectors (inline
+/// or out-of-line per `mode`), global ids and tombstones, the epoch CSA,
+/// and the un-consolidated delta buffer (rows + ids + tombstones). Unlike
+/// SaveIndex, the raw vectors ARE part of the saved state: after mutations
+/// no caller-side dataset matches the index contents, so a mid-epoch index
+/// must carry its own (or, in kExternalVectors mode, a validated reference
+/// to it). Requires the index's epoch to be a baselines::LccsLshIndex
+/// (throws std::invalid_argument otherwise); `params` must be the factory
+/// parameters, so a loaded index consolidates into identical epochs. Throws
+/// std::runtime_error on IO failure.
 void SaveDynamicIndex(const std::string& path,
                       const baselines::LccsLshIndex::Params& params,
-                      const DynamicIndex& index);
+                      const DynamicIndex& index,
+                      SaveMode mode = SaveMode::kInlineVectors);
 
 /// Restores a SaveDynamicIndex file: ready to query, insert, delete and
 /// consolidate, with no external data dependency. `options` seeds the

@@ -4,11 +4,13 @@ namespace lccs {
 namespace dataset {
 
 void Dataset::NormalizeAll() {
+  const size_t d = data.cols();
   for (size_t i = 0; i < data.rows(); ++i) {
-    util::NormalizeInPlace(data.Row(i), data.cols());
+    util::NormalizeInPlace(data.Row(i), d);
   }
+  const size_t qd = queries.cols();
   for (size_t i = 0; i < queries.rows(); ++i) {
-    util::NormalizeInPlace(queries.Row(i), queries.cols());
+    util::NormalizeInPlace(queries.Row(i), qd);
   }
 }
 

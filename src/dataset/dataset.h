@@ -3,7 +3,7 @@
 
 #include <string>
 
-#include "util/matrix.h"
+#include "storage/vector_store.h"
 #include "util/metric.h"
 
 namespace lccs {
@@ -11,11 +11,20 @@ namespace dataset {
 
 /// A benchmark dataset: n base vectors, a held-out query set, and the
 /// distance metric under which it is evaluated (Table 2 of the paper).
+///
+/// Both vector sets live behind shared storage::VectorStoreRef handles, so
+/// a dataset can be heap-resident (the synthetic generators, ReadFvecs) or
+/// a zero-copy view of a memory-mapped flat file (storage::MmapStore) — the
+/// indexes retain the store, never a copy, and every query path reads
+/// through it. The handles are copy-on-write: mutating accessors (Resize,
+/// non-const Row, NormalizeAll) clone shared contents first, so writes
+/// after an index captured the store can never change what it was built
+/// over.
 struct Dataset {
   std::string name;
   util::Metric metric = util::Metric::kEuclidean;
-  util::Matrix data;     ///< n x d base vectors
-  util::Matrix queries;  ///< num_queries x d query vectors
+  storage::VectorStoreRef data;     ///< n x d base vectors
+  storage::VectorStoreRef queries;  ///< num_queries x d query vectors
 
   size_t n() const { return data.rows(); }
   size_t dim() const { return data.cols(); }
@@ -24,6 +33,8 @@ struct Dataset {
 
   /// Scales every base and query vector to unit norm (used for angular
   /// experiments, where the cross-polytope family expects unit vectors).
+  /// Copy-on-write: a memory-mapped or shared base set is cloned to the
+  /// heap first.
   void NormalizeAll();
 };
 

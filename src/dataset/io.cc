@@ -1,6 +1,7 @@
 #include "dataset/io.h"
 
 #include <cstdio>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 
@@ -24,6 +25,27 @@ FilePtr OpenOrThrow(const std::string& path, const char* mode) {
   return f;
 }
 
+/// Bytes in the file, via seek to the end and back. Every reader caps what
+/// a record claims to contain by what the file can actually hold, so a
+/// corrupt dimension field is a runtime_error before it is an allocation.
+/// Non-seekable inputs (pipes, FIFOs, /dev/stdin) return UINT64_MAX — no
+/// cap, the pre-hardening behavior — so streaming call sites keep working;
+/// a garbage dim there surfaces as a truncated-read error instead.
+uint64_t FileBytes(std::FILE* f, const std::string& path) {
+  (void)path;
+  const long pos = std::ftell(f);
+  if (pos < 0 || std::fseek(f, 0, SEEK_END) != 0) {
+    std::clearerr(f);
+    return std::numeric_limits<uint64_t>::max();
+  }
+  const long end = std::ftell(f);
+  if (end < 0 || std::fseek(f, pos, SEEK_SET) != 0) {
+    std::clearerr(f);
+    return std::numeric_limits<uint64_t>::max();
+  }
+  return static_cast<uint64_t>(end);
+}
+
 int32_t ReadDimOrEof(std::FILE* f, const std::string& path, bool* eof) {
   int32_t dim = 0;
   const size_t got = std::fread(&dim, sizeof(dim), 1, f);
@@ -41,62 +63,110 @@ int32_t ReadDimOrEof(std::FILE* f, const std::string& path, bool* eof) {
   return dim;
 }
 
+/// Validates that `dim` elements of `elem_bytes` fit in the remaining
+/// payload, then charges them against it. `remaining` tracks the bytes left
+/// after the dim field just consumed.
+void ChargeRecord(uint64_t* remaining, int32_t dim, size_t elem_bytes,
+                  const std::string& path) {
+  const uint64_t need = static_cast<uint64_t>(dim) * elem_bytes;
+  if (need > *remaining) {
+    throw std::runtime_error(
+        "corrupt vector file (dimension " + std::to_string(dim) +
+        " extends past end of file): " + path);
+  }
+  *remaining -= need;
+}
+
+/// Shared record loop of the readers and converters: calls
+/// `consume(dim, first)` for every record after validating its claimed size
+/// against the bytes the file actually holds; `consume` must read exactly
+/// the record payload. `uniform_dim` enforces one dimension across records
+/// (the fvecs/bvecs contract; ivecs ground-truth rows may vary).
+template <typename Consume>
+void ForEachRecord(std::FILE* f, const std::string& path, size_t elem_bytes,
+                   Consume&& consume, bool uniform_dim = true) {
+  uint64_t remaining = FileBytes(f, path);
+  int32_t dim = -1;
+  bool first = true;
+  for (;;) {
+    bool eof = false;
+    const int32_t this_dim = ReadDimOrEof(f, path, &eof);
+    if (eof) break;
+    remaining -= sizeof(int32_t);  // the dim field itself (just read)
+    if (dim == -1) dim = this_dim;
+    if (uniform_dim && this_dim != dim) {
+      throw std::runtime_error("inconsistent dimensions in " + path);
+    }
+    ChargeRecord(&remaining, this_dim, elem_bytes, path);
+    consume(this_dim, first);
+    first = false;
+  }
+}
+
 }  // namespace
 
 util::Matrix ReadFvecs(const std::string& path) {
   FilePtr f = OpenOrThrow(path, "rb");
   std::vector<float> flat;
-  int32_t dim = -1;
+  int32_t dim = 0;
   size_t rows = 0;
-  for (;;) {
-    bool eof = false;
-    const int32_t this_dim = ReadDimOrEof(f.get(), path, &eof);
-    if (eof) break;
-    if (dim == -1) dim = this_dim;
-    if (this_dim != dim) {
-      throw std::runtime_error("inconsistent dimensions in " + path);
-    }
+  ForEachRecord(f.get(), path, sizeof(float), [&](int32_t d, bool) {
+    dim = d;
     const size_t old = flat.size();
-    flat.resize(old + static_cast<size_t>(dim));
-    if (std::fread(flat.data() + old, sizeof(float),
-                   static_cast<size_t>(dim),
-                   f.get()) != static_cast<size_t>(dim)) {
+    flat.resize(old + static_cast<size_t>(d));
+    if (std::fread(flat.data() + old, sizeof(float), static_cast<size_t>(d),
+                   f.get()) != static_cast<size_t>(d)) {
       throw std::runtime_error("truncated vector in " + path);
     }
     ++rows;
-  }
+  });
   if (rows == 0) return util::Matrix();
   util::Matrix out(rows, static_cast<size_t>(dim));
   std::copy(flat.begin(), flat.end(), out.data());
   return out;
 }
 
-void WriteFvecs(const std::string& path, const util::Matrix& matrix) {
+void WriteFvecs(const std::string& path, const storage::VectorStore& store) {
   FilePtr f = OpenOrThrow(path, "wb");
-  const auto dim = static_cast<int32_t>(matrix.cols());
-  for (size_t i = 0; i < matrix.rows(); ++i) {
+  const auto dim = static_cast<int32_t>(store.cols());
+  for (size_t i = 0; i < store.rows(); ++i) {
     if (std::fwrite(&dim, sizeof(dim), 1, f.get()) != 1 ||
-        std::fwrite(matrix.Row(i), sizeof(float), matrix.cols(), f.get()) !=
-            matrix.cols()) {
+        std::fwrite(store.Row(i), sizeof(float), store.cols(), f.get()) !=
+            store.cols()) {
       throw std::runtime_error("write error in " + path);
     }
   }
 }
 
+void WriteFvecs(const std::string& path, const util::Matrix& matrix) {
+  const storage::BorrowedStore view(matrix.data(), matrix.rows(),
+                                    matrix.cols());
+  WriteFvecs(path, view);
+}
+
+void WriteFvecs(const std::string& path,
+                const storage::VectorStoreRef& store) {
+  if (store.get() == nullptr) {
+    WriteFvecs(path, util::Matrix());
+    return;
+  }
+  WriteFvecs(path, *store.get());
+}
+
 std::vector<std::vector<int32_t>> ReadIvecs(const std::string& path) {
   FilePtr f = OpenOrThrow(path, "rb");
   std::vector<std::vector<int32_t>> rows;
-  for (;;) {
-    bool eof = false;
-    const int32_t dim = ReadDimOrEof(f.get(), path, &eof);
-    if (eof) break;
-    std::vector<int32_t> row(static_cast<size_t>(dim));
-    if (std::fread(row.data(), sizeof(int32_t), row.size(), f.get()) !=
-        row.size()) {
-      throw std::runtime_error("truncated vector in " + path);
-    }
-    rows.push_back(std::move(row));
-  }
+  ForEachRecord(
+      f.get(), path, sizeof(int32_t),
+      [&](int32_t dim, bool) {
+        std::vector<int32_t> row(static_cast<size_t>(dim));
+        if (std::fread(row.data(), sizeof(int32_t), row.size(), f.get()) !=
+            row.size()) {
+          throw std::runtime_error("truncated vector in " + path);
+        }
+        rows.push_back(std::move(row));
+      },
+      /*uniform_dim=*/false);
   return rows;
 }
 
@@ -116,28 +186,78 @@ void WriteIvecs(const std::string& path,
 util::Matrix ReadBvecs(const std::string& path) {
   FilePtr f = OpenOrThrow(path, "rb");
   std::vector<float> flat;
-  int32_t dim = -1;
+  int32_t dim = 0;
   size_t rows = 0;
   std::vector<uint8_t> buf;
-  for (;;) {
-    bool eof = false;
-    const int32_t this_dim = ReadDimOrEof(f.get(), path, &eof);
-    if (eof) break;
-    if (dim == -1) dim = this_dim;
-    if (this_dim != dim) {
-      throw std::runtime_error("inconsistent dimensions in " + path);
-    }
-    buf.resize(static_cast<size_t>(dim));
+  ForEachRecord(f.get(), path, sizeof(uint8_t), [&](int32_t d, bool) {
+    dim = d;
+    buf.resize(static_cast<size_t>(d));
     if (std::fread(buf.data(), 1, buf.size(), f.get()) != buf.size()) {
       throw std::runtime_error("truncated vector in " + path);
     }
     for (uint8_t b : buf) flat.push_back(static_cast<float>(b));
     ++rows;
-  }
+  });
   if (rows == 0) return util::Matrix();
   util::Matrix out(rows, static_cast<size_t>(dim));
   std::copy(flat.begin(), flat.end(), out.data());
   return out;
+}
+
+storage::FlatHeader ConvertFvecsToFlat(const std::string& fvecs_path,
+                                       const std::string& flat_path) {
+  FilePtr f = OpenOrThrow(fvecs_path, "rb");
+  std::FILE* raw = f.get();
+  std::unique_ptr<storage::FlatFileWriter> writer;
+  std::vector<float> row;
+  ForEachRecord(raw, fvecs_path, sizeof(float), [&](int32_t dim, bool first) {
+    if (first) {
+      writer = std::make_unique<storage::FlatFileWriter>(
+          flat_path, static_cast<size_t>(dim));
+      row.resize(static_cast<size_t>(dim));
+    }
+    if (std::fread(row.data(), sizeof(float), row.size(), raw) != row.size()) {
+      throw std::runtime_error("truncated vector in " + fvecs_path);
+    }
+    writer->AppendRow(row.data());
+  });
+  if (writer == nullptr) {
+    throw std::runtime_error(
+        "cannot convert empty vector file (flat files need a row "
+        "dimension): " + fvecs_path);
+  }
+  return writer->Finish();
+}
+
+storage::FlatHeader ConvertBvecsToFlat(const std::string& bvecs_path,
+                                       const std::string& flat_path) {
+  FilePtr f = OpenOrThrow(bvecs_path, "rb");
+  std::FILE* raw = f.get();
+  std::vector<uint8_t> buf;
+  std::unique_ptr<storage::FlatFileWriter> writer;
+  std::vector<float> row;
+  ForEachRecord(raw, bvecs_path, sizeof(uint8_t), [&](int32_t dim,
+                                                      bool first) {
+    if (first) {
+      writer = std::make_unique<storage::FlatFileWriter>(
+          flat_path, static_cast<size_t>(dim));
+      row.resize(static_cast<size_t>(dim));
+      buf.resize(static_cast<size_t>(dim));
+    }
+    if (std::fread(buf.data(), 1, buf.size(), raw) != buf.size()) {
+      throw std::runtime_error("truncated vector in " + bvecs_path);
+    }
+    for (size_t j = 0; j < buf.size(); ++j) {
+      row[j] = static_cast<float>(buf[j]);
+    }
+    writer->AppendRow(row.data());
+  });
+  if (writer == nullptr) {
+    throw std::runtime_error(
+        "cannot convert empty vector file (flat files need a row "
+        "dimension): " + bvecs_path);
+  }
+  return writer->Finish();
 }
 
 }  // namespace dataset

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "storage/flat_file.h"
 #include "util/matrix.h"
 
 namespace lccs {
@@ -15,13 +16,19 @@ namespace dataset {
 /// as a little-endian int32 dimension followed by `dim` payload elements
 /// (float for .fvecs, int32 for .ivecs, uint8 for .bvecs). These allow the
 /// real Sift/Gist/etc. files to replace the synthetic analogues when
-/// available. All functions throw std::runtime_error on malformed input.
+/// available. All functions throw std::runtime_error on malformed input —
+/// including a corrupt dimension field whose payload would extend past the
+/// end of the file, which is rejected *before* any allocation (a garbage
+/// dim like 0x7fffffff must fail loudly, not OOM).
 
 /// Reads an entire .fvecs file into a row-major matrix.
 util::Matrix ReadFvecs(const std::string& path);
 
-/// Writes a matrix as .fvecs.
+/// Writes a matrix (or any vector store) as .fvecs.
 void WriteFvecs(const std::string& path, const util::Matrix& matrix);
+void WriteFvecs(const std::string& path, const storage::VectorStore& store);
+void WriteFvecs(const std::string& path,
+                const storage::VectorStoreRef& store);
 
 /// Reads an .ivecs file (e.g. ground-truth neighbor ids).
 std::vector<std::vector<int32_t>> ReadIvecs(const std::string& path);
@@ -32,6 +39,16 @@ void WriteIvecs(const std::string& path,
 
 /// Reads a .bvecs file, widening bytes to floats.
 util::Matrix ReadBvecs(const std::string& path);
+
+/// Streaming converters from the TEXMEX formats to the LCCS flat format
+/// (storage/flat_file.h), the layout storage::MmapStore serves zero-copy.
+/// One row is buffered at a time, so converting a paper-scale file needs
+/// O(dim) memory, not O(file). Rows must all share one dimension (enforced,
+/// like the readers). Returns the written header (rows/cols/checksum).
+storage::FlatHeader ConvertFvecsToFlat(const std::string& fvecs_path,
+                                       const std::string& flat_path);
+storage::FlatHeader ConvertBvecsToFlat(const std::string& bvecs_path,
+                                       const std::string& flat_path);
 
 }  // namespace dataset
 }  // namespace lccs

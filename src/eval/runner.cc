@@ -76,7 +76,7 @@ ThroughputResult EvaluateThroughput(const baselines::AnnIndex& index,
 }
 
 double DynamicRecall(const core::DynamicIndex& index,
-                     const util::Matrix& queries, size_t k) {
+                     const storage::VectorStoreRef& queries, size_t k) {
   std::vector<int32_t> ids;
   const util::Matrix live = index.LiveVectors(&ids);
   const util::Metric metric = index.metric();

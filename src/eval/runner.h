@@ -67,7 +67,7 @@ ThroughputResult EvaluateThroughput(const baselines::AnnIndex& index,
 /// after the snapshot — callers must not mutate it concurrently, or the
 /// recall is measured against a stale oracle.
 double DynamicRecall(const core::DynamicIndex& index,
-                     const util::Matrix& queries, size_t k);
+                     const storage::VectorStoreRef& queries, size_t k);
 
 }  // namespace eval
 }  // namespace lccs

@@ -48,7 +48,7 @@ Kind DrawKind(util::Rng& rng, const ServeWorkloadOptions& options,
 
 /// Insert payload: a base query vector with small Gaussian noise, so
 /// inserted points land in-distribution.
-void FillInsertVector(util::Rng& rng, const util::Matrix& pool,
+void FillInsertVector(util::Rng& rng, const storage::VectorStoreRef& pool,
                       std::vector<float>* vec) {
   const float* base = pool.Row(rng.NextBounded(pool.rows()));
   for (size_t j = 0; j < vec->size(); ++j) {
@@ -56,7 +56,7 @@ void FillInsertVector(util::Rng& rng, const util::Matrix& pool,
   }
 }
 
-void ClosedLoopClient(serve::Server& server, const util::Matrix& pool,
+void ClosedLoopClient(serve::Server& server, const storage::VectorStoreRef& pool,
                       const ServeWorkloadOptions& options, size_t client,
                       ClientResult* out) {
   util::Rng rng(options.seed * 0x9E3779B97F4A7C15ULL + client + 1);
@@ -106,7 +106,7 @@ struct Pending {
   bool is_insert = false;
 };
 
-void OpenLoopClient(serve::Server& server, const util::Matrix& pool,
+void OpenLoopClient(serve::Server& server, const storage::VectorStoreRef& pool,
                     const ServeWorkloadOptions& options, size_t client,
                     ClientResult* out) {
   util::Rng rng(options.seed * 0x9E3779B97F4A7C15ULL + client + 1);
@@ -219,7 +219,7 @@ void OpenLoopClient(serve::Server& server, const util::Matrix& pool,
 }  // namespace
 
 ServeWorkloadReport RunServeWorkload(serve::Server& server,
-                                     const util::Matrix& queries,
+                                     const storage::VectorStoreRef& queries,
                                      const ServeWorkloadOptions& options) {
   const serve::Server::Stats before = server.stats();
   std::vector<ClientResult> results(options.num_clients);

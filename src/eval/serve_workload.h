@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "serve/server.h"
+#include "storage/vector_store.h"
 #include "util/matrix.h"
 
 namespace lccs {
@@ -60,7 +61,7 @@ struct ServeWorkloadReport {
 /// server's index). The server must be idle-owned by the caller — the
 /// report's mean_batch is computed from the server's stats delta.
 ServeWorkloadReport RunServeWorkload(serve::Server& server,
-                                     const util::Matrix& queries,
+                                     const storage::VectorStoreRef& queries,
                                      const ServeWorkloadOptions& options);
 
 }  // namespace eval

@@ -62,18 +62,24 @@ void ShardedIndex::Build(const dataset::Dataset& data) {
   const size_t S = options_.num_shards;
   const size_t d = data.dim();
 
-  // Partition rows by the hash of the global id they are about to get.
+  // Bulk load partitions the rows into S *contiguous ranges* (balanced to
+  // within one row) instead of hashing: a range is a zero-copy
+  // storage::SliceStore view of the dataset's single shared store, so S
+  // shards of a memory-mapped base set cost S views, not S private copies.
+  // Placement is an internal detail — global ids, per-shard ascending
+  // local->global maps and the S-way merge make query results independent
+  // of which shard holds which row. Inserts keep hash placement (ShardOf)
+  // for load balance; the two coexist because every lookup goes through
+  // locations_.
   std::vector<std::vector<int32_t>> shard_rows(S);
-  for (size_t i = 0; i < data.n(); ++i) {
-    shard_rows[ShardOf(static_cast<int32_t>(i), S)].push_back(
-        static_cast<int32_t>(i));
-  }
+  const std::shared_ptr<const storage::VectorStore> store = data.data.store();
 
   core::DynamicIndex::Options shard_options;
   shard_options.metric = data.metric;
   shard_options.dim = d;
   shard_options.rebuild_threshold = options_.rebuild_threshold;
   shard_options.background_rebuild = options_.shard_background_rebuild;
+  shard_options.spill_dir = options_.spill_dir;
 
   // Build fresh shards outside the lock — queries keep serving the old
   // generation meanwhile, exactly like a DynamicIndex epoch install.
@@ -82,16 +88,18 @@ void ShardedIndex::Build(const dataset::Dataset& data) {
   for (size_t s = 0; s < S; ++s) {
     shards.push_back(
         std::make_unique<core::DynamicIndex>(factory_, shard_options));
-    if (shard_rows[s].empty()) continue;  // never-built shard serves empty
+    const size_t begin = s * data.n() / S;
+    const size_t end = (s + 1) * data.n() / S;
+    if (begin == end) continue;  // never-built shard serves empty
+    shard_rows[s].resize(end - begin);
+    for (size_t r = 0; r < end - begin; ++r) {
+      shard_rows[s][r] = static_cast<int32_t>(begin + r);
+    }
     dataset::Dataset slice;
     slice.name = data.name + "/shard" + std::to_string(s);
     slice.metric = data.metric;
-    slice.data.Resize(shard_rows[s].size(), d);
-    for (size_t r = 0; r < shard_rows[s].size(); ++r) {
-      std::memcpy(slice.data.Row(r),
-                  data.data.Row(static_cast<size_t>(shard_rows[s][r])),
-                  d * sizeof(float));
-    }
+    slice.data = storage::VectorStoreRef(
+        std::make_shared<storage::SliceStore>(store, begin, end - begin));
     shards[s]->Build(slice);
   }
 

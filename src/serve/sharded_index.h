@@ -13,7 +13,7 @@
 namespace lccs {
 namespace serve {
 
-/// Hash-partitions points across S per-shard core::DynamicIndex instances —
+/// Partitions points across S per-shard core::DynamicIndex instances —
 /// the data-plane half of the serving engine (serve::Server is the control
 /// plane). Sharding bounds per-shard epoch size, so consolidations rebuild
 /// 1/S of the data at a time, and lets a batch of queries fan out across
@@ -21,8 +21,14 @@ namespace serve {
 ///
 /// Id spaces: the ShardedIndex assigns **global** ids in insert order
 /// (0, 1, 2, ... — exactly like a single DynamicIndex, so the two are
-/// drop-in interchangeable); each point lives in the shard picked by a
-/// splitmix64 hash of its global id, under that shard's own **local** id.
+/// drop-in interchangeable). Bulk load (Build) places rows by contiguous
+/// range: shard s owns rows [s*n/S, (s+1)*n/S) as a zero-copy
+/// storage::SliceStore view, so all S shards share the dataset's one
+/// (possibly memory-mapped) store instead of holding private copies.
+/// Inserted points are placed by a splitmix64 hash of the global id (range
+/// placement would pile a live insert stream onto the last shard). Either
+/// way a point lives under its shard's own **local** id, and placement is
+/// invisible in results: the merge is over global ids.
 /// The global → (shard, local) map answers Remove; the per-shard
 /// local → global arrays remap query results. Both remaps are monotone
 /// (later local id ⇒ later global id within a shard), so per-shard result
@@ -63,6 +69,11 @@ class ShardedIndex : public baselines::AnnIndex {
     /// which bounds concurrent rebuilds globally — a per-shard trigger
     /// cannot.
     bool shard_background_rebuild = false;
+    /// Forwarded to every shard's DynamicIndex::Options::spill_dir: when
+    /// non-empty, shard consolidations stream survivors to flat files there
+    /// and serve them memory-mapped instead of materializing per-shard
+    /// heap snapshots.
+    std::string spill_dir;
   };
 
   /// `factory` creates the epoch index of every shard (same contract as
@@ -71,9 +82,10 @@ class ShardedIndex : public baselines::AnnIndex {
 
   // --- AnnIndex interface -------------------------------------------------
 
-  /// Bulk load: rows get global ids 0..n-1, are hash-partitioned across the
-  /// shards, and each non-empty shard is built over its slice. Previous
-  /// contents are discarded (in-flight shard rebuilds are drained first).
+  /// Bulk load: rows get global ids 0..n-1, are range-partitioned across
+  /// the shards, and each non-empty shard is built over a zero-copy slice
+  /// of the dataset's shared store. Previous contents are discarded
+  /// (in-flight shard rebuilds are drained first).
   void Build(const dataset::Dataset& data) override;
 
   /// k nearest surviving neighbors by true distance, global ids: each shard

@@ -1,0 +1,188 @@
+#include "storage/flat_file.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace lccs {
+namespace storage {
+
+namespace {
+
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+void WriteOrThrow(std::FILE* f, const void* bytes, size_t n,
+                  const std::string& path) {
+  if (std::fwrite(bytes, 1, n, f) != n) {
+    throw std::runtime_error("flat file write error: " + path);
+  }
+}
+
+void WriteHeader(std::FILE* f, const FlatHeader& header, size_t cols,
+                 const std::string& path) {
+  WriteOrThrow(f, kFlatMagic, sizeof(kFlatMagic), path);
+  const uint32_t version = kFlatVersion;
+  const uint32_t endian = kFlatEndianTag;
+  WriteOrThrow(f, &version, sizeof(version), path);
+  WriteOrThrow(f, &endian, sizeof(endian), path);
+  const uint64_t rows = header.rows;
+  const uint64_t cols64 = cols;
+  WriteOrThrow(f, &rows, sizeof(rows), path);
+  WriteOrThrow(f, &cols64, sizeof(cols64), path);
+  WriteOrThrow(f, &header.checksum, sizeof(header.checksum), path);
+}
+
+}  // namespace
+
+void FnvChecksum::Update(const void* bytes, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(bytes);
+  uint64_t h = state_;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  state_ = h;
+}
+
+FlatFileWriter::FlatFileWriter(const std::string& path, size_t cols)
+    : path_(path), cols_(cols) {
+  if (cols == 0) {
+    throw std::runtime_error("flat file needs cols >= 1: " + path);
+  }
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    throw std::runtime_error("cannot open flat file for writing: " + path);
+  }
+  // Placeholder header; Finish() patches rows + checksum.
+  try {
+    WriteHeader(file_, FlatHeader{0, cols_, 0}, cols_, path_);
+  } catch (...) {
+    std::fclose(file_);
+    std::remove(path_.c_str());
+    throw;
+  }
+}
+
+FlatFileWriter::~FlatFileWriter() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    // An unfinished stream has a lying header — never leave it around.
+    if (!finished_) std::remove(path_.c_str());
+  }
+}
+
+void FlatFileWriter::AppendRow(const float* row) { AppendRows(row, 1); }
+
+void FlatFileWriter::AppendRows(const float* rows, size_t n) {
+  if (finished_) {
+    throw std::runtime_error("flat file already finished: " + path_);
+  }
+  const size_t bytes = n * cols_ * sizeof(float);
+  WriteOrThrow(file_, rows, bytes, path_);
+  checksum_.Update(rows, bytes);
+  rows_ += n;
+}
+
+FlatHeader FlatFileWriter::Finish() {
+  if (finished_) {
+    throw std::runtime_error("flat file finished twice: " + path_);
+  }
+  FlatHeader header{rows_, cols_, checksum_.Digest()};
+  if (std::fseek(file_, 0, SEEK_SET) != 0) {
+    throw std::runtime_error("flat file seek error: " + path_);
+  }
+  WriteHeader(file_, header, cols_, path_);
+  // Flush *and* close unconditionally (a failed flush must not leak the
+  // FILE*), and never leave a file whose patched header promises payload
+  // that may not have reached disk.
+  const bool flushed = std::fflush(file_) == 0;
+  const bool closed = std::fclose(file_) == 0;
+  file_ = nullptr;
+  if (!flushed || !closed) {
+    std::remove(path_.c_str());
+    throw std::runtime_error("flat file close error: " + path_);
+  }
+  finished_ = true;
+  return header;
+}
+
+FlatHeader WriteFlatFile(const std::string& path, const VectorStore& store) {
+  FlatFileWriter writer(path, store.cols());
+  // One fwrite per chunk of rows keeps syscall count low without a big
+  // buffer; the store is contiguous, so chunks are free to form.
+  const size_t chunk =
+      store.cols() > 0 ? std::max<size_t>(1, 65536 / store.cols()) : 1;
+  for (size_t row = 0; row < store.rows(); row += chunk) {
+    const size_t n = std::min(chunk, store.rows() - row);
+    writer.AppendRows(store.Row(row), n);
+  }
+  return writer.Finish();
+}
+
+FlatHeader WriteFlatFile(const std::string& path, const util::Matrix& matrix) {
+  BorrowedStore view(matrix.data(), matrix.rows(), matrix.cols());
+  return WriteFlatFile(path, view);
+}
+
+FlatHeader ReadFlatHeader(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot open flat file: " + path);
+  }
+  struct Closer {
+    std::FILE* f;
+    ~Closer() { std::fclose(f); }
+  } closer{f};
+
+  char magic[sizeof(kFlatMagic)];
+  uint32_t version = 0, endian = 0;
+  FlatHeader header;
+  if (std::fread(magic, 1, sizeof(magic), f) != sizeof(magic) ||
+      std::fread(&version, sizeof(version), 1, f) != 1 ||
+      std::fread(&endian, sizeof(endian), 1, f) != 1 ||
+      std::fread(&header.rows, sizeof(header.rows), 1, f) != 1 ||
+      std::fread(&header.cols, sizeof(header.cols), 1, f) != 1 ||
+      std::fread(&header.checksum, sizeof(header.checksum), 1, f) != 1) {
+    throw std::runtime_error("flat file header truncated: " + path);
+  }
+  if (std::memcmp(magic, kFlatMagic, sizeof(magic)) != 0) {
+    throw std::runtime_error("not an LCCS flat vector file: " + path);
+  }
+  if (version != kFlatVersion) {
+    throw std::runtime_error("unsupported flat file version " +
+                             std::to_string(version) + ": " + path);
+  }
+  if (endian != kFlatEndianTag) {
+    throw std::runtime_error(
+        "flat file endianness does not match this machine: " + path);
+  }
+  if (header.cols == 0) {
+    throw std::runtime_error("flat file with zero cols: " + path);
+  }
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    throw std::runtime_error("cannot stat flat file: " + path);
+  }
+  const uint64_t file_bytes = static_cast<uint64_t>(st.st_size);
+  // Validate rows * cols * 4 against the payload without ever forming the
+  // (overflowable) product: divide the payload by the row stride instead.
+  const uint64_t row_bytes = header.cols * sizeof(float);
+  bool size_ok = file_bytes >= kFlatHeaderBytes &&
+                 header.cols <= file_bytes / sizeof(float);
+  if (size_ok) {
+    const uint64_t payload = file_bytes - kFlatHeaderBytes;
+    size_ok = payload % row_bytes == 0 && payload / row_bytes == header.rows;
+  }
+  if (!size_ok) {
+    throw std::runtime_error(
+        "flat file size does not match its header (" +
+        std::to_string(header.rows) + "x" + std::to_string(header.cols) +
+        "): " + path);
+  }
+  return header;
+}
+
+}  // namespace storage
+}  // namespace lccs

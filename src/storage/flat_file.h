@@ -1,0 +1,107 @@
+#ifndef LCCS_STORAGE_FLAT_FILE_H_
+#define LCCS_STORAGE_FLAT_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "storage/vector_store.h"
+
+namespace lccs {
+namespace storage {
+
+/// The LCCS flat vector file — the disk-resident layout MmapStore maps.
+///
+/// Unlike .fvecs (which prefixes every row with its dimension and therefore
+/// cannot be indexed without a scan), a flat file is one validated header
+/// followed by the raw row-major float payload, so row i lives at a fixed
+/// offset and the whole payload can be handed zero-copy to the SIMD
+/// verification kernels:
+///
+///   offset  size  field
+///        0     8  magic  "LCCSFLT1"
+///        8     4  format version (uint32, currently 1)
+///       12     4  endianness tag (uint32 0x01020304, written natively; a
+///                 file produced on the other endianness reads back as
+///                 0x04030201 and is rejected)
+///       16     8  rows   (uint64)
+///       24     8  cols   (uint64)
+///       32     8  FNV-1a 64 checksum of the payload bytes
+///       40   ...  payload: rows * cols float32, row-major
+///
+/// All integers little-endian in practice (x86); the endianness tag makes
+/// the assumption explicit and checkable. The checksum is verified when a
+/// store opens the file (storage/mmap_store.h), so a file truncated,
+/// bit-flipped, or rewritten since it was produced fails loudly instead of
+/// silently serving wrong neighbors.
+
+inline constexpr char kFlatMagic[8] = {'L', 'C', 'C', 'S', 'F', 'L', 'T', '1'};
+inline constexpr uint32_t kFlatVersion = 1;
+inline constexpr uint32_t kFlatEndianTag = 0x01020304u;
+inline constexpr size_t kFlatHeaderBytes = 40;
+
+struct FlatHeader {
+  uint64_t rows = 0;
+  uint64_t cols = 0;
+  uint64_t checksum = 0;
+};
+
+/// Incremental FNV-1a 64 — cheap enough to fold into a streaming write and
+/// collision-resistant enough to catch truncation and bit rot (it is an
+/// integrity check, not an authenticity one).
+class FnvChecksum {
+ public:
+  void Update(const void* bytes, size_t n);
+  uint64_t Digest() const { return state_; }
+
+ private:
+  uint64_t state_ = 14695981039346656037ULL;
+};
+
+/// Streaming flat-file writer with O(row) memory: rows are appended through
+/// a small buffer while the checksum accumulates, and Finish() seeks back to
+/// patch rows + checksum into the header. This is what the fvecs/bvecs
+/// converters (dataset/io.h) and DynamicIndex's spill consolidation use, so
+/// producing a paper-scale flat file never needs the dataset in RAM.
+/// Throws std::runtime_error on any IO failure.
+class FlatFileWriter {
+ public:
+  FlatFileWriter(const std::string& path, size_t cols);
+  /// Closes (and on an unfinished stream, removes) the file.
+  ~FlatFileWriter();
+
+  FlatFileWriter(const FlatFileWriter&) = delete;
+  FlatFileWriter& operator=(const FlatFileWriter&) = delete;
+
+  void AppendRow(const float* row);
+  void AppendRows(const float* rows, size_t n);
+
+  size_t rows_written() const { return rows_; }
+
+  /// Flushes, patches the header, closes. Returns the final header.
+  FlatHeader Finish();
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  size_t cols_ = 0;
+  size_t rows_ = 0;
+  FnvChecksum checksum_;
+  bool finished_ = false;
+};
+
+/// Writes an entire store (or matrix, via the implicit InMemoryStore-less
+/// overload below) as a flat file. Returns the header.
+FlatHeader WriteFlatFile(const std::string& path, const VectorStore& store);
+FlatHeader WriteFlatFile(const std::string& path, const util::Matrix& matrix);
+
+/// Reads and validates the header of a flat file: existence, magic, version,
+/// endianness, and that the file size matches rows * cols. Does NOT verify
+/// the payload checksum (that is the opening store's job — it costs a full
+/// read). Throws std::runtime_error naming what is wrong.
+FlatHeader ReadFlatHeader(const std::string& path);
+
+}  // namespace storage
+}  // namespace lccs
+
+#endif  // LCCS_STORAGE_FLAT_FILE_H_

@@ -2,14 +2,26 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
 
 namespace lccs {
 namespace util {
 
+size_t Matrix::CheckedElements(size_t rows, size_t cols) {
+  if (cols != 0 && rows > std::numeric_limits<size_t>::max() / cols) {
+    throw std::runtime_error("Matrix dimensions overflow: " +
+                             std::to_string(rows) + " x " +
+                             std::to_string(cols));
+  }
+  return rows * cols;
+}
+
 void Matrix::Resize(size_t rows, size_t cols) {
+  data_.assign(CheckedElements(rows, cols), 0.0f);
   rows_ = rows;
   cols_ = cols;
-  data_.assign(rows * cols, 0.0f);
 }
 
 void Matrix::MatVec(const float* x, float* y) const {

@@ -14,8 +14,11 @@ namespace util {
 class Matrix {
  public:
   Matrix() = default;
+  /// Throws std::runtime_error when rows * cols overflows size_t — a
+  /// corrupt header (e.g. a garbage dim field in a vector file) must fail
+  /// loudly, not wrap around and allocate a tiny buffer.
   Matrix(size_t rows, size_t cols, float init = 0.0f)
-      : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+      : rows_(rows), cols_(cols), data_(CheckedElements(rows, cols), init) {}
 
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
@@ -31,13 +34,17 @@ class Matrix {
   const float* data() const { return data_.data(); }
   size_t SizeBytes() const { return data_.size() * sizeof(float); }
 
-  /// Resizes to rows x cols, discarding previous contents.
+  /// Resizes to rows x cols, discarding previous contents. Throws
+  /// std::runtime_error on rows * cols overflow, like the constructor.
   void Resize(size_t rows, size_t cols);
 
   /// y = M * x where x has cols() entries and y has rows() entries.
   void MatVec(const float* x, float* y) const;
 
  private:
+  /// rows * cols, or throws std::runtime_error when the product overflows.
+  static size_t CheckedElements(size_t rows, size_t cols);
+
   size_t rows_ = 0;
   size_t cols_ = 0;
   std::vector<float> data_;

@@ -2,7 +2,9 @@
 // implementation and every thread count, the batched answers are required to
 // be bit-identical (ids and distances) to calling Query per row.
 
+#include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -16,6 +18,8 @@
 #include "baselines/static_lsh.h"
 #include "core/dynamic_index.h"
 #include "dataset/synthetic.h"
+#include "storage/flat_file.h"
+#include "storage/mmap_store.h"
 #include "util/random.h"
 
 namespace lccs {
@@ -187,6 +191,44 @@ TEST(QueryBatchTest, EmptyAndSingletonBatches) {
   const auto one = scan.QueryBatch(data.queries.Row(3), 1, 5, 4);
   ASSERT_EQ(one.size(), 1u);
   EXPECT_EQ(one[0], scan.Query(data.queries.Row(3), 5));
+}
+
+// The storage refactor's contract: which store backs the base vectors is
+// invisible in results. The same dataset served from a memory-mapped flat
+// file must produce bit-identical answers (ids and distances) to the heap
+// run, for every index config in the matrix, sequential and batched — the
+// mmap-backed leg of the identity matrix.
+TEST(QueryBatchTest, MmapBackedStoreIsBitIdentical) {
+  const auto data = SmallClusters(util::Metric::kEuclidean, 126);
+  const std::string flat_path =
+      ::testing::TempDir() + "/batch_query_base.flat";
+  storage::WriteFlatFile(flat_path, *data.data.store());
+
+  dataset::Dataset mapped;
+  mapped.name = data.name + "-mmap";
+  mapped.metric = data.metric;
+  storage::MmapStore::Options open_options;
+  open_options.residency_budget_bytes = 1 << 16;  // exercise the clock too
+  mapped.data = storage::MmapStore::Open(flat_path, open_options);
+  mapped.queries = data.queries;  // shared, read-only
+
+  const auto heap_indexes = AllIndexes(data);
+  const auto mmap_indexes = AllIndexes(mapped);
+  ASSERT_EQ(heap_indexes.size(), mmap_indexes.size());
+  const size_t k = 10;
+  for (size_t i = 0; i < heap_indexes.size(); ++i) {
+    for (size_t q = 0; q < data.num_queries(); ++q) {
+      EXPECT_EQ(heap_indexes[i]->Query(data.queries.Row(q), k),
+                mmap_indexes[i]->Query(data.queries.Row(q), k))
+          << heap_indexes[i]->name() << " query " << q;
+    }
+    const auto heap_batch = heap_indexes[i]->QueryBatch(
+        data.queries.Row(0), data.num_queries(), k, 3);
+    const auto mmap_batch = mmap_indexes[i]->QueryBatch(
+        data.queries.Row(0), data.num_queries(), k, 3);
+    EXPECT_EQ(heap_batch, mmap_batch) << heap_indexes[i]->name();
+  }
+  std::remove(flat_path.c_str());
 }
 
 TEST(QueryBatchTest, AngularMetricSupported) {

@@ -17,7 +17,9 @@
 // On failure the harness shrinks the sequence (greedy op removal while the
 // failure reproduces) and reports the minimal op list.
 
+#include <atomic>
 #include <cstdint>
+#include <future>
 #include <memory>
 #include <optional>
 #include <sstream>
@@ -359,7 +361,19 @@ TEST(DynamicIndexStats, SnapshotTracksMutationsAndConsolidation) {
   options.dim = kDim;
   options.rebuild_threshold = 1 << 30;  // no automatic consolidation
   options.background_rebuild = false;
-  DynamicIndex index(ConfigsUnderTest()[0].make, options);
+  // Gate on the epoch factory: while armed, the consolidation thread blocks
+  // inside its factory() call until the test releases it, so "a rebuild is
+  // in flight" below is a deterministic window, not a race against how
+  // fast a 9-row rebuild finishes.
+  std::atomic<bool> gate_armed{false};
+  std::promise<void> release;
+  const std::shared_future<void> released = release.get_future().share();
+  const DynamicIndex::Factory base = ConfigsUnderTest()[0].make;
+  const DynamicIndex::Factory factory = [&gate_armed, released, base] {
+    if (gate_armed.load()) released.wait();
+    return base();
+  };
+  DynamicIndex index(factory, options);
 
   DynamicIndex::Stats stats = index.stats();
   EXPECT_EQ(stats.live, 0u);
@@ -397,11 +411,44 @@ TEST(DynamicIndexStats, SnapshotTracksMutationsAndConsolidation) {
   // runs must be refused (the scheduler counts on that to bound fan-out).
   const auto vec = VectorFromPayload(99);
   index.Insert(vec.data());
-  ASSERT_TRUE(index.TriggerRebuild());
-  EXPECT_FALSE(index.TriggerRebuild());
+  gate_armed.store(true);
+  ASSERT_TRUE(index.TriggerRebuild());   // parks in the gated factory
+  EXPECT_FALSE(index.TriggerRebuild());  // refused while the first holds it
+  EXPECT_TRUE(index.rebuild_in_flight());
+  gate_armed.store(false);
+  release.set_value();
   index.WaitForRebuild();
   EXPECT_FALSE(index.rebuild_in_flight());
   EXPECT_EQ(index.stats().epoch_sequence, 2u);
+}
+
+// The "dataset need not outlive the index" promise survives the zero-copy
+// storage refactor even for a borrowed (non-owning) store: Build must
+// detect that the store pins nothing and snapshot it.
+TEST(DynamicIndexStorage, BuildDeepCopiesBorrowedStores) {
+  DynamicIndex::Options options;
+  options.rebuild_threshold = 1 << 30;
+  options.background_rebuild = false;
+  DynamicIndex index(ConfigsUnderTest()[0].make, options);
+
+  std::vector<float> query(kDim, 0.0f);
+  {
+    auto buffer = std::make_unique<std::vector<float>>(20 * kDim);
+    util::Rng rng(61);
+    rng.FillGaussian(buffer->data(), buffer->size());
+    std::copy(buffer->begin(), buffer->begin() + kDim, query.begin());
+    dataset::Dataset borrowed;
+    borrowed.metric = util::Metric::kEuclidean;
+    borrowed.data =
+        storage::VectorStoreRef(storage::WrapBorrowed(buffer->data(), 20, kDim));
+    index.Build(borrowed);
+    // Poison and free the caller's buffer: the index must not notice.
+    std::fill(buffer->begin(), buffer->end(), 1e30f);
+  }
+  const auto result = index.Query(query.data(), 1);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].id, 0);
+  EXPECT_EQ(result[0].dist, 0.0);
 }
 
 // Non-exhaustive λ: results are approximate, so oracle identity does not

@@ -1,0 +1,174 @@
+// Hostile-input coverage for the TEXMEX readers (dataset/io.h): every
+// malformed file — truncated payload, garbage dimension field, dimension
+// larger than the file — must surface as std::runtime_error *before* any
+// allocation sized from the corrupt field. (The well-formed round-trips
+// live in test_dataset.cc; this suite is about refusing bad bytes.)
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dataset/io.h"
+#include "util/matrix.h"
+
+namespace lccs {
+namespace dataset {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  std::string Path(const std::string& name) {
+    const std::string path = ::testing::TempDir() + "/" + name;
+    paths_.push_back(path);
+    return path;
+  }
+
+  void WriteBytes(const std::string& path, const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  static std::string Record(int32_t dim, size_t payload_floats) {
+    std::string bytes(sizeof(dim) + payload_floats * sizeof(float), '\0');
+    std::memcpy(bytes.data(), &dim, sizeof(dim));
+    return bytes;
+  }
+
+  void TearDown() override {
+    for (const auto& path : paths_) std::remove(path.c_str());
+  }
+
+  std::vector<std::string> paths_;
+};
+
+TEST_F(IoTest, GarbageDimThrowsInsteadOfAllocating) {
+  // A 12-byte file whose dim field claims 2^30 floats. Pre-fix this was a
+  // multi-gigabyte resize (bad_alloc at best); now it must be rejected by
+  // comparing the claim against the file size.
+  const std::string path = Path("garbage_dim.fvecs");
+  WriteBytes(path, Record(int32_t{1} << 30, 2));
+  try {
+    ReadFvecs(path);
+    FAIL() << "garbage dim did not throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("past end of file"),
+              std::string::npos)
+        << "unhelpful message: " << e.what();
+  }
+}
+
+TEST_F(IoTest, GarbageDimInBvecsThrowsToo) {
+  const std::string path = Path("garbage_dim.bvecs");
+  WriteBytes(path, Record(int32_t{1} << 30, 1));
+  EXPECT_THROW(ReadBvecs(path), std::runtime_error);
+}
+
+TEST_F(IoTest, GarbageDimInIvecsThrowsToo) {
+  const std::string path = Path("garbage_dim.ivecs");
+  WriteBytes(path, Record(int32_t{1} << 30, 1));
+  EXPECT_THROW(ReadIvecs(path), std::runtime_error);
+}
+
+TEST_F(IoTest, IvecsRowsMayVaryInLength) {
+  // Unlike fvecs/bvecs, ivecs ground-truth rows are allowed different
+  // lengths (k can differ per query) — the bounds checking must not
+  // impose the uniform-dimension contract here.
+  std::string bytes;
+  for (const int32_t dim : {int32_t{2}, int32_t{4}}) {
+    bytes.append(reinterpret_cast<const char*>(&dim), sizeof(dim));
+    for (int32_t j = 0; j < dim; ++j) {
+      bytes.append(reinterpret_cast<const char*>(&j), sizeof(j));
+    }
+  }
+  const std::string path = Path("varying.ivecs");
+  WriteBytes(path, bytes);
+  const auto rows = ReadIvecs(path);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].size(), 2u);
+  EXPECT_EQ(rows[1].size(), 4u);
+  EXPECT_EQ(rows[1][3], 3);
+}
+
+TEST_F(IoTest, NegativeAndZeroDimsRejected) {
+  for (const int32_t dim : {int32_t{0}, int32_t{-4}}) {
+    const std::string path = Path("bad_dim_" + std::to_string(dim));
+    WriteBytes(path, Record(dim, 4));
+    EXPECT_THROW(ReadFvecs(path), std::runtime_error) << dim;
+  }
+}
+
+TEST_F(IoTest, TruncatedSecondRecordThrows) {
+  // First record complete, second cut mid-payload.
+  util::Matrix m(2, 4);
+  for (size_t j = 0; j < 4; ++j) m.At(0, j) = static_cast<float>(j);
+  const std::string good = Path("good.fvecs");
+  WriteFvecs(good, m);
+  std::string bytes;
+  {
+    std::ifstream in(good, std::ios::binary);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    bytes = buffer.str();
+  }
+  const std::string truncated = Path("truncated.fvecs");
+  WriteBytes(truncated, bytes.substr(0, bytes.size() - 7));
+  EXPECT_THROW(ReadFvecs(truncated), std::runtime_error);
+}
+
+TEST_F(IoTest, InconsistentDimensionsRejected) {
+  std::string bytes = Record(3, 3) + Record(4, 4);
+  const std::string path = Path("inconsistent.fvecs");
+  WriteBytes(path, bytes);
+  EXPECT_THROW(ReadFvecs(path), std::runtime_error);
+}
+
+TEST_F(IoTest, ConverterRejectsCorruptInputAndCleansUp) {
+  const std::string fvecs = Path("corrupt_convert.fvecs");
+  const std::string flat = Path("corrupt_convert.flat");
+  WriteBytes(fvecs, Record(int32_t{1} << 28, 1));
+  EXPECT_THROW(ConvertFvecsToFlat(fvecs, flat), std::runtime_error);
+  // No half-written flat file with a lying header may survive.
+  std::ifstream leftover(flat);
+  EXPECT_FALSE(leftover.good());
+}
+
+TEST_F(IoTest, ConverterRejectsEmptyInput) {
+  const std::string fvecs = Path("empty.fvecs");
+  WriteBytes(fvecs, "");
+  EXPECT_THROW(ConvertFvecsToFlat(fvecs, Path("empty.flat")),
+               std::runtime_error);
+}
+
+TEST_F(IoTest, BvecsRoundTripAndConversionAgree) {
+  // 2 x 3 bvecs file written by hand; the reader widens to float and the
+  // converter must agree with it byte-for-byte.
+  std::string bytes;
+  const int32_t dim = 3;
+  for (int rec = 0; rec < 2; ++rec) {
+    bytes.append(reinterpret_cast<const char*>(&dim), sizeof(dim));
+    for (int j = 0; j < 3; ++j) {
+      bytes.push_back(static_cast<char>(10 * rec + j));
+    }
+  }
+  const std::string bvecs = Path("tiny.bvecs");
+  WriteBytes(bvecs, bytes);
+  const util::Matrix direct = ReadBvecs(bvecs);
+  ASSERT_EQ(direct.rows(), 2u);
+  ASSERT_EQ(direct.cols(), 3u);
+  EXPECT_EQ(direct.At(1, 2), 12.0f);
+
+  const std::string flat = Path("tiny.flat");
+  const storage::FlatHeader header = ConvertBvecsToFlat(bvecs, flat);
+  EXPECT_EQ(header.rows, 2u);
+  EXPECT_EQ(header.cols, 3u);
+}
+
+}  // namespace
+}  // namespace dataset
+}  // namespace lccs

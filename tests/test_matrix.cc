@@ -1,6 +1,7 @@
 #include "util/matrix.h"
 
 #include <cmath>
+#include <stdexcept>
 
 #include <gtest/gtest.h>
 
@@ -109,6 +110,20 @@ TEST(MetricTest, Names) {
   EXPECT_EQ(MetricName(Metric::kEuclidean), "euclidean");
   EXPECT_EQ(MetricName(Metric::kAngular), "angular");
   EXPECT_EQ(MetricName(Metric::kHamming), "hamming");
+}
+
+TEST(MatrixTest, DimensionOverflowThrowsRuntimeError) {
+  // Regression: rows * cols wrapping size_t must throw runtime_error (the
+  // corrupt-header contract of the IO layer), not quietly allocate a tiny
+  // wrapped-around buffer or die with bad_alloc/length_error.
+  const size_t half = size_t{1} << (sizeof(size_t) * 4);  // 2^32 on 64-bit
+  EXPECT_THROW(Matrix(half, half), std::runtime_error);
+  Matrix m;
+  EXPECT_THROW(m.Resize(half, half), std::runtime_error);
+  // The matrix stays usable after a rejected resize.
+  m.Resize(3, 2);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
 }
 
 }  // namespace

@@ -7,7 +7,9 @@
 // identity is asserted, exactly like tests/test_dynamic_index.cc.
 
 #include <algorithm>
+#include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -17,6 +19,8 @@
 #include "core/dynamic_index.h"
 #include "dataset/synthetic.h"
 #include "serve/sharded_index.h"
+#include "storage/flat_file.h"
+#include "storage/mmap_store.h"
 #include "util/random.h"
 
 namespace lccs {
@@ -337,6 +341,41 @@ TEST(ShardedIndexContract, RejectsZeroShards) {
   options.num_shards = 0;
   EXPECT_THROW(ShardedIndex(LinearScanFactory(), options),
                std::invalid_argument);
+}
+
+// S shards of a memory-mapped base set must be S zero-copy views of the
+// one shared MmapStore — and answer bit-identically to the same shards
+// over the heap store (exhaustive-verification configuration, so exact).
+TEST(ShardedIndexStorage, ShardsShareOneMmapStoreBitIdentically) {
+  const auto data = MakeData(240, 47, 10);
+  const std::string flat_path =
+      ::testing::TempDir() + "/sharded_base.flat";
+  storage::WriteFlatFile(flat_path, *data.data.store());
+
+  dataset::Dataset mapped;
+  mapped.metric = data.metric;
+  const auto store = storage::MmapStore::Open(flat_path);
+  mapped.data = store;
+  mapped.queries = data.queries;
+
+  ShardedIndex::Options options;
+  options.num_shards = 4;
+  ShardedIndex heap_sharded(ExhaustiveLccsFactory(), options);
+  ShardedIndex mmap_sharded(ExhaustiveLccsFactory(), options);
+  heap_sharded.Build(data);
+  mmap_sharded.Build(mapped);
+
+  // Zero-copy: building 4 shards added no copies of the mapped base set —
+  // every shard epoch references the one store (use_count grew past the
+  // test's own two handles).
+  EXPECT_GE(store.use_count(), 2 + 4);
+
+  for (size_t q = 0; q < data.num_queries(); ++q) {
+    EXPECT_EQ(heap_sharded.Query(data.queries.Row(q), 10),
+              mmap_sharded.Query(data.queries.Row(q), 10))
+        << "query " << q;
+  }
+  std::remove(flat_path.c_str());
 }
 
 }  // namespace

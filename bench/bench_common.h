@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "eval/pareto.h"
@@ -14,25 +15,70 @@
 namespace lccs {
 namespace bench {
 
-/// The paper's five datasets (Table 2), overridable via
-/// LCCS_BENCH_DATASETS="sift,glove".
-inline std::vector<std::string> DatasetNames() {
-  const char* env = std::getenv("LCCS_BENCH_DATASETS");
-  if (env == nullptr || *env == '\0') {
-    return {"msong", "sift", "gist", "glove", "deep"};
-  }
-  std::vector<std::string> names;
+/// Comma-separated env list, or `fallback` when the variable is unset/empty.
+inline std::vector<std::string> EnvList(const char* name,
+                                        std::vector<std::string> fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  std::vector<std::string> values;
   std::string current;
   for (const char* c = env; ; ++c) {
     if (*c == ',' || *c == '\0') {
-      if (!current.empty()) names.push_back(current);
+      if (!current.empty()) values.push_back(current);
       current.clear();
       if (*c == '\0') break;
     } else {
       current += *c;
     }
   }
-  return names;
+  return values;
+}
+
+/// The paper's five datasets (Table 2), overridable via
+/// LCCS_BENCH_DATASETS="sift,glove".
+inline std::vector<std::string> DatasetNames() {
+  return EnvList("LCCS_BENCH_DATASETS",
+                 {"msong", "sift", "gist", "glove", "deep"});
+}
+
+// --- Hardware/build context --------------------------------------------------
+// Every bench JSON records where it ran: throughput and batching numbers
+// from a 1-core container and a 32-core box are not comparable, and the
+// figure files outlive the machine that produced them.
+
+inline size_t NumCpus() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<size_t>(n);
+}
+
+/// Effective util::ThreadPool worker count: the LCCS_POOL_WORKERS pin when
+/// set (the same variable the pool itself reads), hardware concurrency
+/// otherwise.
+inline size_t PoolWorkers() {
+  const char* env = std::getenv("LCCS_POOL_WORKERS");
+  if (env != nullptr && *env != '\0') {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  return NumCpus();
+}
+
+/// CMAKE_BUILD_TYPE baked in at compile time (bench/CMakeLists.txt) — a
+/// Debug or sanitizer figure must not masquerade as a Release one.
+inline const char* BuildTypeName() {
+#ifdef LCCS_BUILD_TYPE_NAME
+  return sizeof(LCCS_BUILD_TYPE_NAME) > 1 ? LCCS_BUILD_TYPE_NAME : "unset";
+#else
+  return "unknown";
+#endif
+}
+
+/// The three fields above as a JSON fragment (no surrounding braces), for
+/// splicing into a bench's `context` object.
+inline std::string HardwareContextJson() {
+  return "\"num_cpus\": " + std::to_string(NumCpus()) +
+         ", \"pool_workers\": " + std::to_string(PoolWorkers()) +
+         ", \"build_type\": \"" + std::string(BuildTypeName()) + "\"";
 }
 
 inline void PrintHeader(const std::string& title) {

@@ -37,6 +37,7 @@
 
 #include "baselines/lccs_adapter.h"
 #include "baselines/linear_scan.h"
+#include "bench_common.h"
 #include "dataset/dataset.h"
 #include "eval/workloads.h"
 #include "storage/flat_file.h"
@@ -236,6 +237,7 @@ int Run(int argc, char** argv) {
 
   std::ofstream out(out_path);
   out << "{\n  \"bench\": \"disk_store\",\n"
+      << "  \"context\": {" << bench::HardwareContextJson() << "},\n"
       << "  \"n\": " << n << ",\n  \"dim\": " << dim << ",\n"
       << "  \"num_queries\": " << num_queries << ",\n"
       << "  \"residency_budget_mb\": " << budget_mb << ",\n"

@@ -14,9 +14,11 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "util/matrix.h"
 #include "util/metric.h"
 #include "util/random.h"
@@ -181,6 +183,11 @@ int main(int argc, char** argv) {
   // what's active" knob. Ends up in the JSON context block too.
   benchmark::AddCustomContext(
       "simd_tier", util::SimdTierName(util::ActiveSimdTier()));
+  // Hardware/build context (Google Benchmark reports num_cpus natively):
+  // the ParallelFor rows are a function of the worker budget.
+  benchmark::AddCustomContext("pool_workers",
+                              std::to_string(lccs::bench::PoolWorkers()));
+  benchmark::AddCustomContext("build_type", lccs::bench::BuildTypeName());
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

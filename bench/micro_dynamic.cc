@@ -21,9 +21,11 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "baselines/lccs_adapter.h"
+#include "bench_common.h"
 #include "core/dynamic_index.h"
 #include "dataset/synthetic.h"
 #include "eval/workloads.h"
@@ -184,4 +186,16 @@ BENCHMARK(BM_DynamicRebuildPause)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // Hardware/build context into the JSON context block (Google Benchmark
+  // reports num_cpus natively): rebuild pauses and amortized insert rates
+  // depend directly on the worker budget and build type.
+  benchmark::AddCustomContext("pool_workers",
+                              std::to_string(lccs::bench::PoolWorkers()));
+  benchmark::AddCustomContext("build_type", lccs::bench::BuildTypeName());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

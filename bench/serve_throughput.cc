@@ -1,15 +1,30 @@
 // Serving-engine throughput: QPS + latency percentiles of serve::Server
-// over a ShardedIndex, comparing the unbatched single-request path
-// (max_batch = 1: every query is its own window, paying the full admission
-// round-trip and an unblocked scan) against batching windows (max_batch =
-// 64: admission amortized, the window executes as one cache-blocked
-// QueryBatch fanned out across shards), plus a mixed mutation/query row
-// showing the sequencer under write pressure. Results are written to a
-// JSON file (argv[1], default BENCH_serve_throughput.json).
+// over a ShardedIndex, under two load models (LCCS_BENCH_MODES, default
+// "closed,open"):
 //
-// Knobs: LCCS_BENCH_N (base points), LCCS_BENCH_SHARDS, LCCS_BENCH_CLIENTS
-// (closed-loop clients), LCCS_BENCH_REQUESTS (per client),
-// LCCS_BENCH_DATASETS (first entry used), LCCS_BENCH_THREADS.
+//   * closed — each client submits, waits, resubmits. Compares the
+//     unbatched single-request path (max_batch = 1: every query is its own
+//     window, paying the full admission round-trip and an unblocked scan)
+//     against batching windows (max_batch = 64: admission amortized, the
+//     window executes as one cache-blocked QueryBatch fanned out across
+//     shards), plus a mixed mutation/query row showing the writer thread
+//     under write pressure.
+//   * open — clients fire on a fixed arrival schedule (aggregate
+//     LCCS_BENCH_OFFERED_QPS, split evenly) without waiting, so the
+//     percentiles include queueing delay under offered load — the p99 a
+//     production SLO sees. Run with and without 7% writers: under MVCC
+//     snapshots the two should batch identically (windows never cut for
+//     mutations), which the mean_batch column makes visible.
+//
+// Results are written to a JSON file (argv[1], default
+// BENCH_serve_throughput.json) whose context block records num_cpus /
+// pool_workers / build_type — open-loop numbers are meaningless without
+// knowing the core budget they ran on.
+//
+// Knobs: LCCS_BENCH_N (base points), LCCS_BENCH_SHARDS, LCCS_BENCH_CLIENTS,
+// LCCS_BENCH_REQUESTS (per client), LCCS_BENCH_DATASETS (first entry used),
+// LCCS_BENCH_THREADS, LCCS_BENCH_WINDOW_US, LCCS_BENCH_MODES,
+// LCCS_BENCH_OFFERED_QPS.
 
 #include <cstdio>
 #include <memory>
@@ -29,8 +44,10 @@ namespace {
 
 struct Row {
   std::string method;
+  std::string mode;  ///< "closed" or "open"
   size_t max_batch = 1;
   double mutation_fraction = 0.0;
+  double offered_qps = 0.0;  ///< open loop only
   eval::ServeWorkloadReport report;
 };
 
@@ -39,7 +56,7 @@ Row RunConfig(const std::string& method,
               const dataset::Dataset& data, size_t num_shards,
               size_t max_batch, size_t num_clients, size_t requests,
               size_t num_threads, double insert_fraction,
-              double remove_fraction) {
+              double remove_fraction, bool open_loop, double offered_qps) {
   serve::ShardedIndex::Options index_options;
   index_options.num_shards = num_shards;
   index_options.rebuild_threshold = 1024;
@@ -63,11 +80,15 @@ Row RunConfig(const std::string& method,
   workload.remove_fraction = remove_fraction;
   workload.k = 10;
   workload.seed = 17;
+  workload.open_loop = open_loop;
+  workload.offered_qps = offered_qps;
 
   Row row;
   row.method = method;
+  row.mode = open_loop ? "open" : "closed";
   row.max_batch = max_batch;
   row.mutation_fraction = insert_fraction + remove_fraction;
+  row.offered_qps = open_loop ? offered_qps : 0.0;
   row.report = eval::RunServeWorkload(server, data.queries, workload);
   server.Stop();
   return row;
@@ -84,6 +105,10 @@ int Run(int argc, char** argv) {
   const size_t num_clients = eval::EnvSize("LCCS_BENCH_CLIENTS", 64);
   const size_t requests = eval::EnvSize("LCCS_BENCH_REQUESTS", 48);
   const size_t num_threads = eval::EnvSize("LCCS_BENCH_THREADS", 0);
+  const std::vector<std::string> modes =
+      EnvList("LCCS_BENCH_MODES", {"closed", "open"});
+  const double offered_qps = static_cast<double>(
+      eval::EnvSize("LCCS_BENCH_OFFERED_QPS", 5000));
   const std::string dataset_name = DatasetNames().front();
   const char* out_path =
       argc > 1 ? argv[1] : "BENCH_serve_throughput.json";
@@ -112,33 +137,60 @@ int Run(int argc, char** argv) {
 
   std::vector<Row> rows;
   for (const auto& [method, factory] : methods) {
-    for (const size_t max_batch : {size_t{1}, size_t{64}}) {
-      rows.push_back(RunConfig(method, factory, data, num_shards, max_batch,
-                               num_clients, requests, num_threads, 0.0, 0.0));
+    for (const std::string& mode : modes) {
+      if (mode == "closed") {
+        for (const size_t max_batch : {size_t{1}, size_t{64}}) {
+          rows.push_back(RunConfig(method, factory, data, num_shards,
+                                   max_batch, num_clients, requests,
+                                   num_threads, 0.0, 0.0, false, 0.0));
+        }
+        // Write pressure: 7% mutations applied by the writer thread while
+        // the windows execute against their snapshots.
+        rows.push_back(RunConfig(method, factory, data, num_shards, 64,
+                                 num_clients, requests, num_threads, 0.05,
+                                 0.02, false, 0.0));
+      } else if (mode == "open") {
+        // Offered-load latency, with and without the 7% writer mix: the
+        // MVCC claim under test is that mutations cost the read path no
+        // batching (mean_batch) and no snapshot waits (p99).
+        rows.push_back(RunConfig(method, factory, data, num_shards, 64,
+                                 num_clients, requests, num_threads, 0.0,
+                                 0.0, true, offered_qps));
+        rows.push_back(RunConfig(method, factory, data, num_shards, 64,
+                                 num_clients, requests, num_threads, 0.05,
+                                 0.02, true, offered_qps));
+      } else {
+        std::fprintf(stderr, "unknown LCCS_BENCH_MODES entry '%s'\n",
+                     mode.c_str());
+        return 1;
+      }
     }
-    // Write pressure: 7% mutations sequenced between the windows.
-    rows.push_back(RunConfig(method, factory, data, num_shards, 64,
-                             num_clients, requests, num_threads, 0.05, 0.02));
   }
 
-  util::Table table({"method", "window", "mut%", "qps", "mean_batch",
-                     "p50_us", "p95_us", "p99_us", "queries"});
+  util::Table table({"method", "mode", "window", "mut%", "offered", "qps",
+                     "mean_batch", "p50_us", "p95_us", "p99_us", "queries",
+                     "shed"});
   for (const Row& row : rows) {
-    table.AddRow({row.method, std::to_string(row.max_batch),
+    table.AddRow({row.method, row.mode, std::to_string(row.max_batch),
                   util::FormatDouble(100.0 * row.mutation_fraction, 0),
+                  util::FormatDouble(row.offered_qps, 0),
                   util::FormatDouble(row.report.qps, 0),
                   util::FormatDouble(row.report.mean_batch, 1),
                   util::FormatDouble(row.report.p50_us, 0),
                   util::FormatDouble(row.report.p95_us, 0),
                   util::FormatDouble(row.report.p99_us, 0),
-                  std::to_string(row.report.queries)});
+                  std::to_string(row.report.queries),
+                  std::to_string(row.report.shed)});
   }
   std::printf("%s\n", table.ToString().c_str());
   for (const auto& [method, factory] : methods) {
     (void)factory;
     double unbatched = 0.0, batched = 0.0;
     for (const Row& row : rows) {
-      if (row.method != method || row.mutation_fraction > 0.0) continue;
+      if (row.method != method || row.mode != "closed" ||
+          row.mutation_fraction > 0.0) {
+        continue;
+      }
       (row.max_batch == 1 ? unbatched : batched) = row.report.qps;
     }
     std::printf("%s: batched (window 64) / unbatched single-request QPS = "
@@ -154,22 +206,25 @@ int Run(int argc, char** argv) {
   std::fprintf(out,
                "{\n  \"context\": {\n    \"dataset\": \"%s\",\n"
                "    \"n\": %zu,\n    \"dim\": %zu,\n    \"shards\": %zu,\n"
-               "    \"clients\": %zu,\n    \"requests_per_client\": %zu\n"
-               "  },\n  \"results\": [\n",
+               "    \"clients\": %zu,\n    \"requests_per_client\": %zu,\n"
+               "    %s\n  },\n  \"results\": [\n",
                dataset_name.c_str(), data.n(), data.dim(), num_shards,
-               num_clients, requests);
+               num_clients, requests, HardwareContextJson().c_str());
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& row = rows[i];
     std::fprintf(
         out,
-        "    {\"method\": \"%s\", \"max_batch\": %zu, "
-        "\"mutation_fraction\": %.2f, \"qps\": %.1f, \"mean_batch\": %.2f, "
+        "    {\"method\": \"%s\", \"mode\": \"%s\", \"max_batch\": %zu, "
+        "\"mutation_fraction\": %.2f, \"offered_qps\": %.1f, "
+        "\"qps\": %.1f, \"mean_batch\": %.2f, "
         "\"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f, "
-        "\"queries\": %zu, \"inserts\": %zu, \"removes\": %zu}%s\n",
-        row.method.c_str(), row.max_batch, row.mutation_fraction,
-        row.report.qps, row.report.mean_batch, row.report.p50_us,
-        row.report.p95_us, row.report.p99_us, row.report.queries,
-        row.report.inserts, row.report.removes,
+        "\"queries\": %zu, \"inserts\": %zu, \"removes\": %zu, "
+        "\"shed\": %zu}%s\n",
+        row.method.c_str(), row.mode.c_str(), row.max_batch,
+        row.mutation_fraction, row.offered_qps, row.report.qps,
+        row.report.mean_batch, row.report.p50_us, row.report.p95_us,
+        row.report.p99_us, row.report.queries, row.report.inserts,
+        row.report.removes, row.report.shed,
         i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");

@@ -33,6 +33,12 @@ constexpr char kStreamName[] = "dynamic index stream";
 constexpr uint8_t kEpochInline = 0;    ///< floats embedded in the stream
 constexpr uint8_t kEpochExternal = 1;  ///< path + checksum of a flat file
 
+/// First delta generation's capacity. Deliberately small and independent of
+/// Options::rebuild_threshold (which tests set as high as 2^30 to disable
+/// consolidation): generations double, so reaching a threshold of T costs
+/// O(log T) clones and O(T) copied floats total.
+constexpr size_t kInitialDeltaCapacity = 64;
+
 /// Process-wide suffix for spill files, so concurrent rebuilds of several
 /// indexes sharing one spill_dir never collide.
 std::atomic<uint64_t> g_spill_counter{0};
@@ -104,15 +110,17 @@ std::unique_lock<std::shared_mutex> DynamicIndex::WriteLock() const {
   return std::unique_lock<std::shared_mutex>(mutex_);
 }
 
-std::shared_ptr<DynamicIndex::Epoch> DynamicIndex::BuildEpoch(
+std::shared_ptr<EpochState> DynamicIndex::BuildEpoch(
     const Factory& factory, util::Metric metric, size_t dim,
     storage::VectorStoreRef rows, std::vector<int32_t> ids) {
-  auto epoch = std::make_shared<Epoch>();
+  auto epoch = std::make_shared<EpochState>();
   epoch->data.name = "dynamic-epoch";
   epoch->data.metric = metric;
   epoch->data.data = std::move(rows);
   epoch->ids = std::move(ids);
   epoch->deleted.assign(epoch->ids.size(), 0);
+  // Value-initialization zeroes the stamps: no post-install removes yet.
+  epoch->deleted_at.reset(new std::atomic<uint64_t>[epoch->ids.size()]());
   (void)dim;  // consulted only by the assert
   assert(epoch->ids.empty() || epoch->data.cols() == dim);
   if (!epoch->ids.empty()) {
@@ -155,15 +163,16 @@ void DynamicIndex::Build(const dataset::Dataset& data) {
     options_.metric = data.metric;
     options_.dim = data.dim();
     epoch_ = std::move(epoch);
-    delta_rows_.clear();
-    delta_ids_.clear();
-    delta_deleted_.clear();
+    delta_.reset();
+    delta_len_ = 0;
     live_.clear();
     live_.reserve(epoch_->ids.size());
     for (size_t row = 0; row < epoch_->ids.size(); ++row) {
       live_[epoch_->ids[row]] = Location{false, row};
     }
     next_id_ = static_cast<int32_t>(data.n());
+    version_ = 0;
+    epoch_removed_ = 0;
     epoch_sequence_ = 0;
   } catch (...) {
     FinishRebuild(nullptr);
@@ -192,12 +201,16 @@ std::string DynamicIndex::name() const {
 
 size_t DynamicIndex::IndexSizeBytes() const {
   auto lock = ReadLock();
-  size_t bytes = delta_rows_.size() * sizeof(float) +
-                 delta_ids_.size() * sizeof(int32_t) + delta_deleted_.size() +
-                 live_.size() * (sizeof(int32_t) + sizeof(Location));
+  size_t bytes = live_.size() * (sizeof(int32_t) + sizeof(Location));
+  if (delta_ != nullptr) {
+    bytes += delta_->capacity * (options_.dim * sizeof(float) +
+                                 sizeof(int32_t) +
+                                 sizeof(std::atomic<uint64_t>));
+  }
   if (epoch_ != nullptr) {
     bytes += epoch_->data.SizeBytes() +
-             epoch_->ids.size() * sizeof(int32_t) + epoch_->deleted.size();
+             epoch_->ids.size() * sizeof(int32_t) + epoch_->deleted.size() +
+             epoch_->ids.size() * sizeof(std::atomic<uint64_t>);
     if (epoch_->index != nullptr) bytes += epoch_->index->IndexSizeBytes();
   }
   return bytes;
@@ -215,13 +228,13 @@ size_t DynamicIndex::epoch_size() const {
 
 size_t DynamicIndex::delta_size() const {
   auto lock = ReadLock();
-  return delta_ids_.size();
+  return delta_len_;
 }
 
 size_t DynamicIndex::tombstone_count() const {
   auto lock = ReadLock();
   const size_t total =
-      delta_ids_.size() + (epoch_ != nullptr ? epoch_->ids.size() : 0);
+      delta_len_ + (epoch_ != nullptr ? epoch_->ids.size() : 0);
   return total - live_.size();
 }
 
@@ -230,15 +243,22 @@ uint64_t DynamicIndex::epoch_sequence() const {
   return epoch_sequence_;
 }
 
+uint64_t DynamicIndex::version() const {
+  auto lock = ReadLock();
+  return version_;
+}
+
 DynamicIndex::Stats DynamicIndex::stats() const {
   Stats out;
   {
     auto lock = ReadLock();
     out.live = live_.size();
     out.epoch_rows = epoch_ != nullptr ? epoch_->ids.size() : 0;
-    out.delta_rows = delta_ids_.size();
+    out.delta_rows = delta_len_;
     out.tombstones = out.epoch_rows + out.delta_rows - out.live;
+    out.epoch_stamped = epoch_removed_;
     out.epoch_sequence = epoch_sequence_;
+    out.version = version_;
   }
   // The rebuild flag lives under its own mutex by design (never held while
   // acquiring mutex_); sampled after the counters, so a scheduler that sees
@@ -276,20 +296,50 @@ util::Matrix DynamicIndex::LiveVectorsLocked(std::vector<int32_t>* ids) const {
     ++row;
   };
   // Epoch ids all precede delta ids, and both regions are stored ascending,
-  // so this sweep emits global-id order without sorting. Const access only:
-  // a non-const Row() on the shared epoch handle would trigger its
+  // so this sweep emits global-id order without sorting. A row is live iff
+  // neither dead at install (base bitmap) nor stamped since. Const access
+  // only: a non-const Row() on the shared epoch handle would trigger its
   // copy-on-write clone.
   if (epoch_ != nullptr) {
-    const Epoch& ep = *epoch_;
+    const EpochState& ep = *epoch_;
     for (size_t r = 0; r < ep.ids.size(); ++r) {
-      if (!ep.deleted[r]) append(ep.ids[r], ep.data.data.Row(r));
+      if (ep.deleted[r] ||
+          ep.deleted_at[r].load(std::memory_order_relaxed) != 0) {
+        continue;
+      }
+      append(ep.ids[r], ep.data.data.Row(r));
     }
   }
-  for (size_t s = 0; s < delta_ids_.size(); ++s) {
-    if (!delta_deleted_[s]) append(delta_ids_[s], delta_rows_.data() + s * d);
+  for (size_t s = 0; s < delta_len_; ++s) {
+    if (delta_->deleted_at[s].load(std::memory_order_relaxed) != 0) continue;
+    append(delta_->ids[s], delta_->rows.get() + s * d);
   }
   assert(row == out.rows());
   return out;
+}
+
+void DynamicIndex::EnsureDeltaCapacityLocked() {
+  if (delta_ != nullptr && delta_len_ < delta_->capacity) return;
+  const size_t d = options_.dim;
+  const size_t capacity =
+      delta_ == nullptr ? kInitialDeltaCapacity
+                        : std::max(kInitialDeltaCapacity, delta_->capacity * 2);
+  auto grown = std::make_shared<DeltaBuffer>(capacity, d);
+  if (delta_len_ > 0) {
+    // Clone the used prefix; snapshots pinning the old generation keep
+    // reading it untouched. Stamps transfer verbatim — they are versions,
+    // not flags, so visibility at any pinned version is preserved.
+    std::memcpy(grown->rows.get(), delta_->rows.get(),
+                delta_len_ * d * sizeof(float));
+    std::memcpy(grown->ids.get(), delta_->ids.get(),
+                delta_len_ * sizeof(int32_t));
+    for (size_t s = 0; s < delta_len_; ++s) {
+      grown->deleted_at[s].store(
+          delta_->deleted_at[s].load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+    }
+  }
+  delta_ = std::move(grown);
 }
 
 int32_t DynamicIndex::Insert(const float* vec) {
@@ -301,14 +351,19 @@ int32_t DynamicIndex::Insert(const float* vec) {
       throw std::runtime_error(
           "DynamicIndex: set Options::dim or Build before Insert");
     }
+    EnsureDeltaCapacityLocked();
     id = next_id_++;
-    const size_t slot = delta_ids_.size();
-    delta_rows_.insert(delta_rows_.end(), vec, vec + options_.dim);
-    delta_ids_.push_back(id);
-    delta_deleted_.push_back(0);
+    const size_t slot = delta_len_;
+    // Slots at or past every pinned prefix length: concurrent snapshot
+    // readers never touch this memory, so the plain writes are race-free.
+    std::memcpy(delta_->rows.get() + slot * options_.dim, vec,
+                options_.dim * sizeof(float));
+    delta_->ids[slot] = id;
+    ++delta_len_;
+    ++version_;
     live_[id] = Location{true, slot};
     schedule = options_.background_rebuild &&
-               delta_ids_.size() >= options_.rebuild_threshold;
+               delta_len_ >= options_.rebuild_threshold;
   }
   if (schedule && ClaimRebuild()) LaunchRebuild();
   return id;
@@ -323,82 +378,64 @@ void DynamicIndex::set_deleted_filter(const std::vector<uint8_t>* deleted) {
 }
 
 bool DynamicIndex::Remove(int32_t id) {
-  auto lock = WriteLock();
-  const auto it = live_.find(id);
-  if (it == live_.end()) return false;
-  const Location loc = it->second;
-  if (loc.in_delta) {
-    delta_deleted_[loc.pos] = 1;
-  } else {
-    epoch_->deleted[loc.pos] = 1;
+  bool schedule = false;
+  {
+    auto lock = WriteLock();
+    const auto it = live_.find(id);
+    if (it == live_.end()) return false;
+    const Location loc = it->second;
+    ++version_;
+    // Stamp, don't flip a bit: snapshots pinned at earlier versions keep
+    // seeing the row, snapshots at or after version_ filter it. The store
+    // is atomic because pinned snapshots read stamps with no lock held.
+    if (loc.in_delta) {
+      delta_->deleted_at[loc.pos].store(version_, std::memory_order_relaxed);
+    } else {
+      epoch_->deleted_at[loc.pos].store(version_, std::memory_order_relaxed);
+      ++epoch_removed_;
+    }
+    live_.erase(it);
+    // Epoch stamps widen every snapshot's over-fetch margin until the next
+    // consolidation sweeps them into the base set; bound that cost the same
+    // way delta growth is bounded.
+    schedule = options_.background_rebuild &&
+               epoch_removed_ >= options_.rebuild_threshold;
   }
-  live_.erase(it);
+  if (schedule && ClaimRebuild()) LaunchRebuild();
   return true;
 }
 
-std::vector<util::Neighbor> DynamicIndex::QueryDelta(const float* query,
-                                                     size_t k) const {
-  util::TopK topk(k);
-  util::VerifyCandidates(options_.metric, delta_rows_.data(), options_.dim,
-                         query, /*ids=*/nullptr, delta_ids_.size(), topk,
-                         /*first_id=*/0, delta_deleted_.data());
-  std::vector<util::Neighbor> result = topk.Sorted();
-  // Slot -> global id. Slots are assigned in insert order, so the remap is
-  // monotone and the (distance, id) sort order is unchanged.
-  for (util::Neighbor& nb : result) nb.id = delta_ids_[nb.id];
-  return result;
+Snapshot DynamicIndex::AcquireSnapshotLocked() const {
+  Snapshot snap;
+  snap.epoch_ = epoch_;
+  snap.delta_ = delta_;
+  snap.delta_len_ = delta_len_;
+  // Every stamp at or below version_ is on an epoch row already counted in
+  // epoch_removed_, so over-fetching by it guarantees k survivors.
+  snap.epoch_overfetch_ = epoch_removed_;
+  snap.version_ = version_;
+  snap.epoch_sequence_ = epoch_sequence_;
+  snap.metric_ = options_.metric;
+  snap.dim_ = options_.dim;
+  return snap;
 }
 
-std::vector<util::Neighbor> DynamicIndex::MergeParts(
-    std::vector<util::Neighbor> stat, std::vector<util::Neighbor> delta,
-    size_t k) const {
-  std::vector<util::Neighbor> merged;
-  merged.reserve(std::min(k, stat.size() + delta.size()));
-  std::merge(stat.begin(), stat.end(), delta.begin(), delta.end(),
-             std::back_inserter(merged));
-  if (merged.size() > k) merged.resize(k);
-  return merged;
-}
-
-std::vector<util::Neighbor> DynamicIndex::QueryLocked(const float* query,
-                                                      size_t k) const {
-  std::vector<util::Neighbor> stat;
-  if (epoch_ != nullptr && epoch_->index != nullptr) {
-    stat = epoch_->index->Query(query, k);
-    // Row -> global id, again a monotone remap (snapshot rows are stored in
-    // ascending global-id order).
-    for (util::Neighbor& nb : stat) nb.id = epoch_->ids[nb.id];
-  }
-  return MergeParts(std::move(stat), QueryDelta(query, k), k);
+Snapshot DynamicIndex::AcquireSnapshot() const {
+  auto lock = ReadLock();
+  return AcquireSnapshotLocked();
 }
 
 std::vector<util::Neighbor> DynamicIndex::Query(const float* query,
                                                 size_t k) const {
-  auto lock = ReadLock();
-  return QueryLocked(query, k);
+  // One-shot snapshot: same linearization point as the old
+  // hold-the-reader-lock query, with the lock held only for the capture.
+  return AcquireSnapshot().Query(query, k);
 }
 
 std::vector<std::vector<util::Neighbor>> DynamicIndex::QueryBatch(
     const float* queries, size_t num_queries, size_t k,
     size_t num_threads) const {
-  auto lock = ReadLock();
-  const size_t d = options_.dim;
-  std::vector<std::vector<util::Neighbor>> stat(num_queries);
-  if (epoch_ != nullptr && epoch_->index != nullptr) {
-    stat = epoch_->index->QueryBatch(queries, num_queries, k, num_threads);
-  }
-  std::vector<std::vector<util::Neighbor>> results(num_queries);
-  util::ParallelFor(
-      num_queries,
-      [&](size_t begin, size_t end) {
-        for (size_t q = begin; q < end; ++q) {
-          for (util::Neighbor& nb : stat[q]) nb.id = epoch_->ids[nb.id];
-          results[q] = MergeParts(std::move(stat[q]),
-                                  QueryDelta(queries + q * d, k), k);
-        }
-      },
-      num_threads);
-  return results;
+  return AcquireSnapshot().QueryBatch(queries, num_queries, k, num_threads);
 }
 
 bool DynamicIndex::ClaimRebuild() {
@@ -451,46 +488,50 @@ void DynamicIndex::FinishRebuild(std::exception_ptr error) {
 
 void DynamicIndex::RunRebuild() {
   try {
-    // Capture *by reference*: under the reader lock, take the epoch
-    // shared_ptr, a snapshot of its tombstone bitmap, and a copy of the
-    // (small) delta region — never the epoch floats themselves. The epoch
-    // store is immutable and kept alive by the shared_ptr, so the heavy
-    // survivor materialization below runs with no lock held; for a
-    // memory-mapped epoch this is the difference between consolidation
-    // costing O(delta) heap and costing the whole base set. Writers wait
-    // only for the O(epoch tombstones + delta) copies.
-    std::shared_ptr<Epoch> old_epoch;
-    std::vector<uint8_t> epoch_deleted;
-    std::vector<float> cap_delta_rows;
-    std::vector<int32_t> cap_delta_ids;
-    std::vector<uint8_t> cap_delta_deleted;
+    // Capture under the reader lock: the epoch shared_ptr, the delta buffer
+    // shared_ptr, the used prefix length, and the *merged* tombstone flags
+    // of both regions as of now — never the floats themselves. Both stores
+    // are immutable over the captured range (rows are written before the
+    // releasing writer unlock that happens-before this reader lock) and
+    // kept alive by the shared_ptrs, so the heavy survivor materialization
+    // below runs with no lock held; for a memory-mapped epoch this is the
+    // difference between consolidation costing O(delta) heap and costing
+    // the whole base set. Writers wait only for the O(rows) flag merges.
+    std::shared_ptr<const EpochState> old_epoch;
+    std::shared_ptr<const DeltaBuffer> old_delta;
+    std::vector<uint8_t> epoch_dead;
+    std::vector<uint8_t> delta_dead;
     size_t delta_end = 0;
     const size_t d = options_.dim;
     {
       auto lock = ReadLock();
       old_epoch = epoch_;
-      if (old_epoch != nullptr) epoch_deleted = old_epoch->deleted;
-      delta_end = delta_ids_.size();
-      cap_delta_rows.assign(delta_rows_.begin(),
-                            delta_rows_.begin() +
-                                static_cast<ptrdiff_t>(delta_end * d));
-      cap_delta_ids.assign(delta_ids_.begin(),
-                           delta_ids_.begin() +
-                               static_cast<ptrdiff_t>(delta_end));
-      cap_delta_deleted.assign(delta_deleted_.begin(),
-                               delta_deleted_.begin() +
-                                   static_cast<ptrdiff_t>(delta_end));
+      if (old_epoch != nullptr) {
+        epoch_dead.resize(old_epoch->ids.size());
+        for (size_t r = 0; r < epoch_dead.size(); ++r) {
+          epoch_dead[r] =
+              old_epoch->deleted[r] ||
+              old_epoch->deleted_at[r].load(std::memory_order_relaxed) != 0;
+        }
+      }
+      old_delta = delta_;
+      delta_end = delta_len_;
+      delta_dead.resize(delta_end);
+      for (size_t s = 0; s < delta_end; ++s) {
+        delta_dead[s] =
+            old_delta->deleted_at[s].load(std::memory_order_relaxed) != 0;
+      }
     }
 
     // Survivors, in ascending global-id order (epoch ids all precede delta
     // ids; both regions are stored ascending).
     std::vector<int32_t> ids;
     storage::VectorStoreRef rows;
-    const Epoch* ep = old_epoch.get();
+    const EpochState* ep = old_epoch.get();
     const size_t epoch_rows = ep != nullptr ? ep->ids.size() : 0;
     size_t live = 0;
-    for (size_t r = 0; r < epoch_rows; ++r) live += epoch_deleted[r] ? 0 : 1;
-    for (size_t s = 0; s < delta_end; ++s) live += cap_delta_deleted[s] ? 0 : 1;
+    for (size_t r = 0; r < epoch_rows; ++r) live += epoch_dead[r] ? 0 : 1;
+    for (size_t s = 0; s < delta_end; ++s) live += delta_dead[s] ? 0 : 1;
     ids.reserve(live);
     // One survivor sweep for both sinks below, so the spill and heap
     // epochs can never diverge in ordering or tombstone handling (the
@@ -501,12 +542,12 @@ void DynamicIndex::RunRebuild() {
     const auto sweep_survivors = [&](auto&& sink) {
       if (epoch_rows > 0) {
         storage::ScanRows(*ep->data.data.get(), 0, epoch_rows, [&](size_t r) {
-          if (!epoch_deleted[r]) sink(ep->ids[r], ep->data.data.Row(r));
+          if (!epoch_dead[r]) sink(ep->ids[r], ep->data.data.Row(r));
         });
       }
       for (size_t s = 0; s < delta_end; ++s) {
-        if (!cap_delta_deleted[s]) {
-          sink(cap_delta_ids[s], cap_delta_rows.data() + s * d);
+        if (!delta_dead[s]) {
+          sink(old_delta->ids[s], old_delta->rows.get() + s * d);
         }
       }
     };
@@ -549,15 +590,18 @@ void DynamicIndex::RunRebuild() {
       rows = std::move(heap_rows);
     }
     // Build: the expensive part — hashing + CSA construction — runs with no
-    // lock held, from the immutable snapshot. Old epoch keeps serving.
+    // lock held, from the immutable capture. Old epoch keeps serving, and
+    // snapshots acquired before the install below stay pinned to it.
     auto epoch = BuildEpoch(factory_, options_.metric, options_.dim,
                             std::move(rows), std::move(ids));
 
     // Install: reconcile mutations that raced the build, then swap.
     {
       auto lock = WriteLock();
-      // Deletions since capture land in the fresh tombstone bitmap (the
-      // rows are baked into the new static structure); the id is gone from
+      // Deletions since capture land in the fresh *base* bitmap (the rows
+      // are baked into the new static structure, and no snapshot older
+      // than this install can ever see the new epoch, so collapsing their
+      // stamps to base tombstones loses nothing); the id is gone from
       // live_ already.
       for (size_t row = 0; row < epoch->ids.size(); ++row) {
         const auto it = live_.find(epoch->ids[row]);
@@ -567,23 +611,34 @@ void DynamicIndex::RunRebuild() {
           it->second = Location{false, row};
         }
       }
-      // Inserts since capture become the new delta.
-      const size_t d = options_.dim;
-      std::vector<float> rows_left(
-          delta_rows_.begin() + static_cast<ptrdiff_t>(delta_end * d),
-          delta_rows_.end());
-      std::vector<int32_t> ids_left(delta_ids_.begin() + delta_end,
-                                    delta_ids_.end());
-      std::vector<uint8_t> deleted_left(delta_deleted_.begin() + delta_end,
-                                        delta_deleted_.end());
-      for (size_t slot = 0; slot < ids_left.size(); ++slot) {
-        const auto it = live_.find(ids_left[slot]);
-        if (it != live_.end()) it->second = Location{true, slot};
+      // Inserts since capture become the new delta generation. Copy from
+      // the *current* buffer (a doubling may have superseded the captured
+      // one), stamps verbatim — every stamp is at most version_, hence
+      // visible-as-dead to all future snapshots, matching the collapsed
+      // epoch handling above.
+      const size_t leftover = delta_len_ - delta_end;
+      if (leftover == 0) {
+        delta_.reset();
+        delta_len_ = 0;
+      } else {
+        auto fresh = std::make_shared<DeltaBuffer>(
+            std::max(kInitialDeltaCapacity, 2 * leftover), d);
+        for (size_t s = 0; s < leftover; ++s) {
+          const size_t src = delta_end + s;
+          std::memcpy(fresh->rows.get() + s * d, delta_->rows.get() + src * d,
+                      d * sizeof(float));
+          fresh->ids[s] = delta_->ids[src];
+          fresh->deleted_at[s].store(
+              delta_->deleted_at[src].load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+          const auto it = live_.find(fresh->ids[s]);
+          if (it != live_.end()) it->second = Location{true, s};
+        }
+        delta_ = std::move(fresh);
+        delta_len_ = leftover;
       }
-      delta_rows_ = std::move(rows_left);
-      delta_ids_ = std::move(ids_left);
-      delta_deleted_ = std::move(deleted_left);
       epoch_ = std::move(epoch);
+      epoch_removed_ = 0;
       ++epoch_sequence_;
     }
     FinishRebuild(nullptr);
@@ -597,7 +652,7 @@ void DynamicIndex::RunRebuild() {
 bool DynamicIndex::TriggerRebuild() {
   {
     auto lock = ReadLock();
-    if (live_.empty() && delta_ids_.empty() &&
+    if (live_.empty() && delta_len_ == 0 &&
         (epoch_ == nullptr || epoch_->ids.empty())) {
       return false;
     }
@@ -676,16 +731,38 @@ void DynamicIndex::SerializeState(std::ostream& out, const EpochWriter& writer,
     }
     out.write(reinterpret_cast<const char*>(epoch_->ids.data()),
               epoch_rows * sizeof(int32_t));
-    out.write(reinterpret_cast<const char*>(epoch_->deleted.data()),
-              epoch_rows);
+    // Version stamps collapse into the base bitmap: the stream format is a
+    // point-in-time save, and every stamp at save time is at or below the
+    // version any post-load snapshot will carry.
+    std::vector<uint8_t> epoch_dead(epoch_rows);
+    for (size_t r = 0; r < epoch_rows; ++r) {
+      epoch_dead[r] =
+          epoch_->deleted[r] ||
+          epoch_->deleted_at[r].load(std::memory_order_relaxed) != 0;
+    }
+    out.write(reinterpret_cast<const char*>(epoch_dead.data()), epoch_rows);
     const uint8_t has_index = epoch_->index != nullptr ? 1 : 0;
     WritePod(out, has_index);
     if (has_index) writer(out, *epoch_->index);
   }
 
-  WriteVec(out, delta_rows_);
-  WriteVec(out, delta_ids_);
-  WriteVec(out, delta_deleted_);
+  // Delta region, same flattened layout as the vectors it replaced.
+  std::vector<float> delta_rows(delta_len_ * options_.dim);
+  std::vector<int32_t> delta_ids(delta_len_);
+  std::vector<uint8_t> delta_dead(delta_len_);
+  if (delta_len_ > 0) {
+    std::memcpy(delta_rows.data(), delta_->rows.get(),
+                delta_rows.size() * sizeof(float));
+    std::memcpy(delta_ids.data(), delta_->ids.get(),
+                delta_len_ * sizeof(int32_t));
+    for (size_t s = 0; s < delta_len_; ++s) {
+      delta_dead[s] =
+          delta_->deleted_at[s].load(std::memory_order_relaxed) != 0;
+    }
+  }
+  WriteVec(out, delta_rows);
+  WriteVec(out, delta_ids);
+  WriteVec(out, delta_dead);
   if (!out) throw std::runtime_error("dynamic index write error");
 }
 
@@ -723,7 +800,7 @@ std::unique_ptr<DynamicIndex> DynamicIndex::DeserializeState(
     throw std::runtime_error(
         "dynamic index stream corrupt: epoch larger than id space");
   }
-  auto epoch = std::make_shared<Epoch>();
+  auto epoch = std::make_shared<EpochState>();
   epoch->data.name = "dynamic-epoch";
   epoch->data.metric = options.metric;
   if (epoch_rows > 0) {
@@ -811,25 +888,31 @@ std::unique_ptr<DynamicIndex> DynamicIndex::DeserializeState(
     epoch->index = reader(in, epoch->data);
     epoch->index->set_deleted_filter(&epoch->deleted);
   }
+  // Saved epoch tombstones are all base tombstones (stamps collapse at save
+  // time); no row is stamped post-install yet.
+  epoch->deleted_at.reset(new std::atomic<uint64_t>[epoch_rows]());
   index->epoch_ = std::move(epoch);
 
   const uint64_t max_points = static_cast<uint64_t>(next_id);
   const uint64_t delta_budget = RemainingBytes(in);
+  std::vector<float> delta_rows;
+  std::vector<int32_t> delta_ids;
+  std::vector<uint8_t> delta_dead;
   try {
-    ReadSizedVec(in, &index->delta_rows_,
+    ReadSizedVec(in, &delta_rows,
                  std::min(max_points * dim, delta_budget / sizeof(float)),
                  kStreamName);
-    ReadSizedVec(in, &index->delta_ids_,
+    ReadSizedVec(in, &delta_ids,
                  std::min(max_points, delta_budget / sizeof(int32_t)),
                  kStreamName);
-    ReadSizedVec(in, &index->delta_deleted_,
-                 std::min(max_points, delta_budget), kStreamName);
+    ReadSizedVec(in, &delta_dead, std::min(max_points, delta_budget),
+                 kStreamName);
   } catch (const std::bad_alloc&) {
     throw std::runtime_error(
         "dynamic index stream corrupt: delta allocation failed");
   }
-  if (index->delta_rows_.size() != index->delta_ids_.size() * dim ||
-      index->delta_deleted_.size() != index->delta_ids_.size()) {
+  if (delta_rows.size() != delta_ids.size() * dim ||
+      delta_dead.size() != delta_ids.size()) {
     throw std::runtime_error(
         "dynamic index stream corrupt: delta arrays disagree");
   }
@@ -847,12 +930,32 @@ std::unique_ptr<DynamicIndex> DynamicIndex::DeserializeState(
     }
     prev = id;
   }
-  for (const int32_t id : index->delta_ids_) {
+  for (const int32_t id : delta_ids) {
     if (id <= prev || static_cast<int64_t>(id) >= next_id) {
       throw std::runtime_error(
           "dynamic index stream corrupt: delta ids out of order");
     }
     prev = id;
+  }
+
+  // Materialize the delta generation. Loaded tombstones get stamp 1 and the
+  // clock restarts at 1: stamp 0 means live, and every stamp must sit at or
+  // below the version of any snapshot acquired after the load.
+  index->delta_len_ = delta_ids.size();
+  index->version_ = 1;
+  if (index->delta_len_ > 0) {
+    auto delta = std::make_shared<DeltaBuffer>(
+        std::max(kInitialDeltaCapacity, 2 * index->delta_len_), dim);
+    std::memcpy(delta->rows.get(), delta_rows.data(),
+                delta_rows.size() * sizeof(float));
+    std::memcpy(delta->ids.get(), delta_ids.data(),
+                delta_ids.size() * sizeof(int32_t));
+    for (size_t s = 0; s < delta_dead.size(); ++s) {
+      if (delta_dead[s]) {
+        delta->deleted_at[s].store(1, std::memory_order_relaxed);
+      }
+    }
+    index->delta_ = std::move(delta);
   }
 
   // Rebuild the id -> location map from the persisted tombstones.
@@ -861,9 +964,9 @@ std::unique_ptr<DynamicIndex> DynamicIndex::DeserializeState(
       index->live_[index->epoch_->ids[row]] = Location{false, row};
     }
   }
-  for (size_t slot = 0; slot < index->delta_ids_.size(); ++slot) {
-    if (!index->delta_deleted_[slot]) {
-      index->live_[index->delta_ids_[slot]] = Location{true, slot};
+  for (size_t slot = 0; slot < delta_ids.size(); ++slot) {
+    if (!delta_dead[slot]) {
+      index->live_[delta_ids[slot]] = Location{true, slot};
     }
   }
   return index;

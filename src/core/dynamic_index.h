@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "baselines/ann_index.h"
+#include "core/snapshot.h"
 #include "dataset/dataset.h"
 #include "storage/vector_store.h"
 #include "util/matrix.h"
@@ -27,41 +28,55 @@ namespace core {
 /// Three structures carry the mutations, the delta-consolidation design of
 /// the DiskANN line of work adapted to LCCS-LSH:
 ///
-///   * a static **epoch**: a snapshot of the points at the last
-///     consolidation — a shared storage::VectorStore (heap, the caller's
-///     mmap-backed dataset store, or a spill file; see Options::spill_dir) —
-///     indexed by the wrapped AnnIndex (LCCS-LSH, linear scan, ...) exactly
-///     as if it had been built offline;
-///   * an append-only **delta buffer** of vectors inserted since, answered
-///     by brute force with the batched SIMD verifier (util::VerifyCandidates
-///     makes a few thousand rows essentially free next to the probing cost);
-///   * a **tombstone** bitmap per region. Deleted epoch rows stay inside the
-///     static structure but are masked out of every result through
-///     AnnIndex::set_deleted_filter; deleted delta rows are masked in the
-///     brute-force scan.
+///   * a static **epoch** (core::EpochState): a snapshot of the points at
+///     the last consolidation — a shared storage::VectorStore (heap, the
+///     caller's mmap-backed dataset store, or a spill file; see
+///     Options::spill_dir) — indexed by the wrapped AnnIndex (LCCS-LSH,
+///     linear scan, ...) exactly as if it had been built offline;
+///   * an append-only **delta buffer** (core::DeltaBuffer) of vectors
+///     inserted since, answered by brute force with the batched SIMD
+///     verifier (util::VerifyCandidates makes a few thousand rows
+///     essentially free next to the probing cost);
+///   * **tombstones** carrying the version of the mutation that set them.
+///     Epoch rows already dead at install sit in a frozen base bitmap the
+///     wrapped index filters through AnnIndex::set_deleted_filter; removes
+///     after the install — epoch or delta — stamp a per-row atomic version
+///     instead, so any point in mutation history can still be read.
 ///
-/// Queries answer over (epoch ∪ delta) ∖ tombstones, merging the two
-/// partial results by (distance, id) — ids are global, assigned in insert
-/// order, so the merged ranking is exactly the ranking an index over the
-/// surviving points would produce (the oracle-equivalence property
-/// tests/test_dynamic_index.cc locks down).
+/// Reads are MVCC snapshots: AcquireSnapshot() captures the epoch
+/// shared_ptr, the delta buffer shared_ptr, the delta prefix length and the
+/// mutation version in O(1) under the reader lock, and the returned
+/// core::Snapshot then answers queries with no lock held — concurrent
+/// inserts, removes and epoch installs never perturb it (the bit-stability
+/// property tests/test_dynamic_concurrency.cc races under TSAN). Query and
+/// QueryBatch are one-shot snapshots: acquire, answer, release — the same
+/// linearization point the old lock-the-world read path had, with the lock
+/// held only for the capture. Queries answer over (epoch ∪ delta) ∖
+/// tombstones, merging the two partial results by (distance, id) — ids are
+/// global, assigned in insert order, so the merged ranking is exactly the
+/// ranking an index over the surviving points would produce (the
+/// oracle-equivalence property tests/test_dynamic_index.cc locks down).
 ///
-/// When the delta outgrows Options::rebuild_threshold, an **epoch rebuild**
-/// consolidates survivors into a fresh static index on a dedicated
-/// background thread: the heavy build runs from an immutable copy without
-/// blocking anything, queries keep being served from the old epoch, and the
-/// finished epoch is installed with a shared_ptr swap under the writer lock
-/// — the only pause writers or readers ever see is the O(remaining delta)
-/// reconciliation, measured by bench/micro_dynamic. (A dedicated thread and
-/// not ThreadPool::Submit: the rebuild blocks on the index rwlock, which
-/// Submit's no-blocking contract forbids — a QueryBatch caller helping to
-/// drain a ParallelRange could steal the task and deadlock against the
-/// shared lock it already holds.)
+/// When the delta outgrows Options::rebuild_threshold (or accumulated
+/// epoch tombstones do — they widen every snapshot's over-fetch margin), an
+/// **epoch rebuild** consolidates survivors into a fresh static index on a
+/// dedicated background thread: the heavy build runs from an immutable
+/// capture without blocking anything, queries keep being served from the
+/// old epoch, and the finished epoch is installed with a shared_ptr swap
+/// under the writer lock — the only pause writers or readers ever see is
+/// the O(remaining delta) reconciliation, measured by bench/micro_dynamic.
+/// Snapshots acquired before the install keep the retired epoch and delta
+/// buffer alive and bit-identical for as long as they are held. (A
+/// dedicated thread and not ThreadPool::Submit: the rebuild blocks on the
+/// index rwlock, which Submit's no-blocking contract forbids — a QueryBatch
+/// caller helping to drain a ParallelRange could steal the task and
+/// deadlock against the shared lock it already holds.)
 ///
-/// Thread safety: Query/QueryBatch take a reader lock and may run freely in
-/// parallel; Insert/Remove take the writer lock and may be called from any
-/// thread. tests/test_dynamic_concurrency.cc stresses queries against
-/// inserts and a mid-query rebuild under TSAN.
+/// Thread safety: Query/QueryBatch/AcquireSnapshot take a reader lock and
+/// may run freely in parallel; Insert/Remove take the writer lock and may
+/// be called from any thread. tests/test_dynamic_concurrency.cc stresses
+/// queries and held snapshots against inserts and a mid-query rebuild under
+/// TSAN.
 class DynamicIndex : public baselines::AnnIndex {
  public:
   /// Creates the epoch index for a snapshot. Called once per consolidation
@@ -76,7 +91,8 @@ class DynamicIndex : public baselines::AnnIndex {
     /// Dimensionality; required when inserting into a never-Built index
     /// (Build overrides it from the dataset).
     size_t dim = 0;
-    /// Delta size that triggers consolidation into a fresh epoch.
+    /// Delta size (or post-install epoch-tombstone count) that triggers
+    /// consolidation into a fresh epoch.
     size_t rebuild_threshold = 1024;
     /// Consolidate on a dedicated background thread (true) or only when the
     /// caller invokes Consolidate() explicitly (false — deterministic, used
@@ -104,18 +120,17 @@ class DynamicIndex : public baselines::AnnIndex {
   /// index: the store is kept alive by the shared handle, and the handles
   /// are copy-on-write, so the caller mutating its dataset afterwards
   /// writes into a private clone — exactly the isolation the old deep copy
-  /// provided. Points get ids 0..n-1; previous contents, delta and
-  /// tombstones are discarded.
+  /// provided. Points get ids 0..n-1; previous contents, delta, tombstones
+  /// and the mutation version are discarded.
   void Build(const dataset::Dataset& data) override;
 
   /// k nearest surviving neighbors by true distance, global ids.
+  /// Equivalent to AcquireSnapshot().Query(query, k).
   std::vector<util::Neighbor> Query(const float* query,
                                     size_t k) const override;
 
-  /// Batched queries under one reader lock: the static epoch answers the
-  /// whole batch through its own QueryBatch (cache-blocked / parallel), the
-  /// delta is scanned per query in parallel, and the merges are identical
-  /// to per-row Query by construction.
+  /// Batched queries over one snapshot; identical to per-row Query by
+  /// construction (see Snapshot::QueryBatch).
   std::vector<std::vector<util::Neighbor>> QueryBatch(
       const float* queries, size_t num_queries, size_t k,
       size_t num_threads = 0) const override;
@@ -126,7 +141,8 @@ class DynamicIndex : public baselines::AnnIndex {
 
   /// Tombstones the point with global id `id`; returns false when the id
   /// was never assigned or is already deleted. O(1): the static epoch is
-  /// not touched until the next consolidation.
+  /// not touched until the next consolidation. May trigger a background
+  /// consolidation once enough epoch rows are stamped.
   bool Remove(int32_t id) override;
 
   /// Refused (throws std::runtime_error for a non-null bitmap): this index
@@ -140,6 +156,19 @@ class DynamicIndex : public baselines::AnnIndex {
   size_t IndexSizeBytes() const override;
   std::string name() const override;
   util::Metric metric() const;
+
+  // --- MVCC snapshots -----------------------------------------------------
+
+  /// O(1) immutable read view of the current state: pins the epoch, the
+  /// delta buffer, the delta prefix and the mutation version under one
+  /// reader-lock hold, then serves queries lock-free. Never blocks writers
+  /// beyond the capture; holding the snapshot keeps its generation alive
+  /// across any number of mutations and consolidations.
+  Snapshot AcquireSnapshot() const;
+
+  /// Mutations (Insert/Remove) applied so far; Build resets it to 0. The
+  /// version a snapshot acquired now would carry.
+  uint64_t version() const;
 
   // --- Mutation / epoch introspection ------------------------------------
 
@@ -161,7 +190,11 @@ class DynamicIndex : public baselines::AnnIndex {
     size_t epoch_rows = 0;      ///< rows in the static snapshot
     size_t delta_rows = 0;      ///< delta rows (live + tombstoned)
     size_t tombstones = 0;      ///< tombstones not yet consolidated away
+    /// Epoch rows stamped since the install — the over-fetch margin every
+    /// snapshot query currently pays (consolidation resets it).
+    size_t epoch_stamped = 0;
     uint64_t epoch_sequence = 0;
+    uint64_t version = 0;       ///< mutations applied so far
     bool rebuild_in_flight = false;
   };
   Stats stats() const;
@@ -203,8 +236,10 @@ class DynamicIndex : public baselines::AnnIndex {
       std::istream&, const dataset::Dataset&)>;
 
   /// Streams the full mutable state — epoch snapshot, global ids, both
-  /// tombstone regions, the delta buffer and the id counter — under the
-  /// reader lock, delegating the wrapped index's payload to `writer`.
+  /// tombstone regions (version stamps collapse to plain bitmap bytes; a
+  /// save has a single version, the present), the delta buffer and the id
+  /// counter — under the reader lock, delegating the wrapped index's
+  /// payload to `writer`.
   ///
   /// With `external_vectors` the epoch's floats are NOT inlined: the stream
   /// records the backing flat file's path, checksum and row offset instead
@@ -230,32 +265,24 @@ class DynamicIndex : public baselines::AnnIndex {
     size_t pos = 0;  ///< epoch row or delta slot
   };
 
-  /// One consolidation generation. `data` holds the snapshot store (heap,
-  /// shared with the caller's dataset, or a spill-file mmap); the wrapped
-  /// index retains the same store, so either keeps it alive.
-  struct Epoch {
-    dataset::Dataset data;          ///< snapshot (queries member unused)
-    std::vector<int32_t> ids;       ///< row -> global id, strictly ascending
-    std::vector<uint8_t> deleted;   ///< row tombstones (sized once, stable)
-    std::unique_ptr<baselines::AnnIndex> index;  ///< null when no rows
-  };
+  /// Builds an EpochState over the store behind `rows` (global-id
+  /// ascending) via the factory and installs the deleted filter. Static so
+  /// the background task can run it without touching any member state.
+  static std::shared_ptr<EpochState> BuildEpoch(const Factory& factory,
+                                                util::Metric metric,
+                                                size_t dim,
+                                                storage::VectorStoreRef rows,
+                                                std::vector<int32_t> ids);
 
-  /// Builds an Epoch over the store behind `rows` (global-id ascending) via
-  /// the factory and installs the deleted filter. Static so the background
-  /// task can run it without touching any member state.
-  static std::shared_ptr<Epoch> BuildEpoch(const Factory& factory,
-                                           util::Metric metric, size_t dim,
-                                           storage::VectorStoreRef rows,
-                                           std::vector<int32_t> ids);
-
-  std::vector<util::Neighbor> QueryLocked(const float* query, size_t k) const;
+  /// Snapshot capture body; caller must hold mutex_ (either mode).
+  Snapshot AcquireSnapshotLocked() const;
   /// LiveVectors body; caller must hold mutex_ (either mode).
   util::Matrix LiveVectorsLocked(std::vector<int32_t>* ids) const;
-  std::vector<util::Neighbor> MergeParts(std::vector<util::Neighbor> stat,
-                                         std::vector<util::Neighbor> delta,
-                                         size_t k) const;
-  /// Delta brute force: top-k over live delta slots, ids remapped to global.
-  std::vector<util::Neighbor> QueryDelta(const float* query, size_t k) const;
+  /// Makes room for one more delta slot: allocates the first buffer, or
+  /// clones into a doubled successor when full — the version-chain step
+  /// that lets snapshots keep reading the retired buffer. Caller must hold
+  /// the writer lock.
+  void EnsureDeltaCapacityLocked();
 
   /// Claims the rebuild-in-flight flag; false if already claimed.
   bool ClaimRebuild();
@@ -279,16 +306,19 @@ class DynamicIndex : public baselines::AnnIndex {
   Factory factory_;
   Options options_;
 
-  /// Guards every field below. Queries: shared (via ReadLock). Mutations +
-  /// install: exclusive (via WriteLock).
+  /// Guards every field below. Queries / snapshot capture: shared (via
+  /// ReadLock). Mutations + install: exclusive (via WriteLock). Tombstone
+  /// stamps are additionally atomic because pinned snapshots read them with
+  /// no lock held while later removes store new stamps.
   mutable std::shared_mutex mutex_;
   mutable std::mutex gate_;
-  std::shared_ptr<Epoch> epoch_;
-  std::vector<float> delta_rows_;      ///< delta_ids_.size() x dim
-  std::vector<int32_t> delta_ids_;     ///< slot -> global id, ascending
-  std::vector<uint8_t> delta_deleted_; ///< slot tombstones
+  std::shared_ptr<EpochState> epoch_;
+  std::shared_ptr<DeltaBuffer> delta_;  ///< current generation, may be null
+  size_t delta_len_ = 0;                ///< used slots of delta_
   std::unordered_map<int32_t, Location> live_;
   int32_t next_id_ = 0;
+  uint64_t version_ = 0;        ///< mutations applied (stamp source)
+  size_t epoch_removed_ = 0;    ///< epoch rows stamped since install
   uint64_t epoch_sequence_ = 0;
 
   /// Rebuild coordination. Never held while acquiring mutex_.

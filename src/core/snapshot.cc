@@ -1,0 +1,117 @@
+#include "core/snapshot.h"
+
+#include <algorithm>
+#include <iterator>
+
+#include "util/simd_distance.h"
+#include "util/thread_pool.h"
+
+namespace lccs {
+namespace core {
+
+DeltaBuffer::DeltaBuffer(size_t capacity_, size_t dim_)
+    : capacity(capacity_),
+      dim(dim_),
+      rows(new float[capacity_ * dim_]),
+      ids(new int32_t[capacity_]),
+      // Value-initialization zeroes the stamps: every slot starts live.
+      deleted_at(new std::atomic<uint64_t>[capacity_]()) {}
+
+std::vector<util::Neighbor> Snapshot::FilterEpoch(
+    std::vector<util::Neighbor> stat, size_t k) const {
+  // Drop rows removed at or before this snapshot's version. Stamps above
+  // version_ belong to mutations this snapshot must not see; the relaxed
+  // load is safe because stamps at or below version_ were published before
+  // the acquiring reader-lock hold, and later stamps only ever move a row
+  // from "live" to "dead above version_" — both filtered identically.
+  size_t kept = 0;
+  for (const util::Neighbor& nb : stat) {
+    const size_t row = static_cast<size_t>(nb.id);
+    const uint64_t stamp =
+        epoch_->deleted_at[row].load(std::memory_order_relaxed);
+    if (stamp != 0 && stamp <= version_) continue;
+    // Row -> global id: a monotone remap (snapshot rows are stored in
+    // ascending global-id order), so the (distance, id) order is unchanged.
+    stat[kept] = util::Neighbor{epoch_->ids[row], nb.dist};
+    if (++kept == k) break;
+  }
+  stat.resize(kept);
+  return stat;
+}
+
+std::vector<util::Neighbor> Snapshot::QueryDelta(const float* query,
+                                                 size_t k) const {
+  if (delta_len_ == 0 || k == 0) return {};
+  // Gather the slots live at version_ and verify them in one batched SIMD
+  // pass. Candidates are offered in slot (= insert) order, matching the
+  // tie-breaking of the bitmap-filtered scan this replaces.
+  std::vector<int32_t> cand;
+  cand.reserve(delta_len_);
+  for (size_t s = 0; s < delta_len_; ++s) {
+    const uint64_t stamp =
+        delta_->deleted_at[s].load(std::memory_order_relaxed);
+    if (stamp == 0 || stamp > version_) {
+      cand.push_back(static_cast<int32_t>(s));
+    }
+  }
+  util::TopK topk(k);
+  util::VerifyCandidates(metric_, delta_->rows.get(), dim_, query,
+                         cand.data(), cand.size(), topk);
+  std::vector<util::Neighbor> result = topk.Sorted();
+  // Slot -> global id, again monotone.
+  for (util::Neighbor& nb : result) nb.id = delta_->ids[nb.id];
+  return result;
+}
+
+std::vector<util::Neighbor> Snapshot::Query(const float* query,
+                                            size_t k) const {
+  if (k == 0) return {};
+  std::vector<util::Neighbor> stat;
+  if (epoch_ != nullptr && epoch_->index != nullptr) {
+    // Over-fetch by the number of epoch rows stamped at acquisition: the
+    // wrapped index filters only the frozen base bitmap, so at most
+    // epoch_overfetch_ of its answers can be stamped away below — k
+    // survivors always remain when they exist.
+    stat = FilterEpoch(epoch_->index->Query(query, k + epoch_overfetch_), k);
+  }
+  std::vector<util::Neighbor> delta = QueryDelta(query, k);
+  std::vector<util::Neighbor> merged;
+  merged.reserve(std::min(k, stat.size() + delta.size()));
+  std::merge(stat.begin(), stat.end(), delta.begin(), delta.end(),
+             std::back_inserter(merged));
+  if (merged.size() > k) merged.resize(k);
+  return merged;
+}
+
+std::vector<std::vector<util::Neighbor>> Snapshot::QueryBatch(
+    const float* queries, size_t num_queries, size_t k,
+    size_t num_threads) const {
+  std::vector<std::vector<util::Neighbor>> results(num_queries);
+  if (k == 0 || num_queries == 0) return results;
+  // The static epoch answers the whole batch through its own QueryBatch
+  // (cache-blocked / parallel); filtering and the delta scan run per query
+  // in parallel, identical to per-row Query by construction.
+  std::vector<std::vector<util::Neighbor>> stat(num_queries);
+  if (epoch_ != nullptr && epoch_->index != nullptr) {
+    stat = epoch_->index->QueryBatch(queries, num_queries,
+                                     k + epoch_overfetch_, num_threads);
+  }
+  util::ParallelFor(
+      num_queries,
+      [&](size_t begin, size_t end) {
+        for (size_t q = begin; q < end; ++q) {
+          std::vector<util::Neighbor> part = FilterEpoch(std::move(stat[q]), k);
+          std::vector<util::Neighbor> delta = QueryDelta(queries + q * dim_, k);
+          auto& merged = results[q];
+          merged.reserve(std::min(k, part.size() + delta.size()));
+          std::merge(part.begin(), part.end(), delta.begin(), delta.end(),
+                     std::back_inserter(merged));
+          if (merged.size() > k) merged.resize(k);
+        }
+      },
+      num_threads);
+  return results;
+}
+
+}  // namespace core
+}  // namespace lccs

@@ -32,7 +32,8 @@ Server::Server(ShardedIndex* index, Options options)
         "construct it with Options::dim before serving");
   }
   if (options_.max_batch == 0) options_.max_batch = 1;
-  sequencer_ = std::thread([this] { SequencerLoop(); });
+  window_thread_ = std::thread([this] { WindowLoop(); });
+  writer_thread_ = std::thread([this] { WriterLoop(); });
 }
 
 Server::~Server() { Stop(); }
@@ -51,15 +52,21 @@ Server::Admission Server::Admit(Request&& request) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
     return Admission::kStopped;
   }
-  if (options_.max_queue > 0 && queue_.size() >= options_.max_queue) {
+  if (options_.max_queue > 0 &&
+      query_queue_.size() + mutation_queue_.size() >= options_.max_queue) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
     return Admission::kOverloaded;
   }
   // Stamped under the lock so arrival order matches queue order — the
   // window-deadline logic relies on arrivals being monotone down the queue.
   request.arrival_us = NowUs();
-  queue_.push_back(std::move(request));
-  cv_.notify_one();  // only the sequencer waits on cv_
+  if (request.kind == Request::kQuery) {
+    query_queue_.push_back(std::move(request));
+    window_cv_.notify_one();
+  } else {
+    mutation_queue_.push_back(std::move(request));
+    writer_cv_.notify_one();
+  }
   return Admission::kAdmitted;
 }
 
@@ -109,17 +116,20 @@ void Server::Stop() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = true;
-    cv_.notify_all();
+    window_cv_.notify_all();
+    writer_cv_.notify_all();
   }
   // join() is not idempotent; the destructor and an explicit Stop() both
   // land here, so guard on joinability (single-threaded teardown, as with
   // every other owner-joins-thread type in this repository).
-  if (sequencer_.joinable()) sequencer_.join();
+  if (window_thread_.joinable()) window_thread_.join();
+  if (writer_thread_.joinable()) writer_thread_.join();
 }
 
 void Server::Poke() {
   std::lock_guard<std::mutex> lock(mu_);
-  cv_.notify_all();
+  window_cv_.notify_all();
+  writer_cv_.notify_all();
 }
 
 Server::Stats Server::stats() const {
@@ -131,52 +141,61 @@ Server::Stats Server::stats() const {
   out.windows_closed_full = closed_full_.load(std::memory_order_relaxed);
   out.windows_closed_deadline =
       closed_deadline_.load(std::memory_order_relaxed);
-  out.windows_closed_mutation =
-      closed_mutation_.load(std::memory_order_relaxed);
   out.windows_closed_shutdown =
       closed_shutdown_.load(std::memory_order_relaxed);
   out.rebuilds_triggered = rebuilds_triggered_.load(std::memory_order_relaxed);
   return out;
 }
 
-void Server::SequencerLoop() {
-  // Consolidation scheduling runs after every window, at the idle edge of a
-  // mutation run, and — so a saturating mutation-only stream that never
-  // drains the queue still consolidates — at least every this-many applied
-  // mutations.
+void Server::WriterLoop() {
+  // Consolidation scheduling runs at the idle edge of a mutation run and —
+  // so a saturating mutation stream that never drains the queue still
+  // consolidates — at least every this-many applied mutations.
   constexpr size_t kMutationsPerMaintenance = 64;
   size_t mutations_since_maintenance = 0;
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
-    if (queue_.empty()) {
+    writer_cv_.wait(lock,
+                    [&] { return stopping_ || !mutation_queue_.empty(); });
+    if (mutation_queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    Request request = std::move(mutation_queue_.front());
+    mutation_queue_.pop_front();
+    const bool idle_after = mutation_queue_.empty();
+    // Applied outside mu_: the index serializes mutations on its own writer
+    // lock, and admission must not stall behind a shard insert. Admission
+    // order is preserved — this thread is the only consumer of the queue.
+    lock.unlock();
+    ApplyMutation(std::move(request));
+    ++mutations_since_maintenance;
+    if (idle_after ||
+        mutations_since_maintenance >= kMutationsPerMaintenance) {
+      rebuilds_triggered_.fetch_add(index_->MaintainShards(),
+                                    std::memory_order_relaxed);
+      mutations_since_maintenance = 0;
+    }
+    lock.lock();
+  }
+}
+
+void Server::WindowLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    window_cv_.wait(lock, [&] { return stopping_ || !query_queue_.empty(); });
+    if (query_queue_.empty()) {
       if (stopping_) return;
       continue;
     }
 
-    if (queue_.front().kind != Request::kQuery) {
-      Request request = std::move(queue_.front());
-      queue_.pop_front();
-      const bool idle_after = queue_.empty();
-      lock.unlock();
-      ApplyMutation(std::move(request));
-      ++mutations_since_maintenance;
-      if (idle_after ||
-          mutations_since_maintenance >= kMutationsPerMaintenance) {
-        rebuilds_triggered_.fetch_add(index_->MaintainShards(),
-                                      std::memory_order_relaxed);
-        mutations_since_maintenance = 0;
-      }
-      lock.lock();
-      continue;
-    }
-
-    // The front request is a query: open a batching window. Its deadline is
-    // anchored to the *first query's admission*, so a query cannot wait
-    // longer than max_delay_us however the window fills.
+    // The front query opens a batching window. Its deadline is anchored to
+    // the *first query's admission*, so a query cannot wait longer than
+    // max_delay_us however the window fills. Mutations flow through their
+    // own queue to the writer thread and neither close nor delay a window.
     std::vector<Request> batch;
-    batch.push_back(std::move(queue_.front()));
-    queue_.pop_front();
+    batch.push_back(std::move(query_queue_.front()));
+    query_queue_.pop_front();
     const uint64_t deadline = batch.front().arrival_us + options_.max_delay_us;
     WindowClose reason = WindowClose::kDeadline;
     // Under an injected clock, only queries admitted before the deadline
@@ -189,25 +208,20 @@ void Server::SequencerLoop() {
     // max_batch.
     const bool deterministic_membership = static_cast<bool>(options_.now_us);
     for (;;) {
-      while (batch.size() < options_.max_batch && !queue_.empty() &&
-             queue_.front().kind == Request::kQuery &&
+      while (batch.size() < options_.max_batch && !query_queue_.empty() &&
              (!deterministic_membership ||
-              queue_.front().arrival_us < deadline)) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
+              query_queue_.front().arrival_us < deadline)) {
+        batch.push_back(std::move(query_queue_.front()));
+        query_queue_.pop_front();
       }
       if (batch.size() >= options_.max_batch) {
         reason = WindowClose::kFull;
         break;
       }
-      if (!queue_.empty()) {
-        // A mutation is queued behind the window (mutations are sequenced
-        // between windows, so no later query may jump it), or the next
-        // query belongs to the next window — its arrival implies the
-        // deadline has passed.
-        reason = queue_.front().kind == Request::kQuery
-                     ? WindowClose::kDeadline
-                     : WindowClose::kMutation;
+      if (!query_queue_.empty()) {
+        // The next query belongs to the next window — its arrival implies
+        // the deadline has passed.
+        reason = WindowClose::kDeadline;
         break;
       }
       if (stopping_) {
@@ -222,16 +236,15 @@ void Server::SequencerLoop() {
       if (options_.now_us) {
         // Injected clock: time only moves when the test says so, and the
         // test Poke()s after advancing — park until then.
-        cv_.wait(lock);
+        window_cv_.wait(lock);
       } else {
-        cv_.wait_for(lock, std::chrono::microseconds(deadline - now));
+        window_cv_.wait_for(lock, std::chrono::microseconds(deadline - now));
       }
     }
     lock.unlock();
     ExecuteBatch(std::move(batch), reason);
     rebuilds_triggered_.fetch_add(index_->MaintainShards(),
                                   std::memory_order_relaxed);
-    mutations_since_maintenance = 0;
     lock.lock();
   }
 }
@@ -239,20 +252,23 @@ void Server::SequencerLoop() {
 void Server::ApplyMutation(Request&& request) {
   MutationResponse response;
   try {
-    if (request.kind == Request::kInsert) {
-      response.id = index_->Insert(request.vec.data());
-      response.applied = true;
-    } else {
-      response.id = request.id;
-      response.applied = index_->Remove(request.id);
-    }
+    const ShardedIndex::MutationResult result =
+        request.kind == Request::kInsert
+            ? index_->ApplyInsert(request.vec.data())
+            : index_->ApplyRemove(request.id);
+    response.applied = result.applied;
+    // Echo the *target* id for removes (ApplyRemove echoes it too, but the
+    // request is the source of truth); inserts report the assigned id.
+    response.id = request.kind == Request::kInsert ? result.id : request.id;
+    // A refused remove still consumed a log position inside the index: the
+    // log stays a dense total order and the oracle replays it as a no-op.
+    response.state_version = result.state_version;
   } catch (...) {
+    // The index bumps its version only after a mutation lands, so a failed
+    // one consumes no log position and the order stays dense.
     request.mutation_promise.set_exception(std::current_exception());
     return;
   }
-  // A refused remove still consumes a position: the log stays a dense total
-  // order and the oracle replays it as a no-op.
-  response.state_version = ++state_version_;
   mutations_applied_.fetch_add(1, std::memory_order_relaxed);
   request.mutation_promise.set_value(response);
 }
@@ -265,9 +281,6 @@ void Server::ExecuteBatch(std::vector<Request> batch, WindowClose reason) {
     case WindowClose::kDeadline:
       closed_deadline_.fetch_add(1, std::memory_order_relaxed);
       break;
-    case WindowClose::kMutation:
-      closed_mutation_.fetch_add(1, std::memory_order_relaxed);
-      break;
     case WindowClose::kShutdown:
       closed_shutdown_.fetch_add(1, std::memory_order_relaxed);
       break;
@@ -277,6 +290,12 @@ void Server::ExecuteBatch(std::vector<Request> batch, WindowClose reason) {
   const size_t d = dim_;
   size_t k_max = 0;
   for (const Request& request : batch) k_max = std::max(k_max, request.k);
+
+  // One atomic cut for the whole window — acquired even when every query
+  // asked for k = 0, so the responses still name a definite version. The
+  // writer thread keeps applying mutations while the batch executes below;
+  // they land beyond this snapshot's cut and are invisible to it.
+  const ShardedSnapshot snapshot = index_->AcquireSnapshot();
 
   // The window executes at its largest k and every query is truncated to
   // its own k. For exact shard configurations the top-k is a prefix of the
@@ -290,8 +309,8 @@ void Server::ExecuteBatch(std::vector<Request> batch, WindowClose reason) {
                   d * sizeof(float));
     }
     try {
-      results = index_->QueryBatch(block.data(), n, k_max,
-                                   options_.num_threads);
+      results = snapshot.QueryBatch(block.data(), n, k_max,
+                                    options_.num_threads);
     } catch (...) {
       const std::exception_ptr error = std::current_exception();
       for (Request& request : batch) {
@@ -314,7 +333,7 @@ void Server::ExecuteBatch(std::vector<Request> batch, WindowClose reason) {
       response.neighbors.resize(batch[i].k);
     }
     response.batch_id = batch_id;
-    response.state_version = state_version_;
+    response.state_version = snapshot.state_version();
     response.batch_size = n;
     batch[i].query_promise.set_value(std::move(response));
   }

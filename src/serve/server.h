@@ -17,18 +17,22 @@ namespace lccs {
 namespace serve {
 
 /// What a query future resolves to: the neighbors plus enough metadata to
-/// check the answer against a sequential oracle black-box (the consistency
-/// contract tests/test_serve.cc verifies).
+/// check the answer against a sequential oracle black-box (the
+/// snapshot-isolation contract tests/test_serve.cc verifies).
 struct QueryResponse {
   std::vector<util::Neighbor> neighbors;
   /// Serving window that executed this query (1-based, dense). Queries with
   /// equal batch_id were answered by one QueryBatch call against one
-  /// snapshot.
+  /// ShardedSnapshot.
   uint64_t batch_id = 0;
-  /// Number of mutations applied before this query's batch ran — the
-  /// batch's admission point. A sequential replay of mutations 1 ..
-  /// state_version followed by an exact k-NN over the survivors reproduces
-  /// `neighbors` exactly (with exhaustive shard configurations).
+  /// Version of the snapshot this query's window executed against: the
+  /// number of mutations it observes. Lies between the number applied when
+  /// the window's first query was admitted and the number applied at the
+  /// snapshot cut — mutations keep applying concurrently while a window is
+  /// open, so the two need not coincide. A sequential replay of mutations
+  /// 1 .. state_version followed by an exact k-NN over the survivors
+  /// reproduces `neighbors` exactly (with exhaustive shard
+  /// configurations); batches observe versions monotone in batch_id.
   uint64_t state_version = 0;
   /// Occupancy of the window (observability; tests assert window closure).
   size_t batch_size = 0;
@@ -42,54 +46,63 @@ struct MutationResponse {
   int32_t id = -1;
   /// This mutation's position in the applied total order (1-based): it is
   /// mutation number `state_version`. Mutations are applied strictly in
-  /// admission order by the serving thread, so these are dense and unique —
+  /// admission order by the writer thread, so these are dense and unique —
   /// the black-box checker rebuilds the full mutation log from them.
   uint64_t state_version = 0;
 };
 
 /// Why a batching window closed (counters in Server::Stats; the
-/// deterministic window tests assert on them).
+/// deterministic window tests assert on them). Mutations never close a
+/// window: they apply concurrently while the window fills and executes.
 enum class WindowClose : uint8_t {
   kFull,      ///< max_batch queries collected
   kDeadline,  ///< max_delay_us elapsed since the first query's admission
-  kMutation,  ///< a mutation is queued behind the collected queries
   kShutdown,  ///< Stop() drained the window
 };
 
-/// Asynchronous serving engine over a ShardedIndex: clients submit
-/// Query / Insert / Remove requests from any thread and get futures; a
-/// single sequencer thread turns the admission queue into an alternation of
+/// Asynchronous MVCC serving engine over a ShardedIndex: clients submit
+/// Query / Insert / Remove requests from any thread and get futures. Two
+/// internal threads split the work:
 ///
-///   mutation, mutation, ..., [batch of queries], mutation, ...
+///   * a **writer** applies mutations strictly in admission order through
+///     ShardedIndex::ApplyInsert/ApplyRemove, stamping each response with
+///     the dense mutation-log position it consumed;
+///   * a **window** thread coalesces adjacent queries into batching
+///     windows. A window closes when it holds max_batch queries, when
+///     max_delay_us has passed since its first query was admitted, or at
+///     shutdown — never because a mutation arrived. It then executes as one
+///     ShardedSnapshot::QueryBatch against an immutable snapshot acquired
+///     at execution time, fanned out over the shared thread pool, while
+///     the writer keeps applying mutations concurrently.
 ///
-/// applied strictly in admission order. Adjacent queries coalesce into a
-/// **batching window** that closes when it holds max_batch queries, when
-/// max_delay_us has passed since its first query was admitted, when a
-/// mutation arrives behind it (mutations are sequenced *between* windows,
-/// never inside one), or at shutdown. The window executes as one
-/// ShardedIndex::QueryBatch fanned out over the shared thread pool.
+/// Consistency (snapshot isolation, black-box checkable): every query in a
+/// batch observes *exactly* the mutations in the prefix 1 ..
+/// QueryResponse::state_version — the snapshot is one atomic cut of the
+/// mutation log, taken no earlier than the batch's first admission and no
+/// later than its execution. Versions are monotone across batch_ids
+/// (windows execute in order on one thread against a monotone log) and
+/// consistent with each client's session: a response can never miss a
+/// mutation the same client had already seen acknowledged before
+/// submitting. tests/test_serve.cc checks all of this black-box: an oracle
+/// replays mutations 1..state_version sequentially and must reproduce
+/// every batch result bit-for-bit, and fabricated snapshot-leak /
+/// torn-read histories must be rejected.
 ///
-/// Consistency: because a window never spans a mutation, every query in a
-/// batch observes exactly the mutations admitted (equivalently: applied)
-/// before its own admission — the execution is serializable in admission
-/// order, and each QueryResponse names its snapshot via state_version.
-/// tests/test_serve.cc checks this black-box: an oracle replays mutations
-/// 1..state_version sequentially and must reproduce every batch result
-/// bit-for-bit.
+/// Admission policy: Options::max_queue bounds the two queues' combined
+/// size; when full, new requests are rejected with a broken future
+/// (std::runtime_error "server overloaded") instead of growing the backlog
+/// — callers see the overload immediately and can shed or retry.
 ///
-/// Admission policy: Options::max_queue bounds the queue; when full, new
-/// requests are rejected with a broken future (std::runtime_error
-/// "server overloaded") instead of growing the backlog — callers see the
-/// overload immediately and can shed or retry.
-///
-/// Between windows the sequencer runs ShardedIndex::MaintainShards(), so
-/// per-shard consolidation is scheduled from the serving loop itself —
+/// Consolidation is scheduled from both loops — the window thread after
+/// every batch, the writer at the idle edge of a mutation run and at least
+/// every 64 applied mutations — via ShardedIndex::MaintainShards();
 /// rebuilds run on the shards' background threads and never block
-/// admission.
+/// admission, and pinned snapshots keep serving the retired epochs until
+/// they are released.
 ///
-/// Shutdown: Stop() (or the destructor) closes admission, drains the queue
-/// — every already-admitted future is fulfilled — and joins the sequencer.
-/// Requests submitted after Stop() get the broken future
+/// Shutdown: Stop() (or the destructor) closes admission, drains both
+/// queues — every already-admitted future is fulfilled — and joins both
+/// threads. Requests submitted after Stop() get the broken future
 /// ("server stopped").
 class Server {
  public:
@@ -98,15 +111,16 @@ class Server {
     size_t max_batch = 64;
     /// ... or this many microseconds after its first query was admitted.
     uint64_t max_delay_us = 1000;
-    /// Fan-out for the batch execution (ShardedIndex::QueryBatch);
+    /// Fan-out for the batch execution (ShardedSnapshot::QueryBatch);
     /// 0 = hardware concurrency.
     size_t num_threads = 0;
-    /// Admission bound (queued, not-yet-sequenced requests); 0 = unbounded.
+    /// Admission bound (queued, not-yet-served requests of either kind);
+    /// 0 = unbounded.
     size_t max_queue = 0;
     /// Injectable microsecond clock for the deterministic window tests;
     /// nullptr = std::chrono::steady_clock. A test advancing a fake clock
-    /// must call Poke() afterwards — with an injected clock the sequencer
-    /// parks on its condition variable instead of a timed wait. The
+    /// must call Poke() afterwards — with an injected clock the window
+    /// thread parks on its condition variable instead of a timed wait. The
     /// function is called with internal locks held and must not call back
     /// into the Server.
     std::function<uint64_t()> now_us;
@@ -125,11 +139,11 @@ class Server {
   std::future<MutationResponse> SubmitInsert(const float* vec);
   std::future<MutationResponse> SubmitRemove(int32_t id);
 
-  /// Closes admission, serves everything already queued, joins the
-  /// sequencer. Idempotent.
+  /// Closes admission, serves everything already queued, joins both
+  /// threads. Idempotent.
   void Stop();
 
-  /// Wakes the sequencer so it re-reads the (injected) clock.
+  /// Wakes both threads so they re-read the (injected) clock.
   void Poke();
 
   /// Monotonic counters, readable at any time.
@@ -140,7 +154,6 @@ class Server {
     uint64_t rejected = 0;  ///< admission-bound + post-Stop rejections
     uint64_t windows_closed_full = 0;
     uint64_t windows_closed_deadline = 0;
-    uint64_t windows_closed_mutation = 0;
     uint64_t windows_closed_shutdown = 0;
     uint64_t rebuilds_triggered = 0;
   };
@@ -163,9 +176,11 @@ class Server {
   /// errors so callers can retry overloads but give up on shutdown.
   enum class Admission : uint8_t { kAdmitted, kOverloaded, kStopped };
   static const char* AdmissionError(Admission verdict);
-  /// Enqueues under mu_; bumps rejected_ on either rejection.
+  /// Enqueues under mu_ into the queue matching the request kind; bumps
+  /// rejected_ on either rejection.
   Admission Admit(Request&& request);
-  void SequencerLoop();
+  void WindowLoop();
+  void WriterLoop();
   void ApplyMutation(Request&& request);
   void ExecuteBatch(std::vector<Request> batch, WindowClose reason);
 
@@ -177,13 +192,15 @@ class Server {
   size_t dim_ = 0;
 
   mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Request> queue_;
+  std::condition_variable window_cv_;  ///< signals the window thread
+  std::condition_variable writer_cv_;  ///< signals the writer thread
+  std::deque<Request> query_queue_;
+  std::deque<Request> mutation_queue_;
   bool stopping_ = false;
 
-  /// Owned by the sequencer thread exclusively; published to clients only
-  /// through response fields.
-  uint64_t state_version_ = 0;
+  /// Owned by the window thread exclusively; published to clients only
+  /// through response fields. (state_version lives in the ShardedIndex —
+  /// the snapshot cut, not this class, names what a batch observed.)
   uint64_t next_batch_id_ = 0;
 
   std::atomic<uint64_t> queries_served_{0};
@@ -192,11 +209,11 @@ class Server {
   std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> closed_full_{0};
   std::atomic<uint64_t> closed_deadline_{0};
-  std::atomic<uint64_t> closed_mutation_{0};
   std::atomic<uint64_t> closed_shutdown_{0};
   std::atomic<uint64_t> rebuilds_triggered_{0};
 
-  std::thread sequencer_;
+  std::thread window_thread_;
+  std::thread writer_thread_;
 };
 
 }  // namespace serve

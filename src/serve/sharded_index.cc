@@ -22,12 +22,67 @@ uint64_t Mix64(uint64_t x) {
   return x ^ (x >> 31);
 }
 
+/// First id-map generation's capacity (generations double from here).
+constexpr size_t kInitialMapCapacity = 64;
+
 }  // namespace
 
 size_t ShardedIndex::ShardOf(int32_t id, size_t num_shards) {
   assert(num_shards > 0);
   return static_cast<size_t>(Mix64(static_cast<uint64_t>(id)) % num_shards);
 }
+
+// --- ShardedSnapshot -------------------------------------------------------
+
+std::vector<util::Neighbor> ShardedSnapshot::Query(const float* query,
+                                                   size_t k) const {
+  std::vector<std::vector<util::Neighbor>> per_shard(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    per_shard[s] = shards_[s].snapshot.Query(query, k);
+    // Local -> global is monotone (ascending within a shard), so each list
+    // stays sorted by (distance, global id) after the remap.
+    const std::vector<int32_t>& map = *shards_[s].local_to_global;
+    for (util::Neighbor& nb : per_shard[s]) {
+      nb.id = map[static_cast<size_t>(nb.id)];
+    }
+  }
+  return util::MergeSortedTopK(per_shard, k);
+}
+
+std::vector<std::vector<util::Neighbor>> ShardedSnapshot::QueryBatch(
+    const float* queries, size_t num_queries, size_t k,
+    size_t num_threads) const {
+  // Scatter: every shard view answers the whole batch through its own
+  // QueryBatch (cache-blocked epoch scan + parallel delta scan on the
+  // shared pool).
+  std::vector<std::vector<std::vector<util::Neighbor>>> per_shard(
+      shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    per_shard[s] =
+        shards_[s].snapshot.QueryBatch(queries, num_queries, k, num_threads);
+  }
+  // Gather: remap + S-way merge per query, fanned out over the pool.
+  std::vector<std::vector<util::Neighbor>> results(num_queries);
+  util::ParallelFor(
+      num_queries,
+      [&](size_t begin, size_t end) {
+        std::vector<std::vector<util::Neighbor>> lists(shards_.size());
+        for (size_t q = begin; q < end; ++q) {
+          for (size_t s = 0; s < shards_.size(); ++s) {
+            lists[s] = std::move(per_shard[s][q]);
+            const std::vector<int32_t>& map = *shards_[s].local_to_global;
+            for (util::Neighbor& nb : lists[s]) {
+              nb.id = map[static_cast<size_t>(nb.id)];
+            }
+          }
+          results[q] = util::MergeSortedTopK(lists, k);
+        }
+      },
+      num_threads);
+  return results;
+}
+
+// --- ShardedIndex ----------------------------------------------------------
 
 ShardedIndex::ShardedIndex(core::DynamicIndex::Factory factory,
                            Options options)
@@ -41,10 +96,11 @@ ShardedIndex::ShardedIndex(core::DynamicIndex::Factory factory,
   shard_options.rebuild_threshold = options_.rebuild_threshold;
   shard_options.background_rebuild = options_.shard_background_rebuild;
   shards_.reserve(options_.num_shards);
-  local_to_global_.resize(options_.num_shards);
+  local_to_global_.reserve(options_.num_shards);
   for (size_t s = 0; s < options_.num_shards; ++s) {
     shards_.push_back(
         std::make_unique<core::DynamicIndex>(factory_, shard_options));
+    local_to_global_.push_back(std::make_shared<std::vector<int32_t>>());
   }
 }
 
@@ -71,7 +127,8 @@ void ShardedIndex::Build(const dataset::Dataset& data) {
   // of which shard holds which row. Inserts keep hash placement (ShardOf)
   // for load balance; the two coexist because every lookup goes through
   // locations_.
-  std::vector<std::vector<int32_t>> shard_rows(S);
+  std::vector<std::shared_ptr<std::vector<int32_t>>> shard_rows;
+  shard_rows.reserve(S);
   const std::shared_ptr<const storage::VectorStore> store = data.data.store();
 
   core::DynamicIndex::Options shard_options;
@@ -88,12 +145,13 @@ void ShardedIndex::Build(const dataset::Dataset& data) {
   for (size_t s = 0; s < S; ++s) {
     shards.push_back(
         std::make_unique<core::DynamicIndex>(factory_, shard_options));
+    shard_rows.push_back(std::make_shared<std::vector<int32_t>>());
     const size_t begin = s * data.n() / S;
     const size_t end = (s + 1) * data.n() / S;
     if (begin == end) continue;  // never-built shard serves empty
-    shard_rows[s].resize(end - begin);
+    shard_rows[s]->resize(end - begin);
     for (size_t r = 0; r < end - begin; ++r) {
-      shard_rows[s][r] = static_cast<int32_t>(begin + r);
+      (*shard_rows[s])[r] = static_cast<int32_t>(begin + r);
     }
     dataset::Dataset slice;
     slice.name = data.name + "/shard" + std::to_string(s);
@@ -105,8 +163,8 @@ void ShardedIndex::Build(const dataset::Dataset& data) {
 
   std::vector<Location> locations(data.n());
   for (size_t s = 0; s < S; ++s) {
-    for (size_t r = 0; r < shard_rows[s].size(); ++r) {
-      locations[static_cast<size_t>(shard_rows[s][r])] =
+    for (size_t r = 0; r < shard_rows[s]->size(); ++r) {
+      locations[static_cast<size_t>((*shard_rows[s])[r])] =
           Location{static_cast<uint32_t>(s), static_cast<int32_t>(r)};
     }
   }
@@ -119,6 +177,7 @@ void ShardedIndex::Build(const dataset::Dataset& data) {
   locations_ = std::move(locations);
   local_to_global_ = std::move(shard_rows);
   next_id_ = static_cast<int32_t>(data.n());
+  state_version_ = 0;
 }
 
 size_t ShardedIndex::dim() const {
@@ -131,6 +190,11 @@ size_t ShardedIndex::num_shards() const {
   // (invariant) size must be read under the reader lock.
   auto lock = ReadLock();
   return shards_.size();
+}
+
+uint64_t ShardedIndex::state_version() const {
+  auto lock = ReadLock();
+  return state_version_;
 }
 
 std::string ShardedIndex::name() const {
@@ -149,7 +213,7 @@ size_t ShardedIndex::IndexSizeBytes() const {
   size_t bytes = locations_.size() * sizeof(Location);
   for (size_t s = 0; s < shards_.size(); ++s) {
     bytes += shards_[s]->IndexSizeBytes() +
-             local_to_global_[s].size() * sizeof(int32_t);
+             local_to_global_[s]->size() * sizeof(int32_t);
   }
   return bytes;
 }
@@ -191,8 +255,8 @@ util::Matrix ShardedIndex::LiveVectors(std::vector<int32_t>* ids) const {
     std::vector<int32_t> local_ids;
     rows[s] = shards_[s]->LiveVectors(&local_ids);
     for (size_t r = 0; r < local_ids.size(); ++r) {
-      sources.push_back(
-          Source{local_to_global_[s][static_cast<size_t>(local_ids[r])], s, r});
+      sources.push_back(Source{
+          (*local_to_global_[s])[static_cast<size_t>(local_ids[r])], s, r});
     }
   }
   std::sort(sources.begin(), sources.end(),
@@ -210,27 +274,52 @@ util::Matrix ShardedIndex::LiveVectors(std::vector<int32_t>* ids) const {
   return out;
 }
 
-int32_t ShardedIndex::Insert(const float* vec) {
+ShardedIndex::MutationResult ShardedIndex::ApplyInsert(const float* vec) {
   auto lock = WriteLock();
   const int32_t id = next_id_;
   const size_t s = ShardOf(id, shards_.size());
-  // Shard insert first: if it throws (e.g. dim never set), no map changes.
+  // Shard insert first: if it throws (e.g. dim never set), no map changes
+  // and no log position is consumed.
   const int32_t local = shards_[s]->Insert(vec);
-  assert(static_cast<size_t>(local) == local_to_global_[s].size());
+  std::shared_ptr<std::vector<int32_t>>& map = local_to_global_[s];
+  assert(static_cast<size_t>(local) == map->size());
   (void)local;
-  local_to_global_[s].push_back(id);
+  if (map->size() == map->capacity()) {
+    // Full generation: clone into a doubled successor instead of letting
+    // push_back reallocate in place — snapshots pinning the old generation
+    // keep reading it untouched. Within capacity, push_back only writes the
+    // new slot and the end pointer, neither of which a pinned reader
+    // touches.
+    auto grown = std::make_shared<std::vector<int32_t>>();
+    grown->reserve(std::max(kInitialMapCapacity, 2 * map->capacity()));
+    grown->assign(map->begin(), map->end());
+    map = std::move(grown);
+  }
+  map->push_back(id);
   locations_.push_back(Location{static_cast<uint32_t>(s), local});
   ++next_id_;
   if (options_.dim == 0) options_.dim = shards_[s]->dim();
-  return id;
+  ++state_version_;
+  return MutationResult{true, id, state_version_};
 }
 
-bool ShardedIndex::Remove(int32_t id) {
+ShardedIndex::MutationResult ShardedIndex::ApplyRemove(int32_t id) {
   auto lock = WriteLock();
-  if (id < 0 || id >= next_id_) return false;
-  const Location loc = locations_[static_cast<size_t>(id)];
-  return shards_[loc.shard]->Remove(loc.local);
+  // The log position is consumed whether or not the remove takes effect:
+  // the black-box checker replays a *dense* mutation log, and a refused
+  // remove is a legitimate (no-op) entry in it.
+  ++state_version_;
+  bool applied = false;
+  if (id >= 0 && id < next_id_) {
+    const Location loc = locations_[static_cast<size_t>(id)];
+    applied = shards_[loc.shard]->Remove(loc.local);
+  }
+  return MutationResult{applied, id, state_version_};
 }
+
+int32_t ShardedIndex::Insert(const float* vec) { return ApplyInsert(vec).id; }
+
+bool ShardedIndex::Remove(int32_t id) { return ApplyRemove(id).applied; }
 
 void ShardedIndex::set_deleted_filter(const std::vector<uint8_t>* deleted) {
   if (deleted != nullptr) {
@@ -240,57 +329,39 @@ void ShardedIndex::set_deleted_filter(const std::vector<uint8_t>* deleted) {
   }
 }
 
+ShardedSnapshot ShardedIndex::AcquireSnapshot() const {
+  auto lock = ReadLock();
+  ShardedSnapshot snap;
+  snap.state_version_ = state_version_;
+  snap.shards_.reserve(shards_.size());
+  // Mutations hold this index's writer lock while they touch any shard, so
+  // the S captures below — each O(1) under its shard's reader lock — form
+  // one atomic cut at state_version_. Shard *rebuild installs* can land
+  // between captures (rebuild threads bypass this lock by design), but an
+  // install changes no logical content, so the cut is unaffected.
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    snap.shards_.push_back(ShardedSnapshot::ShardView{
+        shards_[s]->AcquireSnapshot(), local_to_global_[s]});
+  }
+  return snap;
+}
+
 std::vector<util::Neighbor> ShardedIndex::Query(const float* query,
                                                 size_t k) const {
-  auto lock = ReadLock();
-  std::vector<std::vector<util::Neighbor>> per_shard(shards_.size());
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    per_shard[s] = shards_[s]->Query(query, k);
-    // Local -> global is monotone (ascending within a shard), so each list
-    // stays sorted by (distance, global id) after the remap.
-    for (util::Neighbor& nb : per_shard[s]) {
-      nb.id = local_to_global_[s][static_cast<size_t>(nb.id)];
-    }
-  }
-  return util::MergeSortedTopK(per_shard, k);
+  return AcquireSnapshot().Query(query, k);
 }
 
 std::vector<std::vector<util::Neighbor>> ShardedIndex::QueryBatch(
     const float* queries, size_t num_queries, size_t k,
     size_t num_threads) const {
-  auto lock = ReadLock();
-  // Scatter: every shard answers the whole batch through its own QueryBatch
-  // (cache-blocked epoch scan + parallel delta scan on the shared pool).
-  std::vector<std::vector<std::vector<util::Neighbor>>> per_shard(
-      shards_.size());
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    per_shard[s] = shards_[s]->QueryBatch(queries, num_queries, k, num_threads);
-  }
-  // Gather: remap + S-way merge per query, fanned out over the pool.
-  std::vector<std::vector<util::Neighbor>> results(num_queries);
-  util::ParallelFor(
-      num_queries,
-      [&](size_t begin, size_t end) {
-        std::vector<std::vector<util::Neighbor>> lists(shards_.size());
-        for (size_t q = begin; q < end; ++q) {
-          for (size_t s = 0; s < shards_.size(); ++s) {
-            lists[s] = std::move(per_shard[s][q]);
-            for (util::Neighbor& nb : lists[s]) {
-              nb.id = local_to_global_[s][static_cast<size_t>(nb.id)];
-            }
-          }
-          results[q] = util::MergeSortedTopK(lists, k);
-        }
-      },
-      num_threads);
-  return results;
+  return AcquireSnapshot().QueryBatch(queries, num_queries, k, num_threads);
 }
 
 size_t ShardedIndex::MaintainShards() {
   auto lock = ReadLock();
   struct Due {
     size_t shard = 0;
-    size_t delta = 0;
+    size_t backlog = 0;
   };
   std::vector<Due> due;
   size_t in_flight = 0;
@@ -298,14 +369,17 @@ size_t ShardedIndex::MaintainShards() {
     const core::DynamicIndex::Stats stats = shards_[s]->stats();
     if (stats.rebuild_in_flight) {
       ++in_flight;
-    } else if (stats.delta_rows >= options_.rebuild_threshold) {
-      due.push_back(Due{s, stats.delta_rows});
+    } else if (stats.delta_rows >= options_.rebuild_threshold ||
+               stats.tombstones >= options_.rebuild_threshold) {
+      due.push_back(Due{s, std::max(stats.delta_rows, stats.tombstones)});
     }
   }
-  // Largest backlog first: that shard's delta brute-force is the slowest
-  // part of every query fan-out, so consolidating it buys the most.
+  // Largest backlog first: an oversized delta is the slowest brute-force
+  // term in every query fan-out, and accumulated tombstones widen every
+  // snapshot's epoch over-fetch — either way, consolidating the worst
+  // shard buys the most.
   std::sort(due.begin(), due.end(),
-            [](const Due& a, const Due& b) { return a.delta > b.delta; });
+            [](const Due& a, const Due& b) { return a.backlog > b.backlog; });
   size_t triggered = 0;
   for (const Due& candidate : due) {
     if (in_flight >= options_.max_concurrent_rebuilds) break;

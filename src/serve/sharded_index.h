@@ -9,9 +9,56 @@
 #include <vector>
 
 #include "core/dynamic_index.h"
+#include "core/snapshot.h"
 
 namespace lccs {
 namespace serve {
+
+/// An immutable read view of a whole ShardedIndex: one core::Snapshot per
+/// shard plus the pinned local→global id maps, all captured under a single
+/// reader-lock hold of ShardedIndex::AcquireSnapshot(). Mutations hold the
+/// ShardedIndex writer lock, so the S per-shard captures form one *atomic
+/// cut* of the mutation log — the state after exactly state_version()
+/// mutations, which is what makes serve::Server's responses black-box
+/// checkable against an oracle replay. Queries run with no lock held and
+/// stay bit-identical for as long as the view is alive, across concurrent
+/// inserts, removes and shard consolidations (a shard rebuild installing
+/// mid-capture is harmless: an install changes no logical content, the
+/// invariance property the concurrency tests pin down).
+class ShardedSnapshot {
+ public:
+  ShardedSnapshot() = default;
+
+  /// k nearest surviving neighbors at state_version(), global ids: each
+  /// shard view answers for k, results are remapped and S-way merged —
+  /// identical to ShardedIndex::Query at the acquisition point.
+  std::vector<util::Neighbor> Query(const float* query, size_t k) const;
+
+  /// Batched queries over the same cut; identical per row to Query by
+  /// construction.
+  std::vector<std::vector<util::Neighbor>> QueryBatch(
+      const float* queries, size_t num_queries, size_t k,
+      size_t num_threads = 0) const;
+
+  /// Mutations admitted before this snapshot's cut.
+  uint64_t state_version() const { return state_version_; }
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  friend class ShardedIndex;
+
+  struct ShardView {
+    core::Snapshot snapshot;
+    /// Pinned id map generation. Every local id the pinned snapshot can
+    /// return was assigned — and its entry written — before the cut; the
+    /// live index only ever appends to (a successor of) this generation,
+    /// so reading those entries lock-free is race-free.
+    std::shared_ptr<const std::vector<int32_t>> local_to_global;
+  };
+
+  std::vector<ShardView> shards_;
+  uint64_t state_version_ = 0;
+};
 
 /// Partitions points across S per-shard core::DynamicIndex instances —
 /// the data-plane half of the serving engine (serve::Server is the control
@@ -38,18 +85,29 @@ namespace serve {
 /// this is bit-identical, the property tests/test_serve.cc's black-box
 /// checker relies on.
 ///
+/// Versioning: every mutation — ApplyInsert, or ApplyRemove even when it
+/// refuses an unknown/dead id — advances a dense `state_version` counter
+/// under the writer lock. AcquireSnapshot() captures all S shard views
+/// under one reader-lock hold and stamps them with that counter, giving
+/// serve::Server an MVCC read view it can execute a whole batching window
+/// against while the writer keeps applying mutations.
+///
 /// Consolidation is *scheduled externally* by default: shards are built
 /// with background_rebuild = false and MaintainShards() — called by
 /// serve::Server between batching windows — triggers per-shard background
 /// rebuilds off the DynamicIndex::stats() snapshots, at most
 /// Options::max_concurrent_rebuilds shards at a time (rebuilds are
 /// memory- and CPU-hungry; S of them at once would starve the query path).
+/// A shard is due when either its delta or its tombstones outgrow the
+/// threshold — accumulated tombstones widen every snapshot's epoch
+/// over-fetch margin, so they are consolidation pressure too.
 ///
-/// Thread safety: mirrors DynamicIndex. Query/QueryBatch take a reader
-/// lock on the id maps (shard queries run under it — they are const and
-/// internally locked); Insert/Remove take the writer lock. Lock order is
-/// always ShardedIndex → shard, and shard rebuild threads never touch the
-/// ShardedIndex, so the hierarchy is acyclic.
+/// Thread safety: mirrors DynamicIndex. Query/QueryBatch/AcquireSnapshot
+/// take a reader lock on the id maps (shard captures run under it — they
+/// are const and internally locked); ApplyInsert/ApplyRemove take the
+/// writer lock. Lock order is always ShardedIndex → shard, and shard
+/// rebuild threads never touch the ShardedIndex, so the hierarchy is
+/// acyclic.
 class ShardedIndex : public baselines::AnnIndex {
  public:
   struct Options {
@@ -58,7 +116,8 @@ class ShardedIndex : public baselines::AnnIndex {
     /// Dimensionality; required when inserting before any Build (Build
     /// overrides it from the dataset).
     size_t dim = 0;
-    /// Per-shard delta size at which MaintainShards triggers consolidation.
+    /// Per-shard delta size (or tombstone count) at which MaintainShards
+    /// triggers consolidation.
     size_t rebuild_threshold = 1024;
     /// At most this many shards consolidating concurrently (MaintainShards
     /// policy knob).
@@ -76,6 +135,16 @@ class ShardedIndex : public baselines::AnnIndex {
     std::string spill_dir;
   };
 
+  /// Outcome of a versioned mutation: whether it took effect, the global id
+  /// it concerned, and the dense mutation-log position it consumed (refused
+  /// removes consume one too — the log stays dense, which the black-box
+  /// checker's replay depends on).
+  struct MutationResult {
+    bool applied = false;
+    int32_t id = -1;
+    uint64_t state_version = 0;
+  };
+
   /// `factory` creates the epoch index of every shard (same contract as
   /// DynamicIndex::Factory — called once per shard consolidation).
   ShardedIndex(core::DynamicIndex::Factory factory, Options options);
@@ -85,29 +154,50 @@ class ShardedIndex : public baselines::AnnIndex {
   /// Bulk load: rows get global ids 0..n-1, are range-partitioned across
   /// the shards, and each non-empty shard is built over a zero-copy slice
   /// of the dataset's shared store. Previous contents are discarded
-  /// (in-flight shard rebuilds are drained first).
+  /// (in-flight shard rebuilds are drained first) and the state version
+  /// resets to 0.
   void Build(const dataset::Dataset& data) override;
 
-  /// k nearest surviving neighbors by true distance, global ids: each shard
-  /// answers for k, results are remapped to global ids and S-way merged.
+  /// k nearest surviving neighbors by true distance, global ids.
+  /// Equivalent to AcquireSnapshot().Query(query, k).
   std::vector<util::Neighbor> Query(const float* query,
                                     size_t k) const override;
 
-  /// Batched queries: the whole batch is scattered to every shard's
-  /// QueryBatch (which fans out over the shared pool), then the per-shard
-  /// answer lists are remapped and merged per query in parallel. Identical
-  /// to per-row Query by construction.
+  /// Batched queries over one snapshot; identical to per-row Query by
+  /// construction (see ShardedSnapshot::QueryBatch).
   std::vector<std::vector<util::Neighbor>> QueryBatch(
       const float* queries, size_t num_queries, size_t k,
       size_t num_threads = 0) const override;
 
   /// Appends a dim()-dimensional vector; returns its global id (insert
-  /// order, monotone across the whole sharded index).
+  /// order, monotone across the whole sharded index). ApplyInsert with the
+  /// version dropped.
   int32_t Insert(const float* vec) override;
 
   /// Tombstones the point with global id `id`; returns false when the id
-  /// was never assigned or is already deleted.
+  /// was never assigned or is already deleted. ApplyRemove with the version
+  /// dropped (the log position is consumed either way).
   bool Remove(int32_t id) override;
+
+  // --- Versioned mutations ------------------------------------------------
+
+  /// Insert stamped with the mutation-log position it consumed.
+  MutationResult ApplyInsert(const float* vec);
+
+  /// Remove stamped with the mutation-log position it consumed. Refused
+  /// removes (unknown or already-dead id) still consume a position, with
+  /// applied == false.
+  MutationResult ApplyRemove(int32_t id);
+
+  /// O(1)-per-shard immutable read view: all S shard snapshots and id-map
+  /// generations captured under one reader-lock hold — an atomic cut at
+  /// state_version(). Queries on the view run lock-free and never block
+  /// the writer.
+  ShardedSnapshot AcquireSnapshot() const;
+
+  /// Mutations applied so far (the version a snapshot acquired now would
+  /// carry). Build resets it to 0.
+  uint64_t state_version() const;
 
   /// Refused for non-null bitmaps, same contract as DynamicIndex: the
   /// shards manage their own tombstones via Remove.
@@ -134,11 +224,12 @@ class ShardedIndex : public baselines::AnnIndex {
   // --- Consolidation scheduling -------------------------------------------
 
   /// The per-shard consolidation scheduler: triggers a background rebuild
-  /// on the shards whose delta has outgrown Options::rebuild_threshold —
-  /// largest delta first — until Options::max_concurrent_rebuilds are in
-  /// flight. Returns the number of rebuilds triggered by this call. Cheap
-  /// when nothing is due (S stats snapshots); serve::Server calls it after
-  /// every batching window.
+  /// on the shards whose delta *or tombstone count* has outgrown
+  /// Options::rebuild_threshold — largest backlog first — until
+  /// Options::max_concurrent_rebuilds are in flight. Returns the number of
+  /// rebuilds triggered by this call. Cheap when nothing is due (S stats
+  /// snapshots); serve::Server calls it after every batching window and
+  /// from its writer thread.
   size_t MaintainShards();
 
   /// Synchronously consolidates every shard (tests / shutdown barrier).
@@ -166,15 +257,21 @@ class ShardedIndex : public baselines::AnnIndex {
   core::DynamicIndex::Factory factory_;
   Options options_;
 
-  /// Guards the id maps and next_id_ (the shards guard themselves).
-  /// Same writer-starvation gate as DynamicIndex: readers tap gate_ first,
-  /// so a steady query stream cannot park a writer forever.
+  /// Guards the id maps, next_id_ and state_version_ (the shards guard
+  /// themselves). Same writer-starvation gate as DynamicIndex: readers tap
+  /// gate_ first, so a steady query stream cannot park a writer forever.
   mutable std::shared_mutex mutex_;
   mutable std::mutex gate_;
   std::vector<std::unique_ptr<core::DynamicIndex>> shards_;
   std::vector<Location> locations_;             ///< global id -> residence
-  std::vector<std::vector<int32_t>> local_to_global_;  ///< per shard, ascending
+  /// Per shard, local id -> global id, ascending. Shared generations:
+  /// snapshots pin the current one, the writer appends in place while
+  /// capacity lasts (appended entries are beyond every pinned snapshot's
+  /// reach) and clones into a doubled successor when full — the same
+  /// version-chain trick core::DeltaBuffer plays.
+  std::vector<std::shared_ptr<std::vector<int32_t>>> local_to_global_;
   int32_t next_id_ = 0;
+  uint64_t state_version_ = 0;  ///< dense mutation-log length
 };
 
 }  // namespace serve

@@ -18,6 +18,7 @@
 #include "baselines/lccs_adapter.h"
 #include "baselines/linear_scan.h"
 #include "core/dynamic_index.h"
+#include "core/snapshot.h"
 #include "dataset/synthetic.h"
 #include "util/random.h"
 
@@ -249,6 +250,146 @@ TEST(DynamicConcurrency, ConcurrentInsertersAssignDistinctIds) {
     ASSERT_EQ(all[i], static_cast<int32_t>(i)) << "duplicate or hole in ids";
   }
   ASSERT_EQ(index.live_count(), all.size());
+}
+
+// A snapshot acquired while a consolidation is in flight pins the retiring
+// epoch: the install swaps the live index to a fresh epoch, but the
+// snapshot's answers must stay bit-identical — before, across and after
+// the install — and mutations applied after the cut must stay invisible.
+TEST(DynamicConcurrency, SnapshotPinsEpochAcrossRebuild) {
+  const auto data = MakeData(900, 8, 35);
+  DynamicIndex index(
+      [] { return std::make_unique<baselines::LinearScan>(); },
+      ExactOptions(/*rebuild_threshold=*/size_t{1} << 30,
+                   /*background=*/true));
+  index.Build(data);
+
+  util::Rng rng(9);
+  std::vector<float> vec(kDim);
+  for (int i = 0; i < 100; ++i) {
+    rng.FillGaussian(vec.data(), vec.size());
+    index.Insert(vec.data());
+  }
+  for (int32_t id = 0; id < 200; id += 4) ASSERT_TRUE(index.Remove(id));
+
+  // Acquire mid-consolidation: the rebuild below is already sweeping when
+  // the cut is taken (or has installed — both orders must be invisible).
+  ASSERT_TRUE(index.TriggerRebuild());
+  const Snapshot snapshot = index.AcquireSnapshot();
+  const uint64_t version = snapshot.version();
+  const size_t delta_size = snapshot.delta_size();
+  const size_t k = 10;
+  std::vector<std::vector<util::Neighbor>> expected;
+  for (size_t q = 0; q < data.num_queries(); ++q) {
+    expected.push_back(snapshot.Query(data.queries.Row(q), k));
+  }
+
+  // Mutations after the cut: stamped beyond the snapshot's version, so
+  // they must not surface through it even though they write into the very
+  // epoch bitmap / delta chain the snapshot has pinned.
+  for (int i = 0; i < 50; ++i) {
+    rng.FillGaussian(vec.data(), vec.size());
+    index.Insert(vec.data());
+  }
+  ASSERT_TRUE(index.Remove(201));
+
+  index.WaitForRebuild();
+  ASSERT_GE(index.epoch_sequence(), 1u);
+
+  ASSERT_EQ(snapshot.version(), version);
+  ASSERT_EQ(snapshot.delta_size(), delta_size);
+  for (size_t q = 0; q < data.num_queries(); ++q) {
+    ASSERT_EQ(snapshot.Query(data.queries.Row(q), k), expected[q])
+        << "snapshot answer changed across the epoch install (query " << q
+        << ")";
+  }
+}
+
+// TSAN race: readers hammer one held snapshot while a mutator storms the
+// live index through several background consolidations. The snapshot's
+// answers are a pure function of its pinned cut, so every concurrent read
+// must be bit-identical — catching torn reads of the delta chain, leaked
+// tombstone stamps and a freed pinned epoch all at once.
+TEST(DynamicConcurrency, HeldSnapshotStaysBitIdenticalThroughMutationStorm) {
+  const auto data = MakeData(1000, 10, 36);
+  DynamicIndex index(
+      [] { return std::make_unique<baselines::LinearScan>(); },
+      ExactOptions(/*rebuild_threshold=*/96, /*background=*/true));
+  index.Build(data);
+
+  util::Rng rng(11);
+  std::vector<float> vec(kDim);
+  std::vector<int32_t> live;
+  for (size_t i = 0; i < data.n(); ++i) {
+    live.push_back(static_cast<int32_t>(i));
+  }
+  // Warm-up so the cut pins a non-empty delta prefix and live tombstones.
+  for (int i = 0; i < 40; ++i) {
+    rng.FillGaussian(vec.data(), vec.size());
+    live.push_back(index.Insert(vec.data()));
+    if (i % 4 == 0) {
+      const size_t victim = rng.NextBounded(live.size());
+      ASSERT_TRUE(index.Remove(live[victim]));
+      live.erase(live.begin() + static_cast<ptrdiff_t>(victim));
+    }
+  }
+
+  const Snapshot snapshot = index.AcquireSnapshot();
+  const size_t k = 8;
+  std::vector<std::vector<util::Neighbor>> expected;
+  for (size_t q = 0; q < data.num_queries(); ++q) {
+    expected.push_back(snapshot.Query(data.queries.Row(q), k));
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      size_t q = static_cast<size_t>(t) % data.num_queries();
+      while (!stop.load(std::memory_order_acquire)) {
+        const auto result = snapshot.Query(data.queries.Row(q), k);
+        ASSERT_EQ(result, expected[q])
+            << "held snapshot changed under the mutation storm (query " << q
+            << ")";
+        q = (q + 1) % data.num_queries();
+      }
+    });
+  }
+  std::thread batch_reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const auto results =
+          snapshot.QueryBatch(data.queries.Row(0), data.num_queries(), k, 2);
+      ASSERT_EQ(results.size(), data.num_queries());
+      for (size_t q = 0; q < results.size(); ++q) {
+        ASSERT_EQ(results[q], expected[q]);
+      }
+    }
+  });
+
+  // The storm: inserts trip background consolidations every 96 rows, and
+  // removes stamp tombstones into the pinned epoch and delta concurrently
+  // with the readers above.
+  for (int i = 0; i < 600; ++i) {
+    rng.FillGaussian(vec.data(), vec.size());
+    live.push_back(index.Insert(vec.data()));
+    if (i % 2 == 0) {
+      const size_t victim = rng.NextBounded(live.size());
+      ASSERT_TRUE(index.Remove(live[victim]));
+      live.erase(live.begin() + static_cast<ptrdiff_t>(victim));
+    }
+  }
+  index.WaitForRebuild();
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  batch_reader.join();
+
+  ASSERT_GT(index.epoch_sequence(), 0u) << "no consolidation landed";
+  // The snapshot still answers from its pinned world after quiescence, and
+  // the live index has moved on.
+  for (size_t q = 0; q < data.num_queries(); ++q) {
+    ASSERT_EQ(snapshot.Query(data.queries.Row(q), k), expected[q]);
+  }
+  ASSERT_EQ(index.live_count(), live.size());
 }
 
 }  // namespace

@@ -1,6 +1,6 @@
 // Serving-engine throughput: QPS + latency percentiles of serve::Server
-// over a ShardedIndex, under two load models (LCCS_BENCH_MODES, default
-// "closed,open"):
+// over a ShardedIndex, under three load models (LCCS_BENCH_MODES, default
+// "closed,open,wal"):
 //
 //   * closed — each client submits, waits, resubmits. Compares the
 //     unbatched single-request path (max_batch = 1: every query is its own
@@ -15,6 +15,13 @@
 //     production SLO sees. Run with and without 7% writers: under MVCC
 //     snapshots the two should batch identically (windows never cut for
 //     mutations), which the mean_batch column makes visible.
+//   * wal — the price of durability: a mutation-heavy closed-loop mix
+//     (70% writers) against the same server with a serve::WriteAheadLog
+//     attached, swept across fsync policies (off / never / group_commit /
+//     every_record). mut_per_sec plus the fsync and byte counters make the
+//     group-commit claim checkable from the JSON artifact alone:
+//     group_commit should hold >= 80% of the no-WAL mutation rate while
+//     every_record pays an fsync per mutation.
 //
 // Results are written to a JSON file (argv[1], default
 // BENCH_serve_throughput.json) whose context block records num_cpus /
@@ -26,8 +33,13 @@
 // LCCS_BENCH_THREADS, LCCS_BENCH_WINDOW_US, LCCS_BENCH_MODES,
 // LCCS_BENCH_OFFERED_QPS.
 
+#include <dirent.h>
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -44,12 +56,21 @@ namespace {
 
 struct Row {
   std::string method;
-  std::string mode;  ///< "closed" or "open"
+  std::string mode;  ///< "closed", "open" or "wal"
   size_t max_batch = 1;
   double mutation_fraction = 0.0;
-  double offered_qps = 0.0;  ///< open loop only
+  double offered_qps = 0.0;          ///< open loop only
+  std::string wal_policy = "off";    ///< fsync policy ("off" = no WAL)
+  serve::Server::Stats stats;        ///< durability counters (wal mode)
   eval::ServeWorkloadReport report;
 };
+
+double MutationsPerSecond(const eval::ServeWorkloadReport& report) {
+  return report.seconds > 0.0
+             ? static_cast<double>(report.inserts + report.removes) /
+                   report.seconds
+             : 0.0;
+}
 
 Row RunConfig(const std::string& method,
               const core::DynamicIndex::Factory& factory,
@@ -94,6 +115,81 @@ Row RunConfig(const std::string& method,
   return row;
 }
 
+/// One mutation-heavy closed-loop run with a WAL attached (or "off" for
+/// the no-durability baseline) in a throwaway directory.
+Row RunWalConfig(const std::string& method,
+                 const core::DynamicIndex::Factory& factory,
+                 const dataset::Dataset& data, size_t num_shards,
+                 size_t num_clients, size_t requests, size_t num_threads,
+                 const std::string& policy) {
+  serve::ShardedIndex::Options index_options;
+  index_options.num_shards = num_shards;
+  index_options.rebuild_threshold = 1024;
+  serve::ShardedIndex index(factory, index_options);
+  index.Build(data);
+
+  std::string wal_dir;
+  std::unique_ptr<serve::WriteAheadLog> wal;
+  if (policy != "off") {
+    char tmpl[] = "/tmp/lccs_bench_wal_XXXXXX";
+    if (::mkdtemp(tmpl) == nullptr) {
+      throw std::runtime_error("mkdtemp failed for the WAL bench");
+    }
+    wal_dir = tmpl;
+    serve::WriteAheadLog::Options wal_options;
+    wal_options.fsync_policy =
+        policy == "never" ? serve::WriteAheadLog::FsyncPolicy::kNever
+        : policy == "every_record"
+            ? serve::WriteAheadLog::FsyncPolicy::kEveryRecord
+            : serve::WriteAheadLog::FsyncPolicy::kGroupCommit;
+    wal = std::make_unique<serve::WriteAheadLog>(wal_dir, wal_options);
+    wal->Recover(&index);
+  }
+
+  serve::Server::Options server_options;
+  server_options.max_batch = 64;
+  server_options.max_delay_us = eval::EnvSize("LCCS_BENCH_WINDOW_US", 20000);
+  server_options.num_threads = num_threads;
+  server_options.wal = wal.get();
+  server_options.checkpoint_every =
+      eval::EnvSize("LCCS_BENCH_CKPT_EVERY", 1000);
+
+  Row row;
+  row.method = method;
+  row.mode = "wal";
+  row.max_batch = 64;
+  row.mutation_fraction = 0.7;
+  row.wal_policy = policy;
+  {
+    serve::Server server(&index, server_options);
+    eval::ServeWorkloadOptions workload;
+    workload.num_clients = num_clients;
+    workload.requests_per_client = requests;
+    workload.insert_fraction = 0.5;
+    workload.remove_fraction = 0.2;
+    workload.k = 10;
+    workload.seed = 17;
+    row.report = eval::RunServeWorkload(server, data.queries, workload);
+    row.stats = server.stats();
+    server.Stop();
+  }
+  wal.reset();
+  if (!wal_dir.empty()) {
+    DIR* d = ::opendir(wal_dir.c_str());
+    if (d != nullptr) {
+      for (struct dirent* e = ::readdir(d); e != nullptr; e = ::readdir(d)) {
+        if (std::strcmp(e->d_name, ".") != 0 &&
+            std::strcmp(e->d_name, "..") != 0) {
+          std::remove((wal_dir + "/" + e->d_name).c_str());
+        }
+      }
+      ::closedir(d);
+    }
+    ::rmdir(wal_dir.c_str());
+  }
+  return row;
+}
+
 int Run(int argc, char** argv) {
   eval::BenchScale scale = eval::GetBenchScale();
   // Default raised to serving scale: batching's cache-blocked scan only
@@ -106,7 +202,7 @@ int Run(int argc, char** argv) {
   const size_t requests = eval::EnvSize("LCCS_BENCH_REQUESTS", 48);
   const size_t num_threads = eval::EnvSize("LCCS_BENCH_THREADS", 0);
   const std::vector<std::string> modes =
-      EnvList("LCCS_BENCH_MODES", {"closed", "open"});
+      EnvList("LCCS_BENCH_MODES", {"closed", "open", "wal"});
   const double offered_qps = static_cast<double>(
       eval::EnvSize("LCCS_BENCH_OFFERED_QPS", 5000));
   const std::string dataset_name = DatasetNames().front();
@@ -159,6 +255,16 @@ int Run(int argc, char** argv) {
         rows.push_back(RunConfig(method, factory, data, num_shards, 64,
                                  num_clients, requests, num_threads, 0.05,
                                  0.02, true, offered_qps));
+      } else if (mode == "wal") {
+        // Durability sweep: index choice barely moves the writer-thread
+        // append/fsync cost, so one method's sweep answers the question.
+        if (method != methods.front().first) continue;
+        for (const char* policy :
+             {"off", "never", "group_commit", "every_record"}) {
+          rows.push_back(RunWalConfig(method, factory, data, num_shards,
+                                      num_clients, requests, num_threads,
+                                      policy));
+        }
       } else {
         std::fprintf(stderr, "unknown LCCS_BENCH_MODES entry '%s'\n",
                      mode.c_str());
@@ -198,6 +304,30 @@ int Run(int argc, char** argv) {
                 method.c_str(), unbatched > 0.0 ? batched / unbatched : 0.0);
   }
 
+  bool any_wal = false;
+  double no_wal_mut = 0.0, group_commit_mut = 0.0;
+  util::Table wal_table({"method", "wal_policy", "mut_per_sec", "qps",
+                         "fsyncs", "wal_MB", "ckpts"});
+  for (const Row& row : rows) {
+    if (row.mode != "wal") continue;
+    any_wal = true;
+    const double mut = MutationsPerSecond(row.report);
+    if (row.wal_policy == "off") no_wal_mut = mut;
+    if (row.wal_policy == "group_commit") group_commit_mut = mut;
+    wal_table.AddRow(
+        {row.method, row.wal_policy, util::FormatDouble(mut, 0),
+         util::FormatDouble(row.report.qps, 0),
+         std::to_string(row.stats.wal_fsyncs),
+         util::FormatDouble(
+             static_cast<double>(row.stats.wal_bytes) / (1 << 20), 2),
+         std::to_string(row.stats.checkpoints)});
+  }
+  if (any_wal) {
+    std::printf("%s\n", wal_table.ToString().c_str());
+    std::printf("group_commit / no-WAL mutation throughput = %.2fx\n",
+                no_wal_mut > 0.0 ? group_commit_mut / no_wal_mut : 0.0);
+  }
+
   FILE* out = std::fopen(out_path, "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", out_path);
@@ -219,12 +349,20 @@ int Run(int argc, char** argv) {
         "\"qps\": %.1f, \"mean_batch\": %.2f, "
         "\"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f, "
         "\"queries\": %zu, \"inserts\": %zu, \"removes\": %zu, "
-        "\"shed\": %zu}%s\n",
+        "\"shed\": %zu, \"wal_policy\": \"%s\", \"mut_per_sec\": %.1f, "
+        "\"wal_fsyncs\": %llu, \"wal_records\": %llu, \"wal_bytes\": %llu, "
+        "\"checkpoints\": %llu, \"recovery_replayed\": %llu}%s\n",
         row.method.c_str(), row.mode.c_str(), row.max_batch,
         row.mutation_fraction, row.offered_qps, row.report.qps,
         row.report.mean_batch, row.report.p50_us, row.report.p95_us,
         row.report.p99_us, row.report.queries, row.report.inserts,
-        row.report.removes, row.report.shed,
+        row.report.removes, row.report.shed, row.wal_policy.c_str(),
+        MutationsPerSecond(row.report),
+        static_cast<unsigned long long>(row.stats.wal_fsyncs),
+        static_cast<unsigned long long>(row.stats.wal_records),
+        static_cast<unsigned long long>(row.stats.wal_bytes),
+        static_cast<unsigned long long>(row.stats.checkpoints),
+        static_cast<unsigned long long>(row.stats.recovery_replayed),
         i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");

@@ -13,6 +13,11 @@
 //   lccs_tool convert <in.fvecs|in.bvecs> <out.flat>
 //       Streams a TEXMEX file into the LCCS flat format (O(dim) memory).
 //
+//   lccs_tool wal-dump <wal_dir>
+//       Inspects a serve::WriteAheadLog directory: checkpoints, segments,
+//       per-segment record ranges, and the exact byte offset of any torn
+//       or corrupt suffix — what you reach for before trusting a recovery.
+//
 //   lccs_tool demo
 //       Self-contained round trip on synthetic data (no files needed).
 //
@@ -31,6 +36,7 @@
 #include "dataset/io.h"
 #include "dataset/synthetic.h"
 #include "eval/workloads.h"
+#include "serve/wal.h"
 #include "storage/mmap_store.h"
 #include "util/timer.h"
 
@@ -46,6 +52,7 @@ int Usage() {
                "  lccs_tool query <base.fvecs|base.flat> <index.lccs> "
                "<queries.fvecs> [k=10] [lambda=200]\n"
                "  lccs_tool convert <in.fvecs|in.bvecs> <out.flat>\n"
+               "  lccs_tool wal-dump <wal_dir>\n"
                "  lccs_tool demo\n");
   return 2;
 }
@@ -179,6 +186,69 @@ int Convert(int argc, char** argv) {
   return 0;
 }
 
+int WalDump(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string dir = argv[2];
+
+  const auto checkpoints = serve::WriteAheadLog::ListCheckpoints(dir);
+  std::printf("%zu checkpoint(s)\n", checkpoints.size());
+  for (const auto& ckpt : checkpoints) {
+    try {
+      const auto state = serve::WriteAheadLog::ReadCheckpoint(ckpt.path);
+      std::printf(
+          "  %s: version %llu, next_id %d, %zu live rows, d=%zu, %s\n",
+          ckpt.path.c_str(), static_cast<unsigned long long>(ckpt.version),
+          state.next_id, state.ids.size(), state.dim,
+          util::MetricName(state.metric).c_str());
+    } catch (const std::exception& e) {
+      std::printf("  %s: INVALID (%s)\n", ckpt.path.c_str(), e.what());
+    }
+  }
+
+  const auto segments = serve::WriteAheadLog::ListSegments(dir);
+  std::printf("%zu segment(s)\n", segments.size());
+  uint64_t expected_next = 0;
+  for (const auto& segment : segments) {
+    uint64_t inserts = 0, removes = 0;
+    const auto scan = serve::WriteAheadLog::ScanSegment(
+        segment.path,
+        [&](const serve::WriteAheadLog::Record& record, uint64_t) {
+          (record.is_insert ? inserts : removes) += 1;
+        });
+    std::printf("  %s: versions %llu..%llu (%llu records: %llu inserts, "
+                "%llu removes), %llu valid bytes%s\n",
+                segment.path.c_str(),
+                static_cast<unsigned long long>(scan.first_version),
+                static_cast<unsigned long long>(scan.last_version),
+                static_cast<unsigned long long>(scan.records),
+                static_cast<unsigned long long>(inserts),
+                static_cast<unsigned long long>(removes),
+                static_cast<unsigned long long>(scan.valid_bytes),
+                scan.clean ? "" : " [TORN]");
+    if (!scan.clean) {
+      std::printf("    torn/corrupt suffix at byte %llu: %s\n",
+                  static_cast<unsigned long long>(scan.valid_bytes),
+                  scan.error.c_str());
+    }
+    if (expected_next != 0 && scan.first_version != expected_next) {
+      std::printf("    WARNING: gap — previous segment ended at %llu\n",
+                  static_cast<unsigned long long>(expected_next - 1));
+    }
+    expected_next = scan.last_version + 1;
+  }
+  if (!segments.empty() || !checkpoints.empty()) {
+    const uint64_t checkpoint_version =
+        checkpoints.empty() ? 0 : checkpoints.back().version;
+    std::printf("recovery would restore checkpoint %llu and land on "
+                "version %llu\n",
+                static_cast<unsigned long long>(checkpoint_version),
+                static_cast<unsigned long long>(
+                    expected_next > 0 ? expected_next - 1
+                                      : checkpoint_version));
+  }
+  return 0;
+}
+
 int Demo() {
   std::printf("demo: synthetic 5000x32 dataset, save + load round trip\n");
   auto config = dataset::SiftAnalogue(5000, 5);
@@ -210,6 +280,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], "build") == 0) return Build(argc, argv);
     if (std::strcmp(argv[1], "query") == 0) return QueryCmd(argc, argv);
     if (std::strcmp(argv[1], "convert") == 0) return Convert(argc, argv);
+    if (std::strcmp(argv[1], "wal-dump") == 0) return WalDump(argc, argv);
     if (std::strcmp(argv[1], "demo") == 0) return Demo();
     return Usage();
   } catch (const std::exception& e) {

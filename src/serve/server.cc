@@ -132,6 +132,11 @@ void Server::Poke() {
   writer_cv_.notify_all();
 }
 
+void Server::CheckpointNow() {
+  if (options_.wal == nullptr) return;
+  options_.wal->WriteCheckpoint(index_->CaptureCheckpointState());
+}
+
 Server::Stats Server::stats() const {
   Stats out;
   out.queries_served = queries_served_.load(std::memory_order_relaxed);
@@ -144,6 +149,14 @@ Server::Stats Server::stats() const {
   out.windows_closed_shutdown =
       closed_shutdown_.load(std::memory_order_relaxed);
   out.rebuilds_triggered = rebuilds_triggered_.load(std::memory_order_relaxed);
+  if (options_.wal != nullptr) {
+    const WriteAheadLog::Stats wal = options_.wal->stats();
+    out.wal_fsyncs = wal.fsyncs;
+    out.wal_records = wal.records_appended;
+    out.wal_bytes = wal.bytes_appended;
+    out.checkpoints = wal.checkpoints;
+    out.recovery_replayed = wal.recovery_replayed;
+  }
   return out;
 }
 
@@ -153,12 +166,20 @@ void Server::WriterLoop() {
   // consolidates — at least every this-many applied mutations.
   constexpr size_t kMutationsPerMaintenance = 64;
   size_t mutations_since_maintenance = 0;
+  size_t mutations_since_checkpoint = 0;
+  PendingAcks pending;
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     writer_cv_.wait(lock,
                     [&] { return stopping_ || !mutation_queue_.empty(); });
     if (mutation_queue_.empty()) {
-      if (stopping_) return;
+      if (stopping_) {
+        // Deferred acks never outlive the loop: the last pop's idle edge
+        // flushed them, but guard against wakeup orderings anyway.
+        lock.unlock();
+        FlushPendingAcks(&pending);
+        return;
+      }
       continue;
     }
     Request request = std::move(mutation_queue_.front());
@@ -168,13 +189,27 @@ void Server::WriterLoop() {
     // lock, and admission must not stall behind a shard insert. Admission
     // order is preserved — this thread is the only consumer of the queue.
     lock.unlock();
-    ApplyMutation(std::move(request));
+    ApplyMutation(std::move(request), &pending, idle_after);
     ++mutations_since_maintenance;
     if (idle_after ||
         mutations_since_maintenance >= kMutationsPerMaintenance) {
       rebuilds_triggered_.fetch_add(index_->MaintainShards(),
                                     std::memory_order_relaxed);
       mutations_since_maintenance = 0;
+    }
+    if (options_.wal != nullptr && options_.checkpoint_every > 0 &&
+        ++mutations_since_checkpoint >= options_.checkpoint_every) {
+      // Ack latency hygiene: a checkpoint stalls this thread for a full
+      // live-set copy, so release what is already fsync-coverable first.
+      FlushPendingAcks(&pending);
+      try {
+        CheckpointNow();
+      } catch (...) {
+        // A failed checkpoint costs nothing but disk reclamation — the WAL
+        // keeps every record and recovery falls back to the older cut. The
+        // writer must keep serving acks regardless.
+      }
+      mutations_since_checkpoint = 0;
     }
     lock.lock();
   }
@@ -249,7 +284,8 @@ void Server::WindowLoop() {
   }
 }
 
-void Server::ApplyMutation(Request&& request) {
+void Server::ApplyMutation(Request&& request, PendingAcks* pending,
+                           bool idle_after) {
   MutationResponse response;
   try {
     const ShardedIndex::MutationResult result =
@@ -270,7 +306,63 @@ void Server::ApplyMutation(Request&& request) {
     return;
   }
   mutations_applied_.fetch_add(1, std::memory_order_relaxed);
-  request.mutation_promise.set_value(response);
+  WriteAheadLog* wal = options_.wal;
+  if (wal == nullptr) {
+    request.mutation_promise.set_value(response);
+    return;
+  }
+  // Log before ack. A failed append jams the log (the WAL refuses to write
+  // across a hole), so this and every later mutation break their futures
+  // instead of acking non-durable writes; the in-memory index keeps
+  // serving, and recovery reproduces exactly the logged prefix.
+  try {
+    WriteAheadLog::Record record;
+    record.version = response.state_version;
+    record.is_insert = request.kind == Request::kInsert;
+    record.id = response.id;
+    if (record.is_insert) record.vec = std::move(request.vec);
+    wal->Append(record);
+  } catch (...) {
+    request.mutation_promise.set_exception(std::current_exception());
+    return;
+  }
+  switch (wal->options().fsync_policy) {
+    case WriteAheadLog::FsyncPolicy::kNever:
+      request.mutation_promise.set_value(response);
+      return;
+    case WriteAheadLog::FsyncPolicy::kEveryRecord:
+      pending->acks.emplace_back(std::move(request.mutation_promise),
+                                 response);
+      FlushPendingAcks(pending);
+      return;
+    case WriteAheadLog::FsyncPolicy::kGroupCommit: {
+      if (pending->acks.empty()) pending->oldest_us = NowUs();
+      pending->acks.emplace_back(std::move(request.mutation_promise),
+                                 response);
+      if (idle_after ||
+          pending->acks.size() >= wal->options().group_commit_max_records ||
+          NowUs() - pending->oldest_us >= wal->options().group_commit_max_us) {
+        FlushPendingAcks(pending);
+      }
+      return;
+    }
+  }
+}
+
+void Server::FlushPendingAcks(PendingAcks* pending) {
+  if (pending->acks.empty()) return;
+  try {
+    options_.wal->Sync();
+  } catch (...) {
+    // The fsync failed: the records may or may not have reached the disk,
+    // so the acks must not claim durability.
+    const std::exception_ptr error = std::current_exception();
+    for (auto& ack : pending->acks) ack.first.set_exception(error);
+    pending->acks.clear();
+    return;
+  }
+  for (auto& ack : pending->acks) ack.first.set_value(ack.second);
+  pending->acks.clear();
 }
 
 void Server::ExecuteBatch(std::vector<Request> batch, WindowClose reason) {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "serve/sharded_index.h"
+#include "serve/wal.h"
 
 namespace lccs {
 namespace serve {
@@ -100,6 +101,19 @@ enum class WindowClose : uint8_t {
 /// admission, and pinned snapshots keep serving the retired epochs until
 /// they are released.
 ///
+/// Durability (optional): with Options::wal set, the writer thread appends
+/// every mutation's record to the serve::WriteAheadLog *before* fulfilling
+/// its ack, under the log's fsync policy — kEveryRecord fsyncs per
+/// mutation; kGroupCommit defers acks and releases a whole run of them
+/// with one covering fsync (at the queue's idle edge, at
+/// group_commit_max_records pending, or when the oldest pending ack ages
+/// past group_commit_max_us); kNever acks immediately and leaves
+/// durability to the OS. So under the two strict policies an acknowledged
+/// mutation survives `kill -9` — the invariant the crash-injection harness
+/// in tests/test_wal_recovery.cc proves. Options::checkpoint_every makes
+/// the writer thread periodically persist a consistent cut through the log
+/// (CheckpointNow() does it on demand), truncating obsolete segments.
+///
 /// Shutdown: Stop() (or the destructor) closes admission, drains both
 /// queues — every already-admitted future is fulfilled — and joins both
 /// threads. Requests submitted after Stop() get the broken future
@@ -124,6 +138,14 @@ class Server {
     /// function is called with internal locks held and must not call back
     /// into the Server.
     std::function<uint64_t()> now_us;
+    /// Write-ahead log for durable mutations; borrowed, must outlive the
+    /// server, and must already have Recover()ed into `index` (that is
+    /// also how a fresh log adopts an index's base state). nullptr = no
+    /// durability, acks mean in-memory-applied only.
+    WriteAheadLog* wal = nullptr;
+    /// With a wal: the writer thread checkpoints after every this many
+    /// applied mutations (0 = only explicit CheckpointNow() calls).
+    size_t checkpoint_every = 0;
   };
 
   /// `index` is borrowed and must outlive the server. Its dim() must be
@@ -146,6 +168,12 @@ class Server {
   /// Wakes both threads so they re-read the (injected) clock.
   void Poke();
 
+  /// Persists a consistent cut of the index through the WAL (no-op without
+  /// one): captures ShardedIndex::CaptureCheckpointState, writes an
+  /// atomically-published checkpoint file, and truncates WAL segments it
+  /// supersedes. Callable from any thread, concurrent with serving.
+  void CheckpointNow();
+
   /// Monotonic counters, readable at any time.
   struct Stats {
     uint64_t queries_served = 0;
@@ -156,6 +184,13 @@ class Server {
     uint64_t windows_closed_deadline = 0;
     uint64_t windows_closed_shutdown = 0;
     uint64_t rebuilds_triggered = 0;
+    // Durability counters, mirrored from the attached WriteAheadLog
+    // (all zero without one) — the observable cost of each fsync policy.
+    uint64_t wal_fsyncs = 0;
+    uint64_t wal_records = 0;
+    uint64_t wal_bytes = 0;
+    uint64_t checkpoints = 0;
+    uint64_t recovery_replayed = 0;
   };
   Stats stats() const;
 
@@ -181,7 +216,17 @@ class Server {
   Admission Admit(Request&& request);
   void WindowLoop();
   void WriterLoop();
-  void ApplyMutation(Request&& request);
+  /// Acks whose WAL records are appended but not yet covered by an fsync —
+  /// group-commit state owned exclusively by the writer thread.
+  struct PendingAcks {
+    std::vector<std::pair<std::promise<MutationResponse>, MutationResponse>>
+        acks;
+    uint64_t oldest_us = 0;  ///< NowUs() when acks.front() was deferred
+  };
+  void ApplyMutation(Request&& request, PendingAcks* pending, bool idle_after);
+  /// One covering fsync, then every deferred ack resolves (or, if the
+  /// fsync fails, every deferred future breaks — never claim durability).
+  void FlushPendingAcks(PendingAcks* pending);
   void ExecuteBatch(std::vector<Request> batch, WindowClose reason);
 
   ShardedIndex* index_;

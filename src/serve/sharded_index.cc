@@ -242,6 +242,10 @@ std::vector<core::DynamicIndex::Stats> ShardedIndex::ShardStats() const {
 
 util::Matrix ShardedIndex::LiveVectors(std::vector<int32_t>* ids) const {
   auto lock = ReadLock();
+  return LiveVectorsLocked(ids);
+}
+
+util::Matrix ShardedIndex::LiveVectorsLocked(std::vector<int32_t>* ids) const {
   const size_t d = options_.dim;
   // Gather per-shard survivors, then emit in ascending global-id order.
   struct Source {
@@ -272,6 +276,95 @@ util::Matrix ShardedIndex::LiveVectors(std::vector<int32_t>* ids) const {
     if (ids != nullptr) ids->push_back(sources[i].global);
   }
   return out;
+}
+
+ShardedIndex::CheckpointState ShardedIndex::CaptureCheckpointState() const {
+  auto lock = ReadLock();
+  CheckpointState state;
+  state.state_version = state_version_;
+  state.next_id = next_id_;
+  state.metric = options_.metric;
+  state.dim = options_.dim;
+  state.vectors = LiveVectorsLocked(&state.ids);
+  return state;
+}
+
+void ShardedIndex::RestoreCheckpointState(const CheckpointState& state) {
+  const size_t S = options_.num_shards;
+  const size_t d = state.dim;
+  if (state.ids.size() != state.vectors.rows() ||
+      (!state.ids.empty() && state.vectors.cols() != d)) {
+    throw std::runtime_error("checkpoint state: ids/vectors shape mismatch");
+  }
+  if (state.next_id < 0) {
+    throw std::runtime_error("checkpoint state: negative next_id");
+  }
+  for (size_t i = 0; i < state.ids.size(); ++i) {
+    // Ascending ids below next_id: ascending input keeps every per-shard
+    // local->global map monotone, the invariant the S-way merge relies on.
+    if (state.ids[i] < 0 || state.ids[i] >= state.next_id ||
+        (i > 0 && state.ids[i] <= state.ids[i - 1])) {
+      throw std::runtime_error("checkpoint state: invalid id sequence");
+    }
+  }
+
+  std::vector<size_t> counts(S, 0);
+  for (int32_t id : state.ids) ++counts[ShardOf(id, S)];
+
+  core::DynamicIndex::Options shard_options;
+  shard_options.metric = state.metric;
+  shard_options.dim = d > 0 ? d : options_.dim;
+  shard_options.rebuild_threshold = options_.rebuild_threshold;
+  shard_options.background_rebuild = options_.shard_background_rebuild;
+  shard_options.spill_dir = options_.spill_dir;
+
+  // Fresh shards are populated and built outside the lock — queries keep
+  // serving the old generation meanwhile, exactly like Build().
+  std::vector<std::unique_ptr<core::DynamicIndex>> shards;
+  std::vector<std::shared_ptr<std::vector<int32_t>>> shard_rows;
+  std::vector<util::Matrix> shard_data;
+  shards.reserve(S);
+  shard_rows.reserve(S);
+  shard_data.reserve(S);
+  for (size_t s = 0; s < S; ++s) {
+    shards.push_back(
+        std::make_unique<core::DynamicIndex>(factory_, shard_options));
+    shard_rows.push_back(std::make_shared<std::vector<int32_t>>());
+    shard_rows[s]->reserve(counts[s]);
+    shard_data.emplace_back(counts[s], d);
+  }
+  // Dead (or never-assigned-to-a-survivor) ids resolve to local id -1,
+  // which every shard lookup (Contains / Remove) reports as unknown.
+  std::vector<Location> locations(static_cast<size_t>(state.next_id),
+                                  Location{0, -1});
+  for (size_t i = 0; i < state.ids.size(); ++i) {
+    const int32_t id = state.ids[i];
+    const size_t s = ShardOf(id, S);
+    const size_t local = shard_rows[s]->size();
+    std::memcpy(shard_data[s].Row(local), state.vectors.Row(i),
+                d * sizeof(float));
+    shard_rows[s]->push_back(id);
+    locations[static_cast<size_t>(id)] =
+        Location{static_cast<uint32_t>(s), static_cast<int32_t>(local)};
+  }
+  for (size_t s = 0; s < S; ++s) {
+    if (shard_rows[s]->empty()) continue;
+    dataset::Dataset slice;
+    slice.name = "checkpoint/shard" + std::to_string(s);
+    slice.metric = state.metric;
+    slice.data = storage::VectorStoreRef(
+        std::make_shared<storage::InMemoryStore>(std::move(shard_data[s])));
+    shards[s]->Build(slice);
+  }
+
+  auto lock = WriteLock();
+  options_.metric = state.metric;
+  if (d > 0) options_.dim = d;
+  shards_ = std::move(shards);
+  locations_ = std::move(locations);
+  local_to_global_ = std::move(shard_rows);
+  next_id_ = state.next_id;
+  state_version_ = state.state_version;
 }
 
 ShardedIndex::MutationResult ShardedIndex::ApplyInsert(const float* vec) {

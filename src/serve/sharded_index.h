@@ -221,6 +221,39 @@ class ShardedIndex : public baselines::AnnIndex {
   /// input, exactly like DynamicIndex::LiveVectors.
   util::Matrix LiveVectors(std::vector<int32_t>* ids = nullptr) const;
 
+  // --- Checkpointing --------------------------------------------------------
+
+  /// A consistent cut of the logical contents — everything crash recovery
+  /// needs to reconstruct an equivalent index: the dense mutation-log
+  /// position, the id counter, and the surviving (global id, vector) pairs
+  /// in ascending id order. Deliberately *logical*: it records what
+  /// survives, not which shard held it or what the epoch/delta split was,
+  /// because query results are provably placement-independent (the
+  /// bit-identical-across-shard-configs property tests/test_serve.cc pins
+  /// down).
+  struct CheckpointState {
+    uint64_t state_version = 0;  ///< mutations applied at the cut
+    int32_t next_id = 0;         ///< next global id to assign
+    util::Metric metric = util::Metric::kEuclidean;
+    size_t dim = 0;
+    std::vector<int32_t> ids;  ///< surviving global ids, ascending
+    util::Matrix vectors;      ///< ids.size() x dim; row i = vector of ids[i]
+  };
+
+  /// Captures a CheckpointState under one reader-lock hold — an atomic cut
+  /// at state_version(), concurrent with queries and snapshots.
+  CheckpointState CaptureCheckpointState() const;
+
+  /// Replaces the whole contents with `state`: every surviving row is
+  /// hash-placed (the insert rule — legal even for rows the pre-crash index
+  /// had range-placed via Build, since placement is invisible in results),
+  /// dead ids resolve to a sentinel location every shard reports as
+  /// unknown, and the id/version counters resume exactly where the cut was
+  /// taken. Fresh shards are built outside the lock, then installed under
+  /// one writer-lock hold. Throws std::runtime_error on an inconsistent
+  /// state (shape mismatch, ids out of range or not ascending).
+  void RestoreCheckpointState(const CheckpointState& state);
+
   // --- Consolidation scheduling -------------------------------------------
 
   /// The per-shard consolidation scheduler: triggers a background rebuild
@@ -253,6 +286,9 @@ class ShardedIndex : public baselines::AnnIndex {
 
   std::shared_lock<std::shared_mutex> ReadLock() const;
   std::unique_lock<std::shared_mutex> WriteLock() const;
+
+  /// LiveVectors body; caller holds (at least) the reader lock.
+  util::Matrix LiveVectorsLocked(std::vector<int32_t>* ids) const;
 
   core::DynamicIndex::Factory factory_;
   Options options_;

@@ -1,0 +1,698 @@
+#include "serve/wal.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <climits>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "storage/flat_file.h"
+
+namespace lccs {
+namespace serve {
+
+namespace {
+
+constexpr char kWalMagic[8] = {'L', 'C', 'C', 'S', 'W', 'A', 'L', '1'};
+constexpr uint32_t kWalFormatVersion = 1;
+constexpr size_t kWalHeaderBytes = 24;
+constexpr size_t kRecordPreludeBytes = 12;  ///< uint32 length + uint64 FNV
+/// Smallest body: version (8) + kind (1) + id (4).
+constexpr uint32_t kMinRecordBodyBytes = 13;
+/// Length sanity cap — a torn prelude must not make the scanner allocate
+/// gigabytes before the checksum gets a chance to reject it.
+constexpr uint32_t kMaxRecordBodyBytes = 16u << 20;
+
+constexpr char kCkptMagic[8] = {'L', 'C', 'C', 'S', 'C', 'K', 'P', '1'};
+constexpr uint32_t kCkptFormatVersion = 1;
+constexpr size_t kCkptHeaderBytes = 16;
+/// state_version (8) + next_id (8) + metric (4) + dim (4) + rows (8).
+constexpr uint64_t kCkptFixedBodyBytes = 32;
+
+template <typename T>
+void PutPod(std::vector<unsigned char>* buf, const T& v) {
+  const auto* p = reinterpret_cast<const unsigned char*>(&v);
+  buf->insert(buf->end(), p, p + sizeof(T));
+}
+
+template <typename T>
+bool GetPod(const std::vector<unsigned char>& buf, size_t* off, T* out) {
+  if (buf.size() < *off + sizeof(T)) return false;
+  std::memcpy(out, buf.data() + *off, sizeof(T));
+  *off += sizeof(T);
+  return true;
+}
+
+void WriteAllFd(int fd, const void* data, size_t n, const std::string& path) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t written = ::write(fd, p, n);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("WAL write failed: " + path);
+    }
+    p += written;
+    n -= static_cast<size_t>(written);
+  }
+}
+
+std::string NumberedName(const char* prefix, uint64_t value,
+                         const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%020llu%s", prefix,
+                static_cast<unsigned long long>(value), suffix);
+  return std::string(buf);
+}
+
+bool ParseNumberedName(const char* name, const char* prefix,
+                       const char* suffix, uint64_t* value) {
+  const size_t prefix_len = std::strlen(prefix);
+  const size_t suffix_len = std::strlen(suffix);
+  const size_t name_len = std::strlen(name);
+  if (name_len <= prefix_len + suffix_len) return false;
+  if (std::strncmp(name, prefix, prefix_len) != 0) return false;
+  if (std::strcmp(name + name_len - suffix_len, suffix) != 0) return false;
+  uint64_t v = 0;
+  for (size_t i = prefix_len; i < name_len - suffix_len; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *value = v;
+  return true;
+}
+
+std::vector<unsigned char> EncodeBody(const WriteAheadLog::Record& record) {
+  std::vector<unsigned char> body;
+  body.reserve(kMinRecordBodyBytes +
+               (record.is_insert ? 4 + record.vec.size() * sizeof(float) : 0));
+  PutPod(&body, record.version);
+  PutPod(&body, static_cast<uint8_t>(record.is_insert ? 0 : 1));
+  PutPod(&body, record.id);
+  if (record.is_insert) {
+    PutPod(&body, static_cast<uint32_t>(record.vec.size()));
+    const auto* p = reinterpret_cast<const unsigned char*>(record.vec.data());
+    body.insert(body.end(), p, p + record.vec.size() * sizeof(float));
+  }
+  return body;
+}
+
+bool DecodeBody(const std::vector<unsigned char>& body,
+                WriteAheadLog::Record* record) {
+  size_t off = 0;
+  uint8_t kind = 0;
+  if (!GetPod(body, &off, &record->version) || !GetPod(body, &off, &kind) ||
+      !GetPod(body, &off, &record->id) || kind > 1) {
+    return false;
+  }
+  record->is_insert = kind == 0;
+  record->vec.clear();
+  if (!record->is_insert) return off == body.size();
+  uint32_t dim = 0;
+  if (!GetPod(body, &off, &dim)) return false;
+  if (body.size() - off != static_cast<size_t>(dim) * sizeof(float)) {
+    return false;
+  }
+  record->vec.resize(dim);
+  std::memcpy(record->vec.data(), body.data() + off, dim * sizeof(float));
+  return true;
+}
+
+}  // namespace
+
+WriteAheadLog::WriteAheadLog(std::string dir, Options options)
+    : dir_(std::move(dir)), options_(std::move(options)) {
+  if (::mkdir(dir_.c_str(), 0755) != 0 && errno != EEXIST) {
+    throw std::runtime_error("cannot create WAL directory: " + dir_);
+  }
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  std::lock_guard<std::mutex> lock(mu_);
+  CloseSegmentLocked();
+}
+
+void WriteAheadLog::Failpoint(const char* site) const {
+  if (options_.failpoint) options_.failpoint(site);
+}
+
+void WriteAheadLog::OpenSegmentLocked(uint64_t first_version) {
+  const std::string path =
+      dir_ + "/" + NumberedName("wal_", first_version, ".log");
+  // O_TRUNC: a name collision only happens when recovery replayed nothing
+  // from an existing segment of this first version (it was empty or fully
+  // torn), so its content is dead by definition.
+  const int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw std::runtime_error("cannot create WAL segment: " + path);
+  }
+  std::vector<unsigned char> header;
+  header.reserve(kWalHeaderBytes);
+  header.insert(header.end(), kWalMagic, kWalMagic + sizeof(kWalMagic));
+  PutPod(&header, kWalFormatVersion);
+  PutPod(&header, storage::kFlatEndianTag);
+  PutPod(&header, first_version);
+  try {
+    WriteAllFd(fd, header.data(), header.size(), path);
+    // Make the directory entry and header durable up front (except under
+    // kNever, which promises nothing): the covering fsyncs that release
+    // acks then only have to flush record content.
+    if (options_.fsync_policy != FsyncPolicy::kNever) {
+      storage::SyncFd(fd, path);
+      storage::SyncParentDir(path);
+    }
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  fd_ = fd;
+  segment_path_ = path;
+  segment_bytes_written_ = kWalHeaderBytes;
+  ++stats_.segments_created;
+}
+
+void WriteAheadLog::CloseSegmentLocked() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    segment_path_.clear();
+    segment_bytes_written_ = 0;
+  }
+}
+
+void WriteAheadLog::Append(const Record& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!recovered_) {
+    throw std::runtime_error("WAL: Recover() must run before Append()");
+  }
+  if (record.version != next_version_) {
+    throw std::runtime_error("WAL: non-dense append: got version " +
+                             std::to_string(record.version) + ", expected " +
+                             std::to_string(next_version_));
+  }
+  const std::vector<unsigned char> body = EncodeBody(record);
+  if (body.size() > kMaxRecordBodyBytes) {
+    throw std::runtime_error("WAL: record too large");
+  }
+  if (fd_ >= 0 && segment_bytes_written_ >= options_.segment_bytes) {
+    // Rotation mid-batch: pending records live in the old segment, so the
+    // fsync covering them must land before it is closed — the group-commit
+    // Sync above this layer would otherwise flush only the new file.
+    if (pending_records_ > 0 && options_.fsync_policy != FsyncPolicy::kNever) {
+      SyncLocked();
+    }
+    CloseSegmentLocked();
+    Failpoint("wal:rotate");
+  }
+  if (fd_ < 0) OpenSegmentLocked(next_version_);
+
+  std::vector<unsigned char> prelude;
+  prelude.reserve(kRecordPreludeBytes);
+  PutPod(&prelude, static_cast<uint32_t>(body.size()));
+  storage::FnvChecksum checksum;
+  checksum.Update(body.data(), body.size());
+  PutPod(&prelude, checksum.Digest());
+  WriteAllFd(fd_, prelude.data(), prelude.size(), segment_path_);
+  // A kill right here leaves a prelude with no (or half a) body — exactly
+  // the torn tail recovery detects and truncates.
+  Failpoint("wal:append:mid_record");
+  WriteAllFd(fd_, body.data(), body.size(), segment_path_);
+  segment_bytes_written_ += kRecordPreludeBytes + body.size();
+  ++next_version_;
+  ++pending_records_;
+  ++stats_.records_appended;
+  stats_.bytes_appended += kRecordPreludeBytes + body.size();
+  Failpoint("wal:append:done");
+}
+
+bool WriteAheadLog::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SyncLocked();
+}
+
+bool WriteAheadLog::SyncLocked() {
+  if (fd_ < 0 || pending_records_ == 0) return false;
+  Failpoint("wal:fsync:before");
+  storage::SyncFd(fd_, segment_path_);
+  Failpoint("wal:fsync:after");
+  pending_records_ = 0;
+  ++stats_.fsyncs;
+  return true;
+}
+
+size_t WriteAheadLog::pending_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_records_;
+}
+
+WriteAheadLog::Stats WriteAheadLog::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void WriteAheadLog::WriteCheckpoint(const ShardedIndex::CheckpointState& state) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!recovered_) {
+    throw std::runtime_error("WAL: Recover() must run before WriteCheckpoint()");
+  }
+  Failpoint("wal:checkpoint:begin");
+  const std::string path =
+      dir_ + "/" + NumberedName("checkpoint_", state.state_version, ".ckpt");
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot open checkpoint temp file: " + tmp);
+  }
+  try {
+    std::vector<unsigned char> head;
+    head.reserve(kCkptHeaderBytes);
+    head.insert(head.end(), kCkptMagic, kCkptMagic + sizeof(kCkptMagic));
+    PutPod(&head, kCkptFormatVersion);
+    PutPod(&head, storage::kFlatEndianTag);
+
+    std::vector<unsigned char> fixed;
+    fixed.reserve(kCkptFixedBodyBytes);
+    PutPod(&fixed, state.state_version);
+    PutPod(&fixed, static_cast<int64_t>(state.next_id));
+    PutPod(&fixed, static_cast<uint32_t>(state.metric));
+    PutPod(&fixed, static_cast<uint32_t>(state.dim));
+    PutPod(&fixed, static_cast<uint64_t>(state.ids.size()));
+
+    storage::FnvChecksum checksum;
+    const auto write_part = [&](const void* data, size_t n, bool summed) {
+      if (n == 0) return;
+      if (std::fwrite(data, 1, n, f) != n) {
+        throw std::runtime_error("checkpoint write failed: " + tmp);
+      }
+      if (summed) checksum.Update(data, n);
+    };
+    write_part(head.data(), head.size(), false);
+    write_part(fixed.data(), fixed.size(), true);
+    write_part(state.ids.data(), state.ids.size() * sizeof(int32_t), true);
+    Failpoint("wal:checkpoint:mid_write");
+    write_part(state.vectors.data(), state.vectors.SizeBytes(), true);
+    const uint64_t digest = checksum.Digest();
+    write_part(&digest, sizeof(digest), false);
+    storage::FlushAndSyncFile(f, tmp);
+  } catch (...) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    throw;
+  }
+  if (std::fclose(f) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("checkpoint close failed: " + tmp);
+  }
+  Failpoint("wal:checkpoint:before_publish");
+  try {
+    storage::PublishFile(tmp, path);
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
+  }
+  ++stats_.checkpoints;
+  Failpoint("wal:checkpoint:after_publish");
+  // The new checkpoint is durable: everything it supersedes can go.
+  for (const CheckpointInfo& ckpt : ListCheckpoints(dir_)) {
+    if (ckpt.version < state.state_version) std::remove(ckpt.path.c_str());
+  }
+  TruncateSegmentsBelowLocked(state.state_version);
+  Failpoint("wal:checkpoint:done");
+}
+
+void WriteAheadLog::TruncateSegmentsBelowLocked(uint64_t version) {
+  const std::vector<SegmentInfo> segments = ListSegments(dir_);
+  bool deleted = false;
+  for (size_t i = 0; i + 1 < segments.size(); ++i) {
+    // Segment i spans [first_i, first_{i+1}); reclaimable only once its
+    // successor already covers version + 1 — and never the open segment.
+    if (segments[i + 1].first_version > version + 1) break;
+    if (segments[i].path == segment_path_) break;
+    if (std::remove(segments[i].path.c_str()) == 0) {
+      ++stats_.segments_deleted;
+      deleted = true;
+    }
+  }
+  if (deleted) {
+    // Unlink durability is cosmetic (a resurrected segment is re-deleted by
+    // the next checkpoint, and replay skips its records anyway).
+    try {
+      storage::SyncParentDir(segments.front().path);
+    } catch (...) {
+    }
+  }
+}
+
+WriteAheadLog::RecoveryResult WriteAheadLog::Recover(ShardedIndex* index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (recovered_) {
+    throw std::runtime_error("WAL: Recover() ran twice");
+  }
+  RecoveryResult result;
+
+  // Stray temp files are checkpoint publishes that never happened — dead.
+  {
+    DIR* d = ::opendir(dir_.c_str());
+    if (d == nullptr) {
+      throw std::runtime_error("cannot open WAL directory: " + dir_);
+    }
+    std::vector<std::string> stale;
+    for (struct dirent* e = ::readdir(d); e != nullptr; e = ::readdir(d)) {
+      const size_t len = std::strlen(e->d_name);
+      if (len > 4 && std::strcmp(e->d_name + len - 4, ".tmp") == 0) {
+        stale.push_back(dir_ + "/" + e->d_name);
+      }
+    }
+    ::closedir(d);
+    for (const std::string& path : stale) std::remove(path.c_str());
+  }
+
+  // 1. Newest checkpoint that validates end to end (a damaged file is
+  // skipped, not fatal — an older checkpoint plus a longer replay gives
+  // the same state).
+  const std::vector<CheckpointInfo> checkpoints = ListCheckpoints(dir_);
+  bool restored = false;
+  for (size_t i = checkpoints.size(); i-- > 0 && !restored;) {
+    try {
+      index->RestoreCheckpointState(ReadCheckpoint(checkpoints[i].path));
+      result.checkpoint_version = checkpoints[i].version;
+      restored = true;
+    } catch (const std::runtime_error&) {
+    }
+  }
+  uint64_t next =
+      (restored ? result.checkpoint_version : index->state_version()) + 1;
+
+  // 2. Replay the contiguous valid tail, in segment order.
+  const std::vector<SegmentInfo> segments = ListSegments(dir_);
+  size_t stop_after = segments.size();
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const std::string& path = segments[i].path;
+    if (segments[i].first_version > next) {
+      // A hole (only possible after mid-stream damage): nothing beyond it
+      // can ever be replayed.
+      stop_after = i;
+      break;
+    }
+    const ScanResult scan =
+        ScanSegment(path, [&](const Record& record, uint64_t) {
+          if (record.version < next) return;  // inside the checkpoint
+          if (record.is_insert) {
+            const ShardedIndex::MutationResult applied =
+                index->ApplyInsert(record.vec.data());
+            if (applied.id != record.id ||
+                applied.state_version != record.version) {
+              throw std::runtime_error(
+                  "WAL replay diverged from recovered state: " + path);
+            }
+          } else {
+            const ShardedIndex::MutationResult applied =
+                index->ApplyRemove(record.id);
+            if (applied.state_version != record.version) {
+              throw std::runtime_error(
+                  "WAL replay diverged from recovered state: " + path);
+            }
+          }
+          ++next;
+          ++result.replayed;
+        });
+    if (!scan.clean) {
+      // Torn/corrupt suffix: physically discard it so the on-disk log is
+      // exactly the recovered prefix.
+      struct stat st;
+      if (::stat(path.c_str(), &st) == 0 &&
+          static_cast<uint64_t>(st.st_size) > scan.valid_bytes) {
+        result.truncated_bytes +=
+            static_cast<uint64_t>(st.st_size) - scan.valid_bytes;
+      }
+      if (scan.valid_bytes < kWalHeaderBytes) {
+        std::remove(path.c_str());  // even the header is damaged
+      } else if (::truncate(path.c_str(), scan.valid_bytes) != 0) {
+        throw std::runtime_error("cannot truncate torn WAL segment: " + path);
+      }
+      stop_after = i + 1;
+      break;
+    }
+  }
+  // Orphans beyond the stop point are unreachable across the hole.
+  for (size_t i = stop_after; i < segments.size(); ++i) {
+    struct stat st;
+    if (::stat(segments[i].path.c_str(), &st) == 0) {
+      result.truncated_bytes += static_cast<uint64_t>(st.st_size);
+    }
+    std::remove(segments[i].path.c_str());
+  }
+
+  result.final_version = next - 1;
+  next_version_ = next;
+  stats_.recovery_replayed = result.replayed;
+  recovered_ = true;
+  return result;
+}
+
+std::vector<WriteAheadLog::SegmentInfo> WriteAheadLog::ListSegments(
+    const std::string& dir) {
+  std::vector<SegmentInfo> out;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    throw std::runtime_error("cannot open WAL directory: " + dir);
+  }
+  for (struct dirent* e = ::readdir(d); e != nullptr; e = ::readdir(d)) {
+    uint64_t v = 0;
+    if (ParseNumberedName(e->d_name, "wal_", ".log", &v)) {
+      out.push_back(SegmentInfo{dir + "/" + e->d_name, v});
+    }
+  }
+  ::closedir(d);
+  std::sort(out.begin(), out.end(),
+            [](const SegmentInfo& a, const SegmentInfo& b) {
+              return a.first_version < b.first_version;
+            });
+  return out;
+}
+
+std::vector<WriteAheadLog::CheckpointInfo> WriteAheadLog::ListCheckpoints(
+    const std::string& dir) {
+  std::vector<CheckpointInfo> out;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    throw std::runtime_error("cannot open WAL directory: " + dir);
+  }
+  for (struct dirent* e = ::readdir(d); e != nullptr; e = ::readdir(d)) {
+    uint64_t v = 0;
+    if (ParseNumberedName(e->d_name, "checkpoint_", ".ckpt", &v)) {
+      out.push_back(CheckpointInfo{dir + "/" + e->d_name, v});
+    }
+  }
+  ::closedir(d);
+  std::sort(out.begin(), out.end(),
+            [](const CheckpointInfo& a, const CheckpointInfo& b) {
+              return a.version < b.version;
+            });
+  return out;
+}
+
+WriteAheadLog::ScanResult WriteAheadLog::ScanSegment(
+    const std::string& path,
+    const std::function<void(const Record&, uint64_t offset)>& fn) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot open WAL segment: " + path);
+  }
+  struct Closer {
+    std::FILE* f;
+    ~Closer() { std::fclose(f); }
+  } closer{f};
+
+  ScanResult result;
+  unsigned char header[kWalHeaderBytes];
+  if (std::fread(header, 1, sizeof(header), f) != sizeof(header)) {
+    result.clean = false;
+    result.error = "truncated segment header";
+    return result;
+  }
+  uint32_t format = 0;
+  uint32_t endian = 0;
+  std::memcpy(&format, header + 8, sizeof(format));
+  std::memcpy(&endian, header + 12, sizeof(endian));
+  std::memcpy(&result.first_version, header + 16, sizeof(uint64_t));
+  if (std::memcmp(header, kWalMagic, sizeof(kWalMagic)) != 0) {
+    result.clean = false;
+    result.error = "bad segment magic";
+    return result;
+  }
+  if (format != kWalFormatVersion) {
+    result.clean = false;
+    result.error = "unsupported segment format version";
+    return result;
+  }
+  if (endian != storage::kFlatEndianTag) {
+    result.clean = false;
+    result.error = "segment endianness does not match this machine";
+    return result;
+  }
+  result.valid_bytes = kWalHeaderBytes;
+
+  std::vector<unsigned char> body;
+  Record record;
+  for (;;) {
+    unsigned char prelude[kRecordPreludeBytes];
+    const size_t got = std::fread(prelude, 1, sizeof(prelude), f);
+    if (got == 0) break;  // clean end of segment
+    if (got < sizeof(prelude)) {
+      result.clean = false;
+      result.error = "torn record prelude";
+      break;
+    }
+    uint32_t len = 0;
+    uint64_t checksum = 0;
+    std::memcpy(&len, prelude, sizeof(len));
+    std::memcpy(&checksum, prelude + sizeof(len), sizeof(checksum));
+    if (len < kMinRecordBodyBytes || len > kMaxRecordBodyBytes) {
+      result.clean = false;
+      result.error = "implausible record length";
+      break;
+    }
+    body.resize(len);
+    if (std::fread(body.data(), 1, len, f) != len) {
+      result.clean = false;
+      result.error = "torn record body";
+      break;
+    }
+    storage::FnvChecksum fnv;
+    fnv.Update(body.data(), len);
+    if (fnv.Digest() != checksum) {
+      result.clean = false;
+      result.error = "record checksum mismatch";
+      break;
+    }
+    if (!DecodeBody(body, &record)) {
+      result.clean = false;
+      result.error = "malformed record body";
+      break;
+    }
+    if (record.version != result.first_version + result.records) {
+      result.clean = false;
+      result.error = "record version out of sequence";
+      break;
+    }
+    if (fn) fn(record, result.valid_bytes);
+    ++result.records;
+    result.last_version = record.version;
+    result.valid_bytes += kRecordPreludeBytes + len;
+  }
+  return result;
+}
+
+ShardedIndex::CheckpointState WriteAheadLog::ReadCheckpoint(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot open checkpoint: " + path);
+  }
+  struct Closer {
+    std::FILE* f;
+    ~Closer() { std::fclose(f); }
+  } closer{f};
+
+  unsigned char head[kCkptHeaderBytes];
+  if (std::fread(head, 1, sizeof(head), f) != sizeof(head)) {
+    throw std::runtime_error("checkpoint header truncated: " + path);
+  }
+  uint32_t format = 0;
+  uint32_t endian = 0;
+  std::memcpy(&format, head + 8, sizeof(format));
+  std::memcpy(&endian, head + 12, sizeof(endian));
+  if (std::memcmp(head, kCkptMagic, sizeof(kCkptMagic)) != 0) {
+    throw std::runtime_error("not an LCCS checkpoint file: " + path);
+  }
+  if (format != kCkptFormatVersion) {
+    throw std::runtime_error("unsupported checkpoint format: " + path);
+  }
+  if (endian != storage::kFlatEndianTag) {
+    throw std::runtime_error(
+        "checkpoint endianness does not match this machine: " + path);
+  }
+
+  unsigned char fixed[kCkptFixedBodyBytes];
+  if (std::fread(fixed, 1, sizeof(fixed), f) != sizeof(fixed)) {
+    throw std::runtime_error("checkpoint body truncated: " + path);
+  }
+  uint64_t state_version = 0;
+  int64_t next_id = 0;
+  uint32_t metric = 0;
+  uint32_t dim = 0;
+  uint64_t rows = 0;
+  std::memcpy(&state_version, fixed + 0, sizeof(state_version));
+  std::memcpy(&next_id, fixed + 8, sizeof(next_id));
+  std::memcpy(&metric, fixed + 16, sizeof(metric));
+  std::memcpy(&dim, fixed + 20, sizeof(dim));
+  std::memcpy(&rows, fixed + 24, sizeof(rows));
+  if (next_id < 0 || next_id > INT32_MAX ||
+      metric > static_cast<uint32_t>(util::Metric::kJaccard) ||
+      dim > (1u << 20) || rows > static_cast<uint64_t>(next_id) ||
+      (rows > 0 && dim == 0)) {
+    throw std::runtime_error("checkpoint fields implausible: " + path);
+  }
+
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    throw std::runtime_error("cannot stat checkpoint: " + path);
+  }
+  const uint64_t file_bytes = static_cast<uint64_t>(st.st_size);
+  const uint64_t overhead =
+      kCkptHeaderBytes + kCkptFixedBodyBytes + sizeof(uint64_t);
+  // Validate rows * (4 + 4 * dim) against the payload without forming the
+  // (overflowable) product, the ReadFlatHeader trick.
+  const uint64_t row_bytes =
+      sizeof(int32_t) + static_cast<uint64_t>(dim) * sizeof(float);
+  bool size_ok = file_bytes >= overhead;
+  if (size_ok) {
+    const uint64_t payload = file_bytes - overhead;
+    size_ok = rows == 0 ? payload == 0
+                        : payload % row_bytes == 0 && payload / row_bytes == rows;
+  }
+  if (!size_ok) {
+    throw std::runtime_error("checkpoint size does not match its header: " +
+                             path);
+  }
+
+  storage::FnvChecksum fnv;
+  fnv.Update(fixed, sizeof(fixed));
+  ShardedIndex::CheckpointState state;
+  state.state_version = state_version;
+  state.next_id = static_cast<int32_t>(next_id);
+  state.metric = static_cast<util::Metric>(metric);
+  state.dim = dim;
+  state.ids.resize(rows);
+  state.vectors = util::Matrix(rows, dim);
+  if (rows > 0) {
+    if (std::fread(state.ids.data(), sizeof(int32_t), rows, f) != rows) {
+      throw std::runtime_error("checkpoint ids truncated: " + path);
+    }
+    fnv.Update(state.ids.data(), rows * sizeof(int32_t));
+    const size_t floats = static_cast<size_t>(rows) * dim;
+    if (std::fread(state.vectors.data(), sizeof(float), floats, f) != floats) {
+      throw std::runtime_error("checkpoint vectors truncated: " + path);
+    }
+    fnv.Update(state.vectors.data(), floats * sizeof(float));
+  }
+  uint64_t digest = 0;
+  if (std::fread(&digest, sizeof(digest), 1, f) != 1) {
+    throw std::runtime_error("checkpoint checksum truncated: " + path);
+  }
+  if (digest != fnv.Digest()) {
+    throw std::runtime_error("checkpoint checksum mismatch: " + path);
+  }
+  return state;
+}
+
+}  // namespace serve
+}  // namespace lccs

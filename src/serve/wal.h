@@ -1,0 +1,232 @@
+#ifndef LCCS_SERVE_WAL_H_
+#define LCCS_SERVE_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/sharded_index.h"
+
+namespace lccs {
+namespace serve {
+
+/// serve::WriteAheadLog — the durability half of the serving engine.
+///
+/// PR 6 gave every mutation ack a dense position in the applied total order
+/// (MutationResponse::state_version); this class makes that order survive a
+/// `kill -9`. The contract is *acked implies durable*: serve::Server appends
+/// each mutation's record here before fulfilling its ack, and (under the
+/// group-commit and every-record policies) only acks after an fsync that
+/// covers the record. Recovery then reconstructs exactly some dense prefix
+/// of the log — at least everything acked, never a phantom beyond what was
+/// logged — which is what lets the crash-injection harness check a
+/// recovered server bit-for-bit against an oracle replay of the acked
+/// prefix.
+///
+/// On-disk layout (one directory, native endianness, tag-checked):
+///
+///   wal_<first_version, 20 digits>.log     append-only record segments
+///   checkpoint_<version, 20 digits>.ckpt   logical snapshots (atomic)
+///
+/// Segment header (24 bytes):
+///
+///   offset  size  field
+///        0     8  magic "LCCSWAL1"
+///        8     4  format version (uint32, currently 1)
+///       12     4  endianness tag (uint32 0x01020304, as storage/flat_file)
+///       16     8  version of the segment's first record (uint64)
+///
+/// Record (length-prefixed + checksummed, so a torn tail is detectable):
+///
+///   offset  size  field
+///        0     4  body length in bytes (uint32)
+///        4     8  FNV-1a 64 checksum of the body
+///       12   ...  body: version (uint64), kind (uint8: 0 insert /
+///                 1 remove), global id (int32); inserts append
+///                 dim (uint32) + dim float32 coordinates
+///
+/// Records within a segment carry consecutive versions starting at the
+/// header's first_version; segments are contiguous end-to-end. Appending
+/// rotates to a new segment past Options::segment_bytes so checkpoint
+/// truncation can reclaim whole files.
+///
+/// Checkpoint file: header (magic "LCCSCKP1" + format + endianness tag,
+/// 16 bytes), then the body — state_version (uint64), next_id (int64),
+/// metric (uint32), dim (uint32), row count (uint64), ascending surviving
+/// global ids (int32 each), their vectors (row-major float32) — and a
+/// trailing FNV-1a 64 checksum of the body. Written to `<path>.tmp`,
+/// fsynced and atomically published (storage::PublishFile), so a crash
+/// mid-checkpoint leaves no half-visible snapshot; recovery loads the
+/// newest file that validates and ignores the rest.
+///
+/// Recovery (Recover): restore the newest valid checkpoint (if none, keep
+/// the caller-built base state), replay every record after it in version
+/// order, stop at the first torn/corrupt record and physically truncate it
+/// away (orphaned later segments are deleted — a hole can never be
+/// bridged), then resume appending at the next dense version.
+///
+/// Thread safety: all methods are serialized on an internal mutex, so the
+/// writer thread's Append/Sync can race an external CheckpointNow. Recover
+/// must run before the first Append (it positions the log; it is also how
+/// an empty directory is adopted).
+class WriteAheadLog {
+ public:
+  /// When an ack may be released relative to the fsync covering its record.
+  /// The policy itself is enforced by serve::Server's writer loop (the log
+  /// just appends and syncs on command); it lives here so one object
+  /// carries the whole durability configuration.
+  enum class FsyncPolicy : uint8_t {
+    kNever,        ///< append only; durability left to the OS page cache
+    kGroupCommit,  ///< one fsync covers a run of records; acks wait for it
+    kEveryRecord,  ///< fsync (and ack) per record — the slow, strict mode
+  };
+
+  struct Options {
+    FsyncPolicy fsync_policy = FsyncPolicy::kGroupCommit;
+    /// Group commit: oldest pending ack may wait at most this long before
+    /// the writer forces an fsync, even while the queue stays busy.
+    uint64_t group_commit_max_us = 1000;
+    /// Group commit: force an fsync once this many acks are pending.
+    size_t group_commit_max_records = 64;
+    /// Rotate to a fresh segment once the current one reaches this size.
+    size_t segment_bytes = 4u << 20;
+    /// Test-only crash-injection hook, invoked at named durability-critical
+    /// sites ("wal:append:mid_record", "wal:fsync:before", ...) so the
+    /// kill harness can SIGKILL the process half-way through any of them.
+    std::function<void(const char*)> failpoint;
+  };
+
+  /// One logged mutation. Refused removes are logged too — the log mirrors
+  /// the dense version counter, which consumes a position either way.
+  struct Record {
+    uint64_t version = 0;
+    bool is_insert = false;
+    int32_t id = -1;         ///< insert: assigned global id; remove: target
+    std::vector<float> vec;  ///< insert payload; empty for removes
+  };
+
+  /// Opens (creating if needed) the log directory. Does not read anything:
+  /// call Recover() to adopt existing state before the first Append.
+  WriteAheadLog(std::string dir, Options options);
+  explicit WriteAheadLog(std::string dir)
+      : WriteAheadLog(std::move(dir), Options()) {}
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  struct RecoveryResult {
+    uint64_t checkpoint_version = 0;  ///< 0 = no checkpoint restored
+    uint64_t replayed = 0;            ///< records applied from the tail
+    uint64_t final_version = 0;       ///< index state_version afterwards
+    uint64_t truncated_bytes = 0;     ///< torn/corrupt suffix removed
+  };
+
+  /// Restores `index` to the durable cut: newest valid checkpoint, then the
+  /// contiguous valid WAL tail (everything after a torn or corrupt record
+  /// is physically discarded). Positions the log so the next Append must
+  /// carry final_version + 1. Must be called exactly once, before any
+  /// Append — also on a fresh directory, where it is a cheap no-op that
+  /// adopts the index's current state_version as the base.
+  RecoveryResult Recover(ShardedIndex* index);
+
+  /// Appends one record (two write()s: length+checksum prelude, then the
+  /// body — a kill between them leaves a detectably torn tail). Enforces
+  /// version density: `record.version` must be exactly one past the last
+  /// appended record, so a failed append (disk full) jams the log — every
+  /// later append throws instead of logging across a hole, and the server
+  /// above fails those acks rather than lying about durability.
+  /// Does not fsync; durability needs a covering Sync().
+  void Append(const Record& record);
+
+  /// fsyncs the current segment if any records were appended since the
+  /// last sync. Returns true when an fsync actually ran.
+  bool Sync();
+
+  /// Records appended since the last fsync (0 = everything durable).
+  size_t pending_records() const;
+
+  /// Persists a logical snapshot (atomically published), deletes older
+  /// checkpoint files, and truncates every whole segment whose records all
+  /// lie at or below the checkpoint version. Serialized against Append, so
+  /// serve::Server may call it from any thread.
+  void WriteCheckpoint(const ShardedIndex::CheckpointState& state);
+
+  struct Stats {
+    uint64_t fsyncs = 0;
+    uint64_t records_appended = 0;
+    uint64_t bytes_appended = 0;
+    uint64_t checkpoints = 0;
+    uint64_t segments_created = 0;
+    uint64_t segments_deleted = 0;   ///< reclaimed below checkpoints
+    uint64_t recovery_replayed = 0;  ///< records replayed by Recover
+  };
+  Stats stats() const;
+
+  const Options& options() const { return options_; }
+  const std::string& dir() const { return dir_; }
+
+  // --- Inspection (wal-dump tool + recovery tests) --------------------------
+
+  struct SegmentInfo {
+    std::string path;
+    uint64_t first_version = 0;
+  };
+  /// WAL segments in `dir`, ascending by first version.
+  static std::vector<SegmentInfo> ListSegments(const std::string& dir);
+
+  struct CheckpointInfo {
+    std::string path;
+    uint64_t version = 0;
+  };
+  /// Checkpoint files in `dir`, ascending by version.
+  static std::vector<CheckpointInfo> ListCheckpoints(const std::string& dir);
+
+  struct ScanResult {
+    uint64_t first_version = 0;  ///< from the segment header
+    uint64_t records = 0;        ///< valid records scanned
+    uint64_t last_version = 0;   ///< version of the last valid record
+    uint64_t valid_bytes = 0;    ///< header + valid records, in bytes
+    bool clean = true;           ///< false: torn or corrupt suffix follows
+    std::string error;           ///< what was wrong at valid_bytes
+  };
+  /// Scans one segment, invoking `fn` (may be null) for every valid record
+  /// in order with its byte offset; stops at the first torn/corrupt record
+  /// without throwing (a torn tail is an expected crash artifact). Throws
+  /// only when the file cannot be opened.
+  static ScanResult ScanSegment(
+      const std::string& path,
+      const std::function<void(const Record&, uint64_t offset)>& fn);
+
+  /// Reads and fully validates (magic, endianness, sizes, checksum) one
+  /// checkpoint file. Throws std::runtime_error naming what is wrong.
+  static ShardedIndex::CheckpointState ReadCheckpoint(const std::string& path);
+
+ private:
+  void Failpoint(const char* site) const;
+  void OpenSegmentLocked(uint64_t first_version);
+  void CloseSegmentLocked();
+  bool SyncLocked();
+  /// Deletes every segment fully covered by `version` (a successor segment
+  /// starts at or below version + 1) and never the open one.
+  void TruncateSegmentsBelowLocked(uint64_t version);
+
+  std::string dir_;
+  Options options_;
+
+  mutable std::mutex mu_;
+  int fd_ = -1;                        ///< current segment, append position
+  std::string segment_path_;
+  uint64_t segment_bytes_written_ = 0;
+  uint64_t next_version_ = 1;          ///< version the next Append must carry
+  size_t pending_records_ = 0;         ///< appended since the last fsync
+  bool recovered_ = false;             ///< Recover() ran
+  Stats stats_;
+};
+
+}  // namespace serve
+}  // namespace lccs
+
+#endif  // LCCS_SERVE_WAL_H_

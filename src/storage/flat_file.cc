@@ -1,10 +1,14 @@
 #include "storage/flat_file.h"
 
+#include <fcntl.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
+#include <utility>
 
 namespace lccs {
 namespace storage {
@@ -12,6 +16,11 @@ namespace storage {
 namespace {
 
 constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+std::function<void(const char*)>& FailpointHook() {
+  static std::function<void(const char*)> hook;
+  return hook;
+}
 
 void WriteOrThrow(std::FILE* f, const void* bytes, size_t n,
                   const std::string& path) {
@@ -36,6 +45,54 @@ void WriteHeader(std::FILE* f, const FlatHeader& header, size_t cols,
 
 }  // namespace
 
+void SetStorageFailpoint(std::function<void(const char*)> hook) {
+  FailpointHook() = std::move(hook);
+}
+
+void StorageFailpoint(const char* site) {
+  if (FailpointHook()) FailpointHook()(site);
+}
+
+void SyncFd(int fd, const std::string& path) {
+  if (::fsync(fd) != 0) {
+    throw std::runtime_error("fsync failed: " + path);
+  }
+}
+
+void FlushAndSyncFile(std::FILE* file, const std::string& path) {
+  if (std::fflush(file) != 0) {
+    throw std::runtime_error("flush failed: " + path);
+  }
+  SyncFd(::fileno(file), path);
+}
+
+void SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    throw std::runtime_error("cannot open directory for fsync: " + dir);
+  }
+  // Some filesystems refuse fsync on directory fds; a failed directory sync
+  // still leaves the rename itself intact, so close before throwing.
+  const bool synced = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!synced) {
+    throw std::runtime_error("directory fsync failed: " + dir);
+  }
+}
+
+void PublishFile(const std::string& tmp_path, const std::string& final_path) {
+  StorageFailpoint("publish:before_rename");
+  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    throw std::runtime_error("cannot rename " + tmp_path + " -> " +
+                             final_path);
+  }
+  SyncParentDir(final_path);
+}
+
 void FnvChecksum::Update(const void* bytes, size_t n) {
   const auto* p = static_cast<const unsigned char*>(bytes);
   uint64_t h = state_;
@@ -47,20 +104,21 @@ void FnvChecksum::Update(const void* bytes, size_t n) {
 }
 
 FlatFileWriter::FlatFileWriter(const std::string& path, size_t cols)
-    : path_(path), cols_(cols) {
+    : path_(path), tmp_path_(path + ".tmp"), cols_(cols) {
   if (cols == 0) {
     throw std::runtime_error("flat file needs cols >= 1: " + path);
   }
-  file_ = std::fopen(path.c_str(), "wb");
+  file_ = std::fopen(tmp_path_.c_str(), "wb");
   if (file_ == nullptr) {
-    throw std::runtime_error("cannot open flat file for writing: " + path);
+    throw std::runtime_error("cannot open flat file for writing: " +
+                             tmp_path_);
   }
   // Placeholder header; Finish() patches rows + checksum.
   try {
-    WriteHeader(file_, FlatHeader{0, cols_, 0}, cols_, path_);
+    WriteHeader(file_, FlatHeader{0, cols_, 0}, cols_, tmp_path_);
   } catch (...) {
     std::fclose(file_);
-    std::remove(path_.c_str());
+    std::remove(tmp_path_.c_str());
     throw;
   }
 }
@@ -68,8 +126,9 @@ FlatFileWriter::FlatFileWriter(const std::string& path, size_t cols)
 FlatFileWriter::~FlatFileWriter() {
   if (file_ != nullptr) {
     std::fclose(file_);
-    // An unfinished stream has a lying header — never leave it around.
-    if (!finished_) std::remove(path_.c_str());
+    // An unfinished stream has a lying header — never leave it around. The
+    // final path was never created (only Finish's rename creates it).
+    if (!finished_) std::remove(tmp_path_.c_str());
   }
 }
 
@@ -80,7 +139,7 @@ void FlatFileWriter::AppendRows(const float* rows, size_t n) {
     throw std::runtime_error("flat file already finished: " + path_);
   }
   const size_t bytes = n * cols_ * sizeof(float);
-  WriteOrThrow(file_, rows, bytes, path_);
+  WriteOrThrow(file_, rows, bytes, tmp_path_);
   checksum_.Update(rows, bytes);
   rows_ += n;
 }
@@ -91,18 +150,30 @@ FlatHeader FlatFileWriter::Finish() {
   }
   FlatHeader header{rows_, cols_, checksum_.Digest()};
   if (std::fseek(file_, 0, SEEK_SET) != 0) {
-    throw std::runtime_error("flat file seek error: " + path_);
+    throw std::runtime_error("flat file seek error: " + tmp_path_);
   }
-  WriteHeader(file_, header, cols_, path_);
-  // Flush *and* close unconditionally (a failed flush must not leak the
-  // FILE*), and never leave a file whose patched header promises payload
-  // that may not have reached disk.
-  const bool flushed = std::fflush(file_) == 0;
+  WriteHeader(file_, header, cols_, tmp_path_);
+  // Flush + fsync *then* close unconditionally (a failed flush must not
+  // leak the FILE*); only a fully durable temp file may be renamed onto the
+  // target name, so a crash anywhere in this sequence leaves either the
+  // complete file or nothing under `path_`.
+  bool durable = false;
+  try {
+    FlushAndSyncFile(file_, tmp_path_);
+    durable = true;
+  } catch (...) {
+  }
   const bool closed = std::fclose(file_) == 0;
   file_ = nullptr;
-  if (!flushed || !closed) {
-    std::remove(path_.c_str());
-    throw std::runtime_error("flat file close error: " + path_);
+  if (!durable || !closed) {
+    std::remove(tmp_path_.c_str());
+    throw std::runtime_error("flat file close error: " + tmp_path_);
+  }
+  try {
+    PublishFile(tmp_path_, path_);
+  } catch (...) {
+    std::remove(tmp_path_.c_str());
+    throw;
   }
   finished_ = true;
   return header;

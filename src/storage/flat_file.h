@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <string>
 
 #include "storage/vector_store.h"
@@ -58,16 +59,50 @@ class FnvChecksum {
   uint64_t state_ = 14695981039346656037ULL;
 };
 
+// --- Durability helpers ------------------------------------------------------
+// Shared by flat files, WAL segments (serve/wal.h) and checkpoints: every
+// file this system promises is durable goes through write-to-temp, fsync the
+// file, atomic rename, fsync the directory. All throw std::runtime_error
+// naming the path on failure.
+
+/// fflush + fsync of the stream's underlying descriptor.
+void FlushAndSyncFile(std::FILE* file, const std::string& path);
+/// fsync of a raw descriptor.
+void SyncFd(int fd, const std::string& path);
+/// fsyncs the directory containing `path`, making a rename/create/unlink
+/// inside it durable.
+void SyncParentDir(const std::string& path);
+/// Atomically publishes `tmp_path` as `final_path`: rename + parent-dir
+/// fsync. After a crash the final name either carries the complete file or
+/// does not exist — never a half-written one. The temp file must already be
+/// fsynced.
+void PublishFile(const std::string& tmp_path, const std::string& final_path);
+
+/// Test-only failpoint: when set, invoked at named durability-critical
+/// sites (currently "publish:before_rename", between the temp file's fsync
+/// and its rename) so crash-recovery tests can simulate a process dying
+/// half-way through a publish. Not for production use; set/clear with no
+/// writer running.
+void SetStorageFailpoint(std::function<void(const char*)> hook);
+/// Invokes the installed failpoint hook (no-op when none is set).
+void StorageFailpoint(const char* site);
+
 /// Streaming flat-file writer with O(row) memory: rows are appended through
 /// a small buffer while the checksum accumulates, and Finish() seeks back to
 /// patch rows + checksum into the header. This is what the fvecs/bvecs
 /// converters (dataset/io.h) and DynamicIndex's spill consolidation use, so
 /// producing a paper-scale flat file never needs the dataset in RAM.
+///
+/// Durability: the stream writes to `<path>.tmp`; Finish() fsyncs it,
+/// renames it onto `path` and fsyncs the directory, so `path` can never name
+/// a half-written file after a crash — checkpoints and spill epochs are
+/// all-or-nothing.
 /// Throws std::runtime_error on any IO failure.
 class FlatFileWriter {
  public:
   FlatFileWriter(const std::string& path, size_t cols);
-  /// Closes (and on an unfinished stream, removes) the file.
+  /// Closes (and on an unfinished stream, removes) the temp file; an
+  /// unfinished stream never creates `path` at all.
   ~FlatFileWriter();
 
   FlatFileWriter(const FlatFileWriter&) = delete;
@@ -78,11 +113,14 @@ class FlatFileWriter {
 
   size_t rows_written() const { return rows_; }
 
-  /// Flushes, patches the header, closes. Returns the final header.
+  /// Patches the header, fsyncs, closes, and atomically renames the temp
+  /// file onto the target path (fsyncing the directory). Returns the final
+  /// header.
   FlatHeader Finish();
 
  private:
   std::string path_;
+  std::string tmp_path_;  ///< path_ + ".tmp"; all writes land here
   std::FILE* file_ = nullptr;
   size_t cols_ = 0;
   size_t rows_ = 0;

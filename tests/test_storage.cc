@@ -75,6 +75,37 @@ TEST_F(StorageTest, StreamingWriterMatchesBulkWriter) {
   EXPECT_EQ(a.rows, b.rows);
 }
 
+TEST_F(StorageTest, FinishPublishesAtomicallyOrNotAtAll) {
+  // A crash between the temp file's fsync and its rename must leave the
+  // final path absent — never a half-written file under the real name. The
+  // failpoint simulates the kill by throwing out of the publish.
+  const auto m = RandomMatrix(11, 4, 13);
+  const std::string path = Path("atomic.flat");
+  paths_.push_back(path + ".tmp");
+  SetStorageFailpoint([](const char* site) {
+    if (std::strcmp(site, "publish:before_rename") == 0) {
+      throw std::runtime_error("injected crash before rename");
+    }
+  });
+  {
+    FlatFileWriter writer(path, m.cols());
+    for (size_t i = 0; i < m.rows(); ++i) writer.AppendRow(m.Row(i));
+    EXPECT_THROW(writer.Finish(), std::runtime_error);
+  }
+  SetStorageFailpoint(nullptr);
+  EXPECT_FALSE(std::ifstream(path).good()) << "torn file published";
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good()) << "temp file leaked";
+
+  // The same writer sequence with no failpoint produces a verifiable file.
+  FlatFileWriter writer(path, m.cols());
+  for (size_t i = 0; i < m.rows(); ++i) writer.AppendRow(m.Row(i));
+  const FlatHeader header = writer.Finish();
+  EXPECT_EQ(header.rows, m.rows());
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  const auto store = MmapStore::Open(path);  // checksum verified
+  EXPECT_EQ(std::memcmp(store->data(), m.data(), m.SizeBytes()), 0);
+}
+
 TEST_F(StorageTest, RejectsWrongMagicVersionEndiannessAndSize) {
   const auto m = RandomMatrix(5, 3, 3);
   const std::string path = Path("tamper.flat");

@@ -58,6 +58,15 @@ std::vector<util::Neighbor> LccsLshIndex::Query(const float* query,
   return scheme_->Query(query, k, params_.lambda);
 }
 
+std::vector<std::vector<util::Neighbor>> LccsLshIndex::QueryBatch(
+    const float* queries, size_t num_queries, size_t k,
+    size_t num_threads) const {
+  if (num_queries == 0) return {};
+  assert(scheme_ != nullptr);
+  return scheme_->QueryBatch(queries, num_queries, k, params_.lambda,
+                             num_threads);
+}
+
 size_t LccsLshIndex::IndexSizeBytes() const {
   return scheme_ != nullptr ? scheme_->SizeBytes() : 0;
 }

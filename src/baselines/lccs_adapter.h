@@ -34,6 +34,13 @@ class LccsLshIndex : public AnnIndex {
   void Build(const dataset::Dataset& data) override;
   std::vector<util::Neighbor> Query(const float* query,
                                     size_t k) const override;
+  /// Routes to the scheme's cross-query batch engine (shared hashing pass,
+  /// reusable search scratch, one deduplicated gather over the union of
+  /// candidate rows) instead of the default per-row fan-out. Results are
+  /// bit-identical to calling Query per row.
+  std::vector<std::vector<util::Neighbor>> QueryBatch(
+      const float* queries, size_t num_queries, size_t k,
+      size_t num_threads = 0) const override;
   /// Forwards the tombstone bitmap to the wrapped scheme so deleted rows are
   /// dropped during candidate verification (survives a later Build).
   void set_deleted_filter(const std::vector<uint8_t>* deleted) override;

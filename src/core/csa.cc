@@ -3,17 +3,20 @@
 #include <algorithm>
 #include <cassert>
 #include <istream>
+#include <limits>
 #include <numeric>
 #include <ostream>
-#include <queue>
 #include <stdexcept>
-#include <unordered_set>
+
+#include "core/stream_io.h"
 
 namespace lccs {
 namespace core {
 
 void CircularShiftArray::Build(const HashValue* strings, size_t n, size_t m) {
   assert(n >= 1 && m >= 1);
+  // HeapKey field widths (see PackHeapKey): shift/len take 12 bits, pos 31.
+  assert(m <= 0xFFF && n <= 0x7FFFFFFF);
   n_ = n;
   m_ = m;
   data_.assign(strings, strings + n * m);
@@ -76,29 +79,254 @@ CircularShiftArray::ShiftBounds CircularShiftArray::SearchShift(
     const HashValue* query, size_t shift, int32_t lo, int32_t hi) const {
   assert(lo >= 0 && hi < static_cast<int32_t>(n_) && lo <= hi);
   // Find the first position in [lo, hi] whose string compares greater than
-  // shift(Q, shift); everything before it is <= Q.
+  // shift(Q, shift); everything before it is <= Q. Manber–Myers LCP bounds:
+  // whenever both ends of the open interval (left-1, right) have had their
+  // LCP against the query measured, every string strictly between them
+  // shares at least min(llcp, rlcp) leading symbols with the query (sorted
+  // strings between two strings with a common prefix also carry it), so
+  // each probe resumes comparing at that offset instead of at symbol 0 —
+  // with the deep collision runs a small bucket width w produces, that is
+  // the difference between O(log n) and O(m log n) symbol reads per shift.
   int32_t left = lo;
   int32_t right = hi + 1;
+  int32_t llcp = 0, rlcp = 0;     // LCP(query, ...) at left-1 / right
+  bool lvalid = false, rvalid = false;  // initial bounds were never probed
   while (left < right) {
     const int32_t mid = left + (right - left) / 2;
+    const int32_t skip =
+        std::min(lvalid ? llcp : 0, rvalid ? rlcp : 0);
     int32_t lcp = 0;
-    const int cmp = Compare(SortedId(shift, mid), query, shift, &lcp);
+    const int cmp =
+        CompareShifted(String(SortedId(shift, mid)), query, m_, shift, &lcp,
+                       skip);
     if (cmp > 0) {
       right = mid;
+      rlcp = lcp;
+      rvalid = true;
     } else {
       left = mid + 1;
+      llcp = lcp;
+      lvalid = true;
     }
   }
   ShiftBounds b;
   b.pos_lo = left - 1;
   b.pos_hi = left;
   if (b.pos_lo >= 0) {
-    b.len_lo = Lcp(SortedId(shift, b.pos_lo), query, shift);
+    b.len_lo = lvalid ? llcp : Lcp(SortedId(shift, b.pos_lo), query, shift);
   }
   if (b.pos_hi < static_cast<int32_t>(n_)) {
-    b.len_hi = Lcp(SortedId(shift, b.pos_hi), query, shift);
+    b.len_hi = rvalid ? rlcp : Lcp(SortedId(shift, b.pos_hi), query, shift);
   }
   return b;
+}
+
+CircularShiftArray::ShiftBounds CircularShiftArray::SearchShiftFrom(
+    const HashValue* query, size_t shift, const ShiftBounds& prev) const {
+  const auto n = static_cast<int32_t>(n_);
+  if (use_narrowing_ && prev.pos_lo >= 0 && prev.pos_hi < n &&
+      prev.len_lo >= 1 && prev.len_hi >= 1) {
+    const int32_t lo = NextPosition(shift - 1, prev.pos_lo);
+    const int32_t hi = NextPosition(shift - 1, prev.pos_hi);
+    if (lo <= hi) return SearchShift(query, shift, lo, hi);
+  }
+  return SearchShift(query, shift, 0, n - 1);
+}
+
+void CircularShiftArray::SearchScratch::Begin(size_t n, size_t m,
+                                              size_t positions) {
+  if (seen.size() < n) seen.assign(n, 0);
+  if (positions > 0 && visited.size() < m * n) visited.assign(m * n, 0);
+  heap.clear();
+  if (++stamp == 0) {
+    // Stamp wraparound (every 255 queries on one scratch with uint8
+    // stamps): stale stamps could alias, so pay one full reset and restart
+    // at 1 — n + m*n bytes every 255 queries is noise next to the lookups
+    // the byte-dense arrays save on every query.
+    std::fill(seen.begin(), seen.end(), 0);
+    std::fill(visited.begin(), visited.end(), 0);
+    stamp = 1;
+  }
+}
+
+void CircularShiftArray::PushBounds(const ShiftBounds& b, size_t shift,
+                                    int32_t probe,
+                                    SearchScratch* scratch) const {
+  const auto n = static_cast<int32_t>(n_);
+  assert(probe >= 0 && probe <= 0xFF);
+  auto& heap = scratch->heap;
+  if (b.pos_lo >= 0) {
+    heap.push_back(PackHeapKey(b.len_lo, static_cast<int32_t>(shift),
+                               b.pos_lo, probe, -1));
+    std::push_heap(heap.begin(), heap.end());
+  }
+  if (b.pos_hi < n) {
+    heap.push_back(PackHeapKey(b.len_hi, static_cast<int32_t>(shift),
+                               b.pos_hi, probe, +1));
+    std::push_heap(heap.begin(), heap.end());
+  }
+}
+
+void CircularShiftArray::SearchBounds(const HashValue* query,
+                                      SearchScratch* scratch) const {
+  assert(!empty());
+  const auto n = static_cast<int32_t>(n_);
+  scratch->state.assign(m_, ShiftBounds{});
+  // Line 2 of Algorithm 2: one full binary search on I_0, then lines 5-11:
+  // narrowed binary searches driven by the next links (Corollary 3.2),
+  // falling back to a full search when the previous shift matched less than
+  // one symbol.
+  scratch->state[0] = SearchShift(query, 0, 0, n - 1);
+  PushBounds(scratch->state[0], 0, 0, scratch);
+  for (size_t i = 1; i < m_; ++i) {
+    scratch->state[i] = SearchShiftFrom(query, i, scratch->state[i - 1]);
+    PushBounds(scratch->state[i], i, 0, scratch);
+  }
+}
+
+void CircularShiftArray::CollectFromHeap(const HashValue* const* probes,
+                                         size_t num_probes, size_t count,
+                                         SearchScratch* scratch,
+                                         std::vector<LccsCandidate>* out) const {
+  // Lines 12-15: pop the frontier in non-increasing LCP order; per shift and
+  // direction the LCP is monotone non-increasing away from the query
+  // position (Fact 3.2), so the first pop of an id yields |LCCS(T_id, Q)|.
+  // HeapEntry's comparator is a total order, so the pop sequence depends
+  // only on the set of entries, never on push order or heap layout.
+  auto& heap = scratch->heap;
+  // Frontier-position dedup matters only when several probes overlap in the
+  // sorted orders (Example 4.1): with one probe the lo-chain only ever moves
+  // down from pos_lo and the hi-chain up from pos_hi = pos_lo + 1, so no
+  // position can be reached twice and the check would never fire.
+  const bool dedup_positions = num_probes > 1;
+  while (out->size() < count && !heap.empty()) {
+    CollectStep(probes, dedup_positions, count, scratch, out);
+  }
+}
+
+bool CircularShiftArray::CollectStep(const HashValue* const* probes,
+                                     bool dedup_positions, size_t count,
+                                     SearchScratch* scratch,
+                                     std::vector<LccsCandidate>* out) const {
+  const auto n = static_cast<int32_t>(n_);
+  auto& heap = scratch->heap;
+  const uint8_t stamp = scratch->stamp;
+  const HeapKey key = heap.front();
+  std::pop_heap(heap.begin(), heap.end());
+  heap.pop_back();
+  struct {
+    int32_t len, shift, pos, probe;
+    int32_t dir;
+  } e{HeapKeyLen(key), HeapKeyShift(key), HeapKeyPos(key), HeapKeyProbe(key),
+      HeapKeyDir(key)};
+  bool consumed = false;
+  if (dedup_positions) {
+    uint8_t& mark = scratch->visited[static_cast<size_t>(e.shift) * n_ +
+                                      static_cast<size_t>(e.pos)];
+    consumed = mark == stamp;
+    mark = stamp;
+  }
+  if (!consumed) {
+    const int32_t id = SortedId(e.shift, e.pos);
+    uint8_t& seen = scratch->seen[static_cast<size_t>(id)];
+    if (seen != stamp) {
+      seen = stamp;
+      out->push_back({id, e.len});
+    }
+    // Advance the chain. Two shortcuts, both order-preserving:
+    //
+    // Fast-forward: skip positions that can no longer contribute — ids
+    // already emitted (and, multi-probe, frontier positions another probe
+    // already consumed). Each skipped step costs one stamped-array lookup
+    // instead of a full heap cycle + LCP over the row's hash string — with
+    // m chains surfacing overlapping id sets, duplicate pops otherwise
+    // dominate the search (super-linearly in the candidate budget as the
+    // unique ids thin out). Marks only accumulate within a query, so a mark
+    // observed here would also be observed at the (later) pop of the same
+    // entry.
+    //
+    // Run extension: while the successor's LCP *equals* the popped length,
+    // emit it in place instead of cycling it through the heap. The pop
+    // order is a total order on (len desc, shift asc, pos asc, probe, dir),
+    // so among equal lengths the smallest shift drains first, and within a
+    // shift each chain re-enters as the front as long as its length holds
+    // (the lo chain's positions only decrease, the hi chain stays above
+    // it) — no pending or future entry can interpose inside an equal-LCP
+    // run of one chain, and the emitted sequence is exactly the heap's.
+    int32_t npos = e.pos + e.dir;
+    for (;;) {
+      while (npos >= 0 && npos < n) {
+        if (dedup_positions &&
+            scratch->visited[static_cast<size_t>(e.shift) * n_ +
+                             static_cast<size_t>(npos)] == stamp) {
+          npos += e.dir;
+          continue;
+        }
+        if (scratch->seen[static_cast<size_t>(SortedId(e.shift, npos))] !=
+            stamp) {
+          break;
+        }
+        npos += e.dir;
+      }
+      if (npos < 0 || npos >= n) break;  // chain exhausted
+      const int32_t nid = SortedId(e.shift, npos);
+      const int32_t nlen = Lcp(nid, probes[e.probe], e.shift);
+      if (nlen != e.len || out->size() >= count) {
+        heap.push_back(PackHeapKey(nlen, e.shift, npos, e.probe, e.dir));
+        std::push_heap(heap.begin(), heap.end());
+        break;
+      }
+      if (dedup_positions) {
+        scratch->visited[static_cast<size_t>(e.shift) * n_ +
+                         static_cast<size_t>(npos)] = stamp;
+      }
+      scratch->seen[static_cast<size_t>(nid)] = stamp;
+      out->push_back({nid, nlen});
+      npos += e.dir;
+    }
+  }
+  if (out->size() >= count || heap.empty()) return false;
+  // The next iteration pops the current top (nothing intervenes on this
+  // scratch) and its one cache-missing read is the LCP over the successor's
+  // hash string — a random row of data_. Prefetch the line the circular
+  // compare starts at; the chain's sorted_ entries are contiguous and almost
+  // always already cached, so reading the successor id here is cheap.
+  const HeapKey top = heap.front();
+  const int32_t tshift = HeapKeyShift(top);
+  const int32_t tp = HeapKeyPos(top) + HeapKeyDir(top);
+  if (tp >= 0 && tp < n) {
+    __builtin_prefetch(String(SortedId(tshift, tp)) + tshift);
+  }
+  return true;
+}
+
+void CircularShiftArray::CollectFromHeapInterleaved(CollectJob* jobs,
+                                                    size_t num_jobs,
+                                                    size_t count) const {
+  // Round-robin scheduler: each turn advances one live query by exactly one
+  // pop iteration, then rotates. A query's prefetch therefore has the other
+  // queries' turns to complete before its next LCP needs the row — and the
+  // memory system holds up to num_jobs independent misses at once instead
+  // of the single dependent miss a solo pop chain can express.
+  std::vector<uint32_t> live;
+  live.reserve(num_jobs);
+  for (size_t j = 0; j < num_jobs; ++j) {
+    if (jobs[j].out->size() < count && !jobs[j].scratch->heap.empty()) {
+      live.push_back(static_cast<uint32_t>(j));
+    }
+  }
+  size_t num_live = live.size();
+  while (num_live > 0) {
+    size_t w = 0;
+    for (size_t i = 0; i < num_live; ++i) {
+      const CollectJob& job = jobs[live[i]];
+      if (CollectStep(job.probes, job.num_probes > 1, count, job.scratch,
+                      job.out)) {
+        live[w++] = live[i];
+      }
+    }
+    num_live = w;
+  }
 }
 
 std::vector<LccsCandidate> CircularShiftArray::Search(const HashValue* query,
@@ -110,65 +338,14 @@ std::vector<LccsCandidate> CircularShiftArray::Search(const HashValue* query,
 std::vector<LccsCandidate> CircularShiftArray::Search(
     const HashValue* query, size_t k, std::vector<ShiftBounds>* state) const {
   assert(!empty());
-  const auto n = static_cast<int32_t>(n_);
-  state->assign(m_, ShiftBounds{});
-  std::priority_queue<HeapEntry> pq;
-
-  auto push_bounds = [&](size_t shift, const ShiftBounds& b) {
-    if (b.pos_lo >= 0) {
-      pq.push({b.len_lo, b.pos_lo, static_cast<int32_t>(shift), 0, -1});
-    }
-    if (b.pos_hi < n) {
-      pq.push({b.len_hi, b.pos_hi, static_cast<int32_t>(shift), 0, +1});
-    }
-  };
-
-  // Line 2 of Algorithm 2: one full binary search on I_0.
-  (*state)[0] = SearchShift(query, 0, 0, n - 1);
-  push_bounds(0, (*state)[0]);
-
-  // Lines 5-11: narrowed binary searches driven by the next links
-  // (Corollary 3.2); fall back to a full search when the previous shift
-  // matched less than one symbol.
-  for (size_t i = 1; i < m_; ++i) {
-    const ShiftBounds& prev = (*state)[i - 1];
-    ShiftBounds b;
-    if (use_narrowing_ && prev.pos_lo >= 0 && prev.pos_hi < n &&
-        prev.len_lo >= 1 && prev.len_hi >= 1) {
-      const int32_t lo = NextPosition(i - 1, prev.pos_lo);
-      const int32_t hi = NextPosition(i - 1, prev.pos_hi);
-      if (lo <= hi) {
-        b = SearchShift(query, i, lo, hi);
-      } else {
-        b = SearchShift(query, i, 0, n - 1);
-      }
-    } else {
-      b = SearchShift(query, i, 0, n - 1);
-    }
-    (*state)[i] = b;
-    push_bounds(i, b);
-  }
-
-  // Lines 12-15: pop the frontier in non-increasing LCP order; per shift and
-  // direction the LCP is monotone non-increasing away from the query
-  // position (Fact 3.2), so the first pop of an id yields |LCCS(T_id, Q)|.
+  SearchScratch scratch;
+  scratch.Begin(n_, m_, 0);
+  SearchBounds(query, &scratch);
   std::vector<LccsCandidate> result;
   result.reserve(std::min<size_t>(k, n_));
-  std::unordered_set<int32_t> seen;
-  seen.reserve(2 * k);
-  while (result.size() < k && !pq.empty()) {
-    const HeapEntry e = pq.top();
-    pq.pop();
-    const int32_t id = SortedId(e.shift, e.pos);
-    if (seen.insert(id).second) {
-      result.push_back({id, e.len});
-    }
-    const int32_t npos = e.pos + e.dir;
-    if (npos >= 0 && npos < n) {
-      pq.push({Lcp(SortedId(e.shift, npos), query, e.shift), npos, e.shift, 0,
-               e.dir});
-    }
-  }
+  const HashValue* probes[1] = {query};
+  CollectFromHeap(probes, 1, k, &scratch, &result);
+  *state = std::move(scratch.state);
   return result;
 }
 
@@ -226,12 +403,41 @@ CircularShiftArray CircularShiftArray::Deserialize(std::istream& in) {
   ReadPod(in, &n);
   ReadPod(in, &m);
   if (n == 0 || m == 0) throw std::runtime_error("CSA stream: empty index");
+  // Header plausibility before any allocation: ids are int32, the n*m
+  // element counts below must not wrap uint64, and the three arrays
+  // (8-byte count prefix each) must fit inside what the stream can still
+  // back — a range-legal corrupt header (e.g. n = 2^32, m = 2^25) must
+  // surface as the promised runtime_error, never as bad_alloc/OOM.
+  if (n > static_cast<uint64_t>(std::numeric_limits<int32_t>::max())) {
+    throw std::runtime_error("CSA stream: corrupt header (n exceeds int32)");
+  }
+  // Build caps m at the HeapKey shift-field width; no well-formed stream
+  // can carry more, so reject rather than mis-pack search heap keys later.
+  if (m > 0xFFF) {
+    throw std::runtime_error("CSA stream: corrupt header (m exceeds 4095)");
+  }
+  if (m > std::numeric_limits<uint64_t>::max() / n) {
+    throw std::runtime_error("CSA stream: corrupt header (n*m overflows)");
+  }
+  const uint64_t count = n * m;
+  const uint64_t budget = io::RemainingBytes(in);
+  const uint64_t need_bytes =
+      count * sizeof(HashValue) + 2 * count * sizeof(int32_t);
+  if (count > std::numeric_limits<uint64_t>::max() /
+                  (sizeof(HashValue) + 2 * sizeof(int32_t)) ||
+      need_bytes > budget) {
+    throw std::runtime_error("CSA stream: arrays larger than stream");
+  }
   CircularShiftArray csa;
   csa.n_ = n;
   csa.m_ = m;
-  ReadVector(in, &csa.data_, n * m);
-  ReadVector(in, &csa.sorted_, m * n);
-  ReadVector(in, &csa.next_, m * n);
+  try {
+    ReadVector(in, &csa.data_, count);
+    ReadVector(in, &csa.sorted_, count);
+    ReadVector(in, &csa.next_, count);
+  } catch (const std::bad_alloc&) {
+    throw std::runtime_error("CSA stream: allocation failed (corrupt sizes)");
+  }
   for (const int32_t pos : csa.next_) {
     if (pos < 0 || pos >= static_cast<int32_t>(n)) {
       throw std::runtime_error("CSA stream: corrupt next link");

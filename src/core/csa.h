@@ -82,6 +82,15 @@ class CircularShiftArray {
   ShiftBounds SearchShift(const HashValue* query, size_t shift, int32_t lo,
                           int32_t hi) const;
 
+  /// Batch-friendly SearchShift entry taking the previous shift's
+  /// precomputed bounds: narrows the binary search of shift `shift` through
+  /// the next links of shift - 1 (Corollary 3.2) when `prev` matched at
+  /// least one symbol on both sides, and falls back to a full [0, n-1]
+  /// search otherwise — the one cascade step both Search and the multi-probe
+  /// scheme used to duplicate inline. Respects use_narrowing().
+  ShiftBounds SearchShiftFrom(const HashValue* query, size_t shift,
+                              const ShiftBounds& prev) const;
+
   /// LCP between shift(T_id, shift) and shift(Q, shift), capped at m.
   int32_t Lcp(int32_t id, const HashValue* query, size_t shift) const {
     return CircularLcp(String(id), query, m_, shift);
@@ -118,29 +127,119 @@ class CircularShiftArray {
   /// std::runtime_error on malformed input.
   static CircularShiftArray Deserialize(std::istream& in);
 
-  /// Entry of the shared candidate priority queue of Algorithm 2. Public so
-  /// the multi-probe scheme can merge entries from several probe strings
-  /// into one queue (the `probe` tag selects the query string to extend
-  /// LCPs against).
-  struct HeapEntry {
-    int32_t len = 0;
-    int32_t pos = 0;
-    int32_t shift = 0;
-    int32_t probe = 0;
-    int8_t dir = 0;  // -1 expands downward, +1 upward
+  /// Entry of the shared candidate priority queue of Algorithm 2, packed
+  /// into one uint64 whose *natural descending order is the pop order*:
+  /// larger len pops first, ties broken deterministically by smaller shift,
+  /// then smaller pos, smaller probe, and downward direction — ascending
+  /// tie-break fields are stored complemented so plain integer > realizes
+  /// the whole five-field comparison branchlessly (the pop loop spends a
+  /// meaningful share of its time in heap sift compares; a 16-byte struct
+  /// with a five-branch comparator was measurably slower). Field widths cap
+  /// m at 4095, n at 2^31 - 1 and the probe tag at 255 — asserted where the
+  /// values enter, and orders of magnitude above the paper's scales.
+  ///
+  /// Layout (MSB to LSB): len:12 | 4095-shift:12 | (2^31-1)-pos:31 |
+  /// 255-probe:8 | (dir < 0):1.
+  using HeapKey = uint64_t;
+  static HeapKey PackHeapKey(int32_t len, int32_t shift, int32_t pos,
+                             int32_t probe, int dir) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(len)) << 52) |
+           ((0xFFFull - static_cast<uint32_t>(shift)) << 40) |
+           ((0x7FFFFFFFull - static_cast<uint32_t>(pos)) << 9) |
+           ((0xFFull - static_cast<uint32_t>(probe)) << 1) |
+           (dir < 0 ? 1u : 0u);
+  }
+  static int32_t HeapKeyLen(HeapKey k) {
+    return static_cast<int32_t>(k >> 52);
+  }
+  static int32_t HeapKeyShift(HeapKey k) {
+    return 0xFFF - static_cast<int32_t>((k >> 40) & 0xFFFu);
+  }
+  static int32_t HeapKeyPos(HeapKey k) {
+    return 0x7FFFFFFF - static_cast<int32_t>((k >> 9) & 0x7FFFFFFFu);
+  }
+  static int32_t HeapKeyProbe(HeapKey k) {
+    return 0xFF - static_cast<int32_t>((k >> 1) & 0xFFu);
+  }
+  static int32_t HeapKeyDir(HeapKey k) { return (k & 1u) != 0 ? -1 : +1; }
 
-    friend bool operator<(const HeapEntry& a, const HeapEntry& b) {
-      // std::priority_queue is a max-heap: order by len, deterministic
-      // tie-breaks so query results are reproducible.
-      if (a.len != b.len) return a.len < b.len;
-      if (a.shift != b.shift) return a.shift > b.shift;
-      if (a.pos != b.pos) return a.pos > b.pos;
-      if (a.probe != b.probe) return a.probe > b.probe;
-      return a.dir > b.dir;
-    }
+  /// Reusable per-thread workspace for Search / CollectFromHeap. One scratch
+  /// serves any number of consecutive queries against the same CSA without
+  /// reallocating: the heap vector keeps its capacity, and the seen/visited
+  /// stamp arrays are O(1) to "clear" (the stamp increments instead). The
+  /// batched query engine holds one per ParallelFor chunk; sharing one
+  /// scratch across threads is a race.
+  struct SearchScratch {
+    std::vector<ShiftBounds> state;  ///< per-shift bounds of the base search
+    std::vector<HeapKey> heap;       ///< std::push_heap/pop_heap max-heap
+    /// Stamps are uint8 on purpose: the pop loop's chain fast-forward does
+    /// an order of magnitude more stamp lookups than anything else it
+    /// touches, and the byte-dense arrays keep them cache-resident (n bytes
+    /// instead of 4n). The 255-query wrap costs one refill per 255 queries.
+    std::vector<uint8_t> seen;     ///< id -> stamp of the query that saw it
+    std::vector<uint8_t> visited;  ///< shift*n + pos -> stamp (multi-probe)
+    uint8_t stamp = 0;             ///< current query's stamp
+
+    /// Starts a new query: bumps the stamp and (re)sizes the id-dedup array.
+    /// `positions` > 0 additionally sizes the frontier-position dedup array
+    /// (m*n entries — only the multi-probe pop loop pays for it).
+    void Begin(size_t n, size_t m, size_t positions);
   };
 
+  /// Seeds `scratch->heap` with the bound entries of `b` tagged `probe`
+  /// (the push_bounds step shared by Algorithm 2 and the multi-probe scheme).
+  void PushBounds(const ShiftBounds& b, size_t shift, int32_t probe,
+                  SearchScratch* scratch) const;
+
+  /// The narrowed binary-search cascade of Algorithm 2 lines 2-11: fills
+  /// scratch->state with per-shift bounds of `query` and seeds the heap via
+  /// PushBounds with probe tag 0. Call Begin first.
+  void SearchBounds(const HashValue* query, SearchScratch* scratch) const;
+
+  /// The frontier pop loop of Algorithm 2 lines 12-15, generalized over
+  /// `num_probes` query strings feeding one heap: appends up to `count`
+  /// distinct ids to `out` in non-increasing LCP order. With more than one
+  /// probe, frontier positions are deduplicated through scratch->visited
+  /// (the redundancy control of Example 4.1); with one probe the lo/hi
+  /// chains never collide, so the check is skipped. Entries must already be
+  /// heaped (SearchBounds / PushBounds) and expansion extends LCPs against
+  /// probes[entry.probe].
+  void CollectFromHeap(const HashValue* const* probes, size_t num_probes,
+                       size_t count, SearchScratch* scratch,
+                       std::vector<LccsCandidate>* out) const;
+
+  /// One query's pop-loop state for CollectFromHeapInterleaved. The scratch
+  /// must already be seeded (SearchBounds / PushBounds) and `probes` must
+  /// stay valid until the collect finishes.
+  struct CollectJob {
+    const HashValue* const* probes = nullptr;
+    size_t num_probes = 0;
+    SearchScratch* scratch = nullptr;
+    std::vector<LccsCandidate>* out = nullptr;
+  };
+
+  /// CollectFromHeap for several independent queries with their pop loops
+  /// interleaved round-robin, one iteration per query per turn. The pop loop
+  /// is a dependent chain of random hash-row reads (pop → successor id →
+  /// LCP over its hash string), so a single query keeps at most one cache
+  /// miss in flight; interleaving keeps `num_jobs` misses in flight and
+  /// gives each query's prefetch (issued right after its push) a full
+  /// round-trip of other queries' work to land. Per query this runs exactly
+  /// the CollectFromHeap iteration on the query's own scratch and output —
+  /// results are bit-identical to num_jobs solo calls.
+  void CollectFromHeapInterleaved(CollectJob* jobs, size_t num_jobs,
+                                  size_t count) const;
+
  private:
+  /// One iteration of the Algorithm 2 pop loop: pops the top entry,
+  /// possibly emits its id, advances its chain, and prefetches the hash row
+  /// the *next* iteration's LCP will read (the next pop is the current heap
+  /// top — nothing is pushed in between). Precondition: heap non-empty and
+  /// out not yet full. Returns whether another iteration can run.
+  bool CollectStep(const HashValue* const* probes, bool dedup_positions,
+                   size_t count, SearchScratch* scratch,
+                   std::vector<LccsCandidate>* out) const;
+
   /// Three-way compare of shift(T_id, shift) against shift(Q, shift),
   /// setting *lcp to the common-prefix length.
   int Compare(int32_t id, const HashValue* query, size_t shift,

@@ -53,27 +53,12 @@ void ReadPod(std::istream& in, T* value) {
   io::ReadPod(in, value, kStreamName);
 }
 
-// Bytes left between the current position and the end of the stream, or
-// UINT64_MAX when the stream is not seekable. Header-derived allocations are
-// capped by this, so a corrupt header that passes the range checks (next_id
-// up to INT32_MAX, dim up to 2^24 — a legal combination ~2^55 elements
-// large) still cannot drive a resize beyond what the stream could possibly
-// back, surfacing as the corrupt-stream runtime_error instead of bad_alloc.
-uint64_t RemainingBytes(std::istream& in) {
-  const std::istream::pos_type pos = in.tellg();
-  if (pos == std::istream::pos_type(-1)) {
-    return std::numeric_limits<uint64_t>::max();
-  }
-  in.seekg(0, std::ios::end);
-  const std::istream::pos_type end = in.tellg();
-  in.seekg(pos);
-  if (!in || end == std::istream::pos_type(-1) || end < pos) {
-    in.clear();
-    in.seekg(pos);
-    return std::numeric_limits<uint64_t>::max();
-  }
-  return static_cast<uint64_t>(end - pos);
-}
+// Header-derived allocations below are capped by io::RemainingBytes, so a
+// corrupt header that passes the range checks (next_id up to INT32_MAX, dim
+// up to 2^24 — a legal combination ~2^55 elements large) still cannot drive
+// a resize beyond what the stream could possibly back, surfacing as the
+// corrupt-stream runtime_error instead of bad_alloc.
+using io::RemainingBytes;
 
 }  // namespace
 
@@ -610,6 +595,13 @@ void DynamicIndex::RunRebuild() {
         } else {
           it->second = Location{false, row};
         }
+      }
+      // BuildEpoch installed the filter before the reconciliation above
+      // flipped bits; re-install so the index's cached tombstone count (its
+      // per-query over-fetch) reflects the final base bitmap. The epoch is
+      // not yet published, so no query can observe the transition.
+      if (epoch->index != nullptr) {
+        epoch->index->set_deleted_filter(&epoch->deleted);
       }
       // Inserts since capture become the new delta generation. Copy from
       // the *current* buffer (a doubling may have superseded the captured

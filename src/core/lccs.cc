@@ -3,19 +3,73 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/simd_distance.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define LCCS_CORE_X86 1
+#include <immintrin.h>
+#endif
+
 namespace lccs {
 namespace core {
+namespace {
+
+// First index in [from, to) where t and q differ, or `to` when the whole
+// range matches. This is the inner scan of every LCP / shifted-compare on
+// the query hot path (the circular walk is two such linear segments), so it
+// gets the same runtime-dispatched AVX2 treatment as the distance kernels.
+// Integer equality is exact — the tiers agree bit-for-bit, unlike the
+// float kernels' last-bit latitude.
+
+size_t ScalarMismatch(const HashValue* t, const HashValue* q, size_t from,
+                      size_t to) {
+  for (size_t j = from; j < to; ++j) {
+    if (t[j] != q[j]) return j;
+  }
+  return to;
+}
+
+#if LCCS_CORE_X86
+__attribute__((target("avx2"))) size_t Avx2Mismatch(const HashValue* t,
+                                                    const HashValue* q,
+                                                    size_t from, size_t to) {
+  static_assert(sizeof(HashValue) == 4, "8-lane epi32 compare");
+  size_t j = from;
+  for (; j + 8 <= to; j += 8) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(t + j));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(q + j));
+    const auto eq_mask = static_cast<uint32_t>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(a, b))));
+    if (eq_mask != 0xffu) {
+      return j + static_cast<size_t>(__builtin_ctz(~eq_mask));
+    }
+  }
+  return ScalarMismatch(t, q, j, to);
+}
+#endif
+
+inline size_t FirstMismatch(const HashValue* t, const HashValue* q,
+                            size_t from, size_t to) {
+#if LCCS_CORE_X86
+  if (util::ActiveSimdTier() == util::SimdTier::kAvx2) {
+    return Avx2Mismatch(t, q, from, to);
+  }
+#endif
+  return ScalarMismatch(t, q, from, to);
+}
+
+}  // namespace
 
 int32_t CircularLcp(const HashValue* t, const HashValue* q, size_t m,
                     size_t shift) {
   assert(shift < m);
-  int32_t len = 0;
-  for (size_t j = 0; j < m; ++j) {
-    const size_t idx = (shift + j) % m;
-    if (t[idx] != q[idx]) break;
-    ++len;
-  }
-  return len;
+  // The circular walk shift, shift+1, ..., m-1, 0, ..., shift-1 is two
+  // linear segments (both strings are indexed at the same position).
+  const size_t mis = FirstMismatch(t, q, shift, m);
+  if (mis < m) return static_cast<int32_t>(mis - shift);
+  return static_cast<int32_t>((m - shift) + FirstMismatch(t, q, 0, shift));
 }
 
 int32_t LccsLength(const HashValue* t, const HashValue* q, size_t m) {
@@ -40,19 +94,25 @@ bool IsCircularCoSubstring(const HashValue* t, const HashValue* q, size_t m,
 }
 
 int CompareShifted(const HashValue* t, const HashValue* q, size_t m,
-                   size_t shift, int32_t* lcp) {
+                   size_t shift, int32_t* lcp, int32_t skip) {
   assert(shift < m);
-  int32_t len = 0;
+  assert(skip >= 0 && static_cast<size_t>(skip) <= m);
+  // Two linear segments again; `j` counts symbols known equal so far and the
+  // Manber–Myers skip fast-forwards the walk into either segment.
+  size_t j = static_cast<size_t>(skip);
   int cmp = 0;
-  for (size_t j = 0; j < m; ++j) {
-    const size_t idx = (shift + j) % m;
-    if (t[idx] != q[idx]) {
-      cmp = t[idx] < q[idx] ? -1 : 1;
-      break;
-    }
-    ++len;
+  if (j < m - shift) {  // resume inside the first segment [shift, m)
+    const size_t mis = FirstMismatch(t, q, shift + j, m);
+    j = mis - shift;
+    if (mis < m) cmp = t[mis] < q[mis] ? -1 : 1;
   }
-  if (lcp != nullptr) *lcp = len;
+  if (cmp == 0 && j < m) {  // second segment [0, shift)
+    const size_t start = j - (m - shift);
+    const size_t mis = FirstMismatch(t, q, start, shift);
+    j = (m - shift) + mis;
+    if (mis < shift) cmp = t[mis] < q[mis] ? -1 : 1;
+  }
+  if (lcp != nullptr) *lcp = static_cast<int32_t>(j);
   return cmp;
 }
 

@@ -35,8 +35,11 @@ bool IsCircularCoSubstring(const HashValue* t, const HashValue* q, size_t m,
 
 /// Lexicographic three-way comparison of shift(T, s) vs shift(Q, s),
 /// returning {-1, 0, +1} and the LCP length via `lcp` (may be null).
+/// `skip` asserts that the first `skip` symbols of the shifted strings are
+/// already known equal (a Manber–Myers LCP bound from a sorted neighbor):
+/// the comparison resumes there and `lcp` still reports the total length.
 int CompareShifted(const HashValue* t, const HashValue* q, size_t m,
-                   size_t shift, int32_t* lcp);
+                   size_t shift, int32_t* lcp, int32_t skip = 0);
 
 /// Brute-force k-LCCS search (Definition 3.3) over a row-major collection of
 /// n strings of length m: returns the ids of the k strings with the largest

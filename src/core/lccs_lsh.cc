@@ -1,6 +1,9 @@
 #include "core/lccs_lsh.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdlib>
+#include <utility>
 
 #include "util/simd_distance.h"
 #include "util/thread_pool.h"
@@ -56,6 +59,34 @@ void LccsLsh::AttachPrebuilt(const float* data, size_t n, size_t d,
   AttachPrebuilt(storage::WrapBorrowed(data, n, d), std::move(csa));
 }
 
+void LccsLsh::set_deleted_filter(const std::vector<uint8_t>* deleted) {
+  deleted_ = deleted;
+  deleted_count_ = 0;
+  if (deleted != nullptr) {
+    for (const uint8_t bit : *deleted) deleted_count_ += (bit != 0) ? 1 : 0;
+  }
+}
+
+std::unique_ptr<LccsLsh::QueryScratch> LccsLsh::MakeScratch() const {
+  return std::make_unique<QueryScratch>();
+}
+
+void LccsLsh::PrepareSearch(const float* query, const HashValue* hash,
+                            QueryScratch* scratch) const {
+  (void)query;  // the base scheme probes only the unperturbed hash string
+  scratch->csa.Begin(n_, csa_.m(), 0);
+  csa_.SearchBounds(hash, &scratch->csa);
+  scratch->probe_ptrs.assign(1, hash);
+}
+
+void LccsLsh::AppendCandidates(const float* query, const HashValue* hash,
+                               size_t count, QueryScratch* scratch,
+                               std::vector<LccsCandidate>* out) const {
+  PrepareSearch(query, hash, scratch);
+  csa_.CollectFromHeap(scratch->probe_ptrs.data(), scratch->probe_ptrs.size(),
+                       count, &scratch->csa, out);
+}
+
 std::vector<LccsCandidate> LccsLsh::Candidates(const float* query,
                                                size_t count) const {
   assert(store_ != nullptr);
@@ -68,8 +99,12 @@ std::vector<LccsCandidate> LccsLsh::Candidates(const float* query,
 std::vector<util::Neighbor> LccsLsh::Query(const float* query, size_t k,
                                            size_t lambda) const {
   assert(store_ != nullptr);
-  const size_t count = lambda + (k > 0 ? k - 1 : 0);
-  const std::vector<LccsCandidate> candidates = Candidates(query, count);
+  const std::unique_ptr<QueryScratch> scratch = MakeScratch();
+  scratch->hash.resize(family_->num_functions());
+  family_->Hash(query, scratch->hash.data());
+  std::vector<LccsCandidate> candidates;
+  AppendCandidates(query, scratch->hash.data(), CandidateBudget(k, lambda),
+                   scratch.get(), &candidates);
   std::vector<int32_t> ids;
   ids.reserve(candidates.size());
   for (const LccsCandidate& c : candidates) ids.push_back(c.id);
@@ -78,6 +113,160 @@ std::vector<util::Neighbor> LccsLsh::Query(const float* query, size_t k,
   util::VerifyCandidates(metric_, store_->data(), d_, query, ids.data(),
                          ids.size(), topk, /*first_id=*/0, deleted_rows());
   return topk.Sorted();
+}
+
+std::vector<std::vector<util::Neighbor>> LccsLsh::QueryBatch(
+    const float* queries, size_t num_queries, size_t k, size_t lambda,
+    size_t num_threads) const {
+  std::vector<std::vector<util::Neighbor>> results(num_queries);
+  if (num_queries == 0) return results;
+  assert(store_ != nullptr);
+  const size_t m = family_->num_functions();
+  const size_t count = CandidateBudget(k, lambda);
+  const uint8_t* deleted = deleted_rows();
+
+  // Phase 1: hash the whole window in one ParallelFor pass.
+  std::vector<HashValue> hashes(num_queries * m);
+  util::ParallelFor(
+      num_queries,
+      [&](size_t begin, size_t end) {
+        for (size_t q = begin; q < end; ++q) {
+          family_->Hash(queries + q * d_, hashes.data() + q * m);
+        }
+      },
+      num_threads);
+
+  // Phase 2: candidate generation in interleaved groups. Each query in a
+  // group gets its own scratch; PrepareSearch runs the bound cascade solo,
+  // then CollectFromHeapInterleaved drains the groups' heaps round-robin —
+  // the pop loop is a dependent chain of random hash-row reads, and
+  // interleaving keeps kInterleave misses in flight where a solo drain has
+  // one. Per query the iterations are identical, so each query's list still
+  // preserves the sequential surfacing order — that order is replayed in
+  // phase 5, so TopK tie-breaking matches per-query Query.
+  static const size_t kInterleave = [] {
+    const char* env = std::getenv("LCCS_BATCH_INTERLEAVE");
+    const long v = env != nullptr ? std::atol(env) : 0;
+    return v >= 1 ? static_cast<size_t>(v) : size_t{8};
+  }();
+  std::vector<std::vector<LccsCandidate>> cands(num_queries);
+  util::ParallelFor(
+      num_queries,
+      [&](size_t begin, size_t end) {
+        std::vector<std::unique_ptr<QueryScratch>> scratches;
+        std::vector<CircularShiftArray::CollectJob> jobs;
+        for (size_t g = begin; g < end; g += kInterleave) {
+          const size_t g_end = std::min(end, g + kInterleave);
+          while (scratches.size() < g_end - g) {
+            scratches.push_back(MakeScratch());
+          }
+          jobs.clear();
+          for (size_t q = g; q < g_end; ++q) {
+            QueryScratch* scratch = scratches[q - g].get();
+            cands[q].reserve(std::min<size_t>(count, n_));
+            PrepareSearch(queries + q * d_, hashes.data() + q * m, scratch);
+            jobs.push_back({scratch->probe_ptrs.data(),
+                            scratch->probe_ptrs.size(), &scratch->csa,
+                            &cands[q]});
+          }
+          csa_.CollectFromHeapInterleaved(jobs.data(), jobs.size(), count);
+        }
+      },
+      num_threads);
+
+  // Phase 3: dedup the union of live candidate ids across the window and
+  // advise the store once — an mmap-resident base set faults each candidate
+  // page once per window instead of once per query. Each query's live
+  // candidates are then counting-sorted into cache-block-major order
+  // (block = id / rows_per_block over the id space): O(candidates) per
+  // query, and phase 4 reads each (query, block) run straight from the
+  // precomputed offsets instead of binary-searching a sorted id list.
+  const size_t row_bytes = d_ * sizeof(float) > 0 ? d_ * sizeof(float) : 1;
+  const size_t rows_per_block =
+      std::max<size_t>(size_t{1}, (size_t{256} << 10) / row_bytes);
+  const size_t num_blocks = (n_ + rows_per_block - 1) / rows_per_block;
+  std::vector<size_t> offsets(num_queries + 1, 0);
+  for (size_t q = 0; q < num_queries; ++q) {
+    offsets[q + 1] = offsets[q] + cands[q].size();
+  }
+  const size_t total = offsets[num_queries];
+  std::vector<uint8_t> in_union(n_, 0);
+  std::vector<int32_t> union_ids;
+  std::vector<int32_t> blocked_ids(total);    // per query, block-major
+  std::vector<int32_t> blocked_slots(total);  // original slot of blocked_ids[i]
+  std::vector<double> dists(total);
+  // block_off row q: after the place pass, query q's block b run sits at
+  // [b == 0 ? 0 : row[b-1], row[b]) within the query's region; row
+  // [num_blocks] stays the query's live-candidate count.
+  std::vector<int32_t> block_off((num_blocks + 1) * num_queries, 0);
+  for (size_t q = 0; q < num_queries; ++q) {
+    const std::vector<LccsCandidate>& list = cands[q];
+    int32_t* boff = block_off.data() + q * (num_blocks + 1);
+    for (size_t s = 0; s < list.size(); ++s) {
+      const int32_t id = list[s].id;
+      if (deleted != nullptr && deleted[id] != 0) continue;
+      ++boff[static_cast<size_t>(id) / rows_per_block + 1];
+      if (!in_union[static_cast<size_t>(id)]) {
+        in_union[static_cast<size_t>(id)] = 1;
+        union_ids.push_back(id);
+      }
+    }
+    for (size_t b = 1; b <= num_blocks; ++b) boff[b] += boff[b - 1];
+    for (size_t s = 0; s < list.size(); ++s) {
+      const int32_t id = list[s].id;
+      if (deleted != nullptr && deleted[id] != 0) continue;
+      const size_t b = static_cast<size_t>(id) / rows_per_block;
+      const size_t pos = static_cast<size_t>(boff[b]++);
+      blocked_ids[offsets[q] + pos] = id;
+      blocked_slots[offsets[q] + pos] = static_cast<int32_t>(s);
+    }
+  }
+  std::sort(union_ids.begin(), union_ids.end());
+  store_->PrefetchRows(union_ids.data(), union_ids.size());
+
+  // Phase 4: blocked verification gather. Rows are scored block-by-block so
+  // a row shared by several queries in the window is pulled into cache once
+  // and reused; distances land at the candidate's original slot. The SIMD
+  // kernels are bit-identical regardless of row grouping, so this changes
+  // evaluation order only, never values.
+  util::ParallelFor(
+      num_blocks,
+      [&](size_t begin, size_t end) {
+        for (size_t b = begin; b < end; ++b) {
+          for (size_t q = 0; q < num_queries; ++q) {
+            const int32_t* boff = block_off.data() + q * (num_blocks + 1);
+            const size_t s = b == 0 ? 0 : static_cast<size_t>(boff[b - 1]);
+            const size_t e = static_cast<size_t>(boff[b]);
+            if (s == e) continue;
+            util::DistanceScatter(metric_, store_->data(), d_,
+                                  queries + q * d_,
+                                  blocked_ids.data() + offsets[q] + s,
+                                  blocked_slots.data() + offsets[q] + s,
+                                  e - s, dists.data() + offsets[q]);
+          }
+        }
+      },
+      num_threads);
+
+  // Phase 5: replay each query's TopK pushes in the original candidate
+  // order, skipping tombstoned rows — exactly the push sequence
+  // VerifyCandidates would have produced for the per-query path.
+  util::ParallelFor(
+      num_queries,
+      [&](size_t begin, size_t end) {
+        for (size_t q = begin; q < end; ++q) {
+          util::TopK topk(k);
+          const std::vector<LccsCandidate>& list = cands[q];
+          for (size_t s = 0; s < list.size(); ++s) {
+            const int32_t id = list[s].id;
+            if (deleted != nullptr && deleted[id] != 0) continue;
+            topk.Push(id, dists[offsets[q] + s]);
+          }
+          results[q] = topk.Sorted();
+        }
+      },
+      num_threads);
+  return results;
 }
 
 }  // namespace core

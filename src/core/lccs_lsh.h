@@ -45,12 +45,32 @@ class LccsLsh {
   void Build(const float* data, size_t n, size_t d);
 
   /// c-k-ANNS query: verifies (λ + k - 1) candidates from the k-LCCS search
-  /// of H(q) and returns the k nearest by true distance (ascending).
+  /// of H(q) — plus one extra per tombstoned row when a deleted filter is
+  /// installed, so heavy deletion can never starve the answer below k while
+  /// live rows exist — and returns the k nearest by true distance
+  /// (ascending). Dispatches through AppendCandidates, so MpLccsLsh reuses
+  /// this body with its multi-probe candidate generation.
   std::vector<util::Neighbor> Query(const float* query, size_t k,
                                     size_t lambda) const;
 
+  /// Cross-query batched form of Query: answers `num_queries` queries stored
+  /// row-major and contiguously (dim() floats each), bit-identical per row
+  /// to Query. The window is processed in shared passes — one ParallelFor
+  /// hashing sweep, per-thread reusable search scratch for the CSA walks,
+  /// and one deduplicated PrefetchRows + cache-blocked verification gather
+  /// over the union of candidate rows, scattering distances back into each
+  /// query's TopK in its original candidate order (which is what keeps
+  /// tie-breaking, and therefore results, bit-identical).
+  std::vector<std::vector<util::Neighbor>> QueryBatch(const float* queries,
+                                                      size_t num_queries,
+                                                      size_t k, size_t lambda,
+                                                      size_t num_threads = 0)
+      const;
+
   /// Raw LCCS candidates of H(q) without distance verification (exposes the
-  /// k-LCCS search itself; used by tests and diagnostics).
+  /// k-LCCS search itself; used by tests and diagnostics). Deliberately
+  /// non-virtual: `mp.LccsLsh::Candidates(...)` must keep meaning the
+  /// single-probe Algorithm 2 search even on a multi-probe object.
   std::vector<LccsCandidate> Candidates(const float* query,
                                         size_t count) const;
 
@@ -81,11 +101,61 @@ class LccsLsh {
   /// defeat the point — but are dropped during candidate verification, so
   /// they can never appear in a Query result. core::DynamicIndex flips bits
   /// here instead of rebuilding until the next consolidation epoch.
-  void set_deleted_filter(const std::vector<uint8_t>* deleted) {
-    deleted_ = deleted;
-  }
+  ///
+  /// The set bits are counted here, once, and every query over-fetches that
+  /// many extra candidates (the k + removed rule of the snapshot layer):
+  /// a caller that flips bits after installation must re-install the filter
+  /// to refresh the count, or risk verified sets thinning below k again.
+  void set_deleted_filter(const std::vector<uint8_t>* deleted);
+
+  // The user-declared (virtual) destructor would otherwise suppress moves,
+  // and tests build indexes in by-value helper functions.
+  LccsLsh(LccsLsh&&) = default;
+  LccsLsh& operator=(LccsLsh&&) = default;
+  virtual ~LccsLsh() = default;
 
  protected:
+  /// Reusable per-thread candidate-generation workspace. MakeScratch is
+  /// virtual so MpLccsLsh can extend it with probe buffers; one scratch
+  /// serves consecutive queries without reallocating, and must never be
+  /// shared across threads.
+  struct QueryScratch {
+    CircularShiftArray::SearchScratch csa;
+    std::vector<HashValue> hash;  ///< H(q) buffer for the sequential path
+    /// Probe strings feeding the heap, set by PrepareSearch (one entry —
+    /// the unperturbed hash — for the base scheme). Must stay valid until
+    /// the collect phase finishes.
+    std::vector<const HashValue*> probe_ptrs;
+    virtual ~QueryScratch() = default;
+  };
+  virtual std::unique_ptr<QueryScratch> MakeScratch() const;
+
+  /// Everything of the candidate search up to (not including) the heap pop
+  /// loop: begins the scratch, runs the bound cascade (plus, in MpLccsLsh,
+  /// the perturbed probes of Section 4.2), and records the probe string
+  /// pointers in scratch->probe_ptrs. Splitting here lets QueryBatch prepare
+  /// several queries and drain their heaps interleaved
+  /// (CollectFromHeapInterleaved) while the sequential path drains solo —
+  /// both run the identical per-query pop iteration.
+  virtual void PrepareSearch(const float* query, const HashValue* hash,
+                             QueryScratch* scratch) const;
+
+  /// Appends up to `count` LCCS candidates of the query (whose hash string
+  /// `hash` is already computed) to `out`, in the exact order the sequential
+  /// search surfaces them: PrepareSearch followed by a solo CollectFromHeap.
+  /// Both Query and QueryBatch funnel through PrepareSearch, which is what
+  /// makes the batched path identical-by-construction to the sequential one.
+  void AppendCandidates(const float* query, const HashValue* hash,
+                        size_t count, QueryScratch* scratch,
+                        std::vector<LccsCandidate>* out) const;
+
+  /// Candidates fetched per query: λ + k - 1 of the paper plus the count of
+  /// tombstoned rows, so post-filtering can drop every deleted candidate and
+  /// still leave λ + k - 1 live ones.
+  size_t CandidateBudget(size_t k, size_t lambda) const {
+    return lambda + (k > 0 ? k - 1 : 0) + deleted_count_;
+  }
+
   /// Raw tombstone bitmap for verification call sites (nullptr = no filter).
   const uint8_t* deleted_rows() const {
     return deleted_ != nullptr ? deleted_->data() : nullptr;
@@ -98,6 +168,7 @@ class LccsLsh {
   size_t d_ = 0;
   CircularShiftArray csa_;
   const std::vector<uint8_t>* deleted_ = nullptr;  // not owned
+  size_t deleted_count_ = 0;  ///< set bits in *deleted_ at install time
 };
 
 }  // namespace core

@@ -2,10 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <queue>
-#include <unordered_set>
-
-#include "util/simd_distance.h"
 
 namespace lccs {
 namespace core {
@@ -14,137 +10,99 @@ MpLccsLsh::MpLccsLsh(std::unique_ptr<lsh::HashFamily> family,
                      util::Metric metric, ProbeParams params)
     : LccsLsh(std::move(family), metric), params_(params) {}
 
-std::vector<LccsCandidate> MpLccsLsh::Candidates(const float* query,
-                                                 size_t count) const {
-  assert(store_ != nullptr);
+std::unique_ptr<LccsLsh::QueryScratch> MpLccsLsh::MakeScratch() const {
+  return std::make_unique<ProbeScratch>();
+}
+
+void MpLccsLsh::PrepareSearch(const float* query, const HashValue* hash,
+                              QueryScratch* scratch) const {
   const size_t m = family_->num_functions();
   const auto n = static_cast<int32_t>(n_);
+  auto* ps = static_cast<ProbeScratch*>(scratch);
+  const bool multi = params_.num_probes > 1;
+  ps->csa.Begin(n_, m, multi ? m * n_ : 0);
 
-  // Probe 0 is the unperturbed hash string.
-  std::vector<std::vector<HashValue>> probes;
-  probes.emplace_back(m);
-  family_->Hash(query, probes[0].data());
+  // Probe 0 is the unperturbed hash string; the flat buffer is sized for the
+  // full probing budget upfront so pointers into it stay stable.
+  ps->probe_buf.resize(params_.num_probes * m);
+  std::copy(hash, hash + m, ps->probe_buf.data());
+  size_t num_probes = 1;
 
-  std::priority_queue<CircularShiftArray::HeapEntry> pq;
-  auto push_bounds = [&](const CircularShiftArray::ShiftBounds& b,
-                         size_t shift, int32_t probe) {
-    if (b.pos_lo >= 0) {
-      pq.push({b.len_lo, b.pos_lo, static_cast<int32_t>(shift), probe, -1});
-    }
-    if (b.pos_hi < n) {
-      pq.push({b.len_hi, b.pos_hi, static_cast<int32_t>(shift), probe, +1});
-    }
-  };
-
-  // Base λ-LCCS search state: per-shift bounds and matched lengths. The
-  // matched window of shift i is [i, i + reach_i); a later probe only needs
-  // to revisit shift i if it modifies a position inside that window.
-  std::vector<CircularShiftArray::ShiftBounds> state(m);
-  state[0] = csa_.SearchShift(probes[0].data(), 0, 0, n - 1);
-  push_bounds(state[0], 0, 0);
-  for (size_t i = 1; i < m; ++i) {
-    const auto& prev = state[i - 1];
-    if (csa_.use_narrowing() && prev.pos_lo >= 0 && prev.pos_hi < n &&
-        prev.len_lo >= 1 && prev.len_hi >= 1) {
-      const int32_t lo = csa_.NextPosition(i - 1, prev.pos_lo);
-      const int32_t hi = csa_.NextPosition(i - 1, prev.pos_hi);
-      state[i] = (lo <= hi) ? csa_.SearchShift(probes[0].data(), i, lo, hi)
-                            : csa_.SearchShift(probes[0].data(), i, 0, n - 1);
-    } else {
-      state[i] = csa_.SearchShift(probes[0].data(), i, 0, n - 1);
-    }
-    push_bounds(state[i], i, 0);
-  }
-  std::vector<int32_t> reach(m);
+  // Base λ-LCCS search (Algorithm 2 lines 2-11): per-shift bounds and the
+  // seeded heap. The matched window of shift i is [i, i + reach_i); a later
+  // probe only needs to revisit shift i if it modifies a position inside
+  // that window.
+  csa_.SearchBounds(ps->probe_buf.data(), &ps->csa);
+  ps->reach.resize(m);
   for (size_t i = 0; i < m; ++i) {
-    reach[i] = std::max({state[i].len_lo, state[i].len_hi, 1});
+    const CircularShiftArray::ShiftBounds& b = ps->csa.state[i];
+    ps->reach[i] = std::max({b.len_lo, b.len_hi, 1});
   }
 
   // Perturbed probes (Algorithm 3 ordering). Alternatives are computed once
   // per position from the same query.
-  if (params_.num_probes > 1) {
-    std::vector<std::vector<lsh::AltHash>> alts(m);
+  if (multi) {
+    ps->alts.resize(m);
     for (size_t i = 0; i < m; ++i) {
-      family_->Alternatives(i, query, params_.num_alternatives, &alts[i]);
+      family_->Alternatives(i, query, params_.num_alternatives, &ps->alts[i]);
     }
-    PerturbationGenerator gen(&alts, params_.max_gap);
+    PerturbationGenerator gen(&ps->alts, params_.max_gap);
     PerturbationVector delta;
     // The first vector is the empty perturbation — already searched above.
     gen.Next(&delta);
-    std::vector<char> affected(m);
+    ps->affected.resize(m);
     for (size_t t = 1; t < params_.num_probes && gen.Next(&delta); ++t) {
-      std::vector<HashValue> probe = probes[0];
+      HashValue* probe = ps->probe_buf.data() + num_probes * m;
+      std::copy(hash, hash + m, probe);
       for (const Perturbation& p : delta) probe[p.pos] = p.value;
-      const auto probe_idx = static_cast<int32_t>(probes.size());
-      probes.push_back(std::move(probe));
-      const HashValue* ps = probes.back().data();
+      const auto probe_idx = static_cast<int32_t>(num_probes);
+      ++num_probes;
 
       // Skip unaffected positions: re-search shift i only when a modified
       // position lies in its matched window [i, i + reach_i) (circularly).
       if (params_.skip_unaffected) {
-        std::fill(affected.begin(), affected.end(), 0);
+        std::fill(ps->affected.begin(), ps->affected.end(), 0);
         for (const Perturbation& p : delta) {
           for (size_t i = 0; i < m; ++i) {
             const auto offset =
                 static_cast<int32_t>((p.pos - static_cast<int32_t>(i) +
                                       static_cast<int32_t>(m)) %
                                      static_cast<int32_t>(m));
-            if (offset < reach[i]) affected[i] = 1;
+            if (offset < ps->reach[i]) ps->affected[i] = 1;
           }
         }
       } else {
-        std::fill(affected.begin(), affected.end(), 1);
+        std::fill(ps->affected.begin(), ps->affected.end(), 1);
       }
       for (size_t i = 0; i < m; ++i) {
-        if (!affected[i]) continue;
-        const auto b = csa_.SearchShift(ps, i, 0, n - 1);
-        push_bounds(b, i, probe_idx);
+        if (!ps->affected[i]) continue;
+        const auto b = csa_.SearchShift(probe, i, 0, n - 1);
+        csa_.PushBounds(b, i, probe_idx, &ps->csa);
       }
     }
   }
 
-  // Shared candidate extraction: pop in non-increasing LCP order across all
-  // probes, deduplicating ids. Probes overlap heavily in the sorted orders —
-  // the redundancy problem of Example 4.1 — so frontier positions are also
-  // deduplicated: once some probe has expanded (shift, pos), another probe
-  // reaching the same position can only re-offer the same ids and is
-  // dropped. This bounds the pop work per shift by n regardless of #probes.
-  std::vector<LccsCandidate> result;
-  result.reserve(std::min<size_t>(count, n_));
-  std::unordered_set<int32_t> seen;
-  seen.reserve(2 * count);
-  std::unordered_set<uint64_t> visited;
-  visited.reserve(4 * count);
-  while (result.size() < count && !pq.empty()) {
-    const auto e = pq.top();
-    pq.pop();
-    const uint64_t key = static_cast<uint64_t>(e.shift) * n_ +
-                         static_cast<uint64_t>(e.pos);
-    if (!visited.insert(key).second) continue;
-    const int32_t id = csa_.SortedId(e.shift, e.pos);
-    if (seen.insert(id).second) result.push_back({id, e.len});
-    const int32_t npos = e.pos + e.dir;
-    if (npos >= 0 && npos < n) {
-      pq.push({csa_.Lcp(csa_.SortedId(e.shift, npos), probes[e.probe].data(),
-                        e.shift),
-               npos, e.shift, e.probe, e.dir});
-    }
+  // Candidate extraction (CollectFromHeap, run by the caller) is shared
+  // across all probes: it pops in non-increasing LCP order, deduplicating
+  // both ids and — because probes overlap heavily in the sorted orders (the
+  // redundancy problem of Example 4.1) — frontier positions, which bounds
+  // the pop work per shift by n regardless of the number of probes.
+  ps->probe_ptrs.resize(num_probes);
+  for (size_t t = 0; t < num_probes; ++t) {
+    ps->probe_ptrs[t] = ps->probe_buf.data() + t * m;
   }
-  return result;
 }
 
-std::vector<util::Neighbor> MpLccsLsh::Query(const float* query, size_t k,
-                                             size_t lambda) const {
-  const size_t count = lambda + (k > 0 ? k - 1 : 0);
-  const std::vector<LccsCandidate> candidates = Candidates(query, count);
-  std::vector<int32_t> ids;
-  ids.reserve(candidates.size());
-  for (const LccsCandidate& c : candidates) ids.push_back(c.id);
-  store_->PrefetchRows(ids.data(), ids.size());
-  util::TopK topk(k);
-  util::VerifyCandidates(metric_, store_->data(), d_, query, ids.data(),
-                         ids.size(), topk, /*first_id=*/0, deleted_rows());
-  return topk.Sorted();
+std::vector<LccsCandidate> MpLccsLsh::Candidates(const float* query,
+                                                 size_t count) const {
+  assert(store_ != nullptr);
+  std::vector<HashValue> hq(family_->num_functions());
+  family_->Hash(query, hq.data());
+  const std::unique_ptr<QueryScratch> scratch = MakeScratch();
+  std::vector<LccsCandidate> out;
+  out.reserve(std::min<size_t>(count, n_));
+  AppendCandidates(query, hq.data(), count, scratch.get(), &out);
+  return out;
 }
 
 }  // namespace core

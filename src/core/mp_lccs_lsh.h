@@ -43,14 +43,34 @@ class MpLccsLsh : public LccsLsh {
   const ProbeParams& probe_params() const { return params_; }
   void set_probe_params(const ProbeParams& params) { params_ = params; }
 
-  /// Multi-probe c-k-ANNS: verifies (λ + k - 1) distinct candidates drawn
-  /// from up to num_probes perturbed hash strings.
-  std::vector<util::Neighbor> Query(const float* query, size_t k,
-                                    size_t lambda) const;
-
-  /// Raw candidates across the probing sequence (no verification).
+  /// Raw candidates across the probing sequence (no verification). Query and
+  /// QueryBatch are inherited from LccsLsh: both dispatch through the
+  /// PrepareSearch override below, so the multi-probe scheme gets the
+  /// batched engine (shared hashing pass, interleaved heap drain,
+  /// deduplicated gather) for free.
   std::vector<LccsCandidate> Candidates(const float* query,
                                         size_t count) const;
+
+ protected:
+  /// Extends the base scratch with the multi-probe buffers: perturbed hash
+  /// strings live in one flat (num_probes x m) buffer so probe pointers stay
+  /// stable, and the alternatives / reach / affected arrays are reused
+  /// across the queries served by one scratch.
+  struct ProbeScratch : QueryScratch {
+    std::vector<HashValue> probe_buf;             ///< flat probe strings
+    std::vector<std::vector<lsh::AltHash>> alts;  ///< per-position alts
+    std::vector<int32_t> reach;                   ///< matched window lengths
+    std::vector<char> affected;                   ///< shifts to re-search
+  };
+  std::unique_ptr<QueryScratch> MakeScratch() const override;
+
+  /// The multi-probe search of Section 4.2: base cascade via
+  /// CircularShiftArray::SearchShiftFrom, perturbed probes re-searching only
+  /// affected shifts, all feeding one shared heap (drained by the caller
+  /// with cross-probe frontier-position dedup; probe_ptrs point into the
+  /// scratch's flat probe buffer).
+  void PrepareSearch(const float* query, const HashValue* hash,
+                     QueryScratch* scratch) const override;
 
  private:
   ProbeParams params_;

@@ -54,9 +54,15 @@ std::vector<util::Neighbor> Snapshot::QueryDelta(const float* query,
       cand.push_back(static_cast<int32_t>(s));
     }
   }
+  return QueryDelta(query, k, cand);
+}
+
+std::vector<util::Neighbor> Snapshot::QueryDelta(
+    const float* query, size_t k, const std::vector<int32_t>& live) const {
+  if (live.empty() || k == 0) return {};
   util::TopK topk(k);
   util::VerifyCandidates(metric_, delta_->rows.get(), dim_, query,
-                         cand.data(), cand.size(), topk);
+                         live.data(), live.size(), topk);
   std::vector<util::Neighbor> result = topk.Sorted();
   // Slot -> global id, again monotone.
   for (util::Neighbor& nb : result) nb.id = delta_->ids[nb.id];
@@ -96,12 +102,27 @@ std::vector<std::vector<util::Neighbor>> Snapshot::QueryBatch(
     stat = epoch_->index->QueryBatch(queries, num_queries,
                                      k + epoch_overfetch_, num_threads);
   }
+  // Hoist the live-delta-slot gather out of the per-query loop: the stamps
+  // visible at a pinned version are immutable, so one scan serves the whole
+  // window instead of num_queries scans over delta_len_ atomics.
+  std::vector<int32_t> live;
+  if (delta_len_ > 0) {
+    live.reserve(delta_len_);
+    for (size_t s = 0; s < delta_len_; ++s) {
+      const uint64_t stamp =
+          delta_->deleted_at[s].load(std::memory_order_relaxed);
+      if (stamp == 0 || stamp > version_) {
+        live.push_back(static_cast<int32_t>(s));
+      }
+    }
+  }
   util::ParallelFor(
       num_queries,
       [&](size_t begin, size_t end) {
         for (size_t q = begin; q < end; ++q) {
           std::vector<util::Neighbor> part = FilterEpoch(std::move(stat[q]), k);
-          std::vector<util::Neighbor> delta = QueryDelta(queries + q * dim_, k);
+          std::vector<util::Neighbor> delta =
+              QueryDelta(queries + q * dim_, k, live);
           auto& merged = results[q];
           merged.reserve(std::min(k, part.size() + delta.size()));
           std::merge(part.begin(), part.end(), delta.begin(), delta.end(),

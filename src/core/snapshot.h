@@ -101,6 +101,13 @@ class Snapshot {
                                           size_t k) const;
   /// Brute-force top-k over the live pinned delta prefix, global ids.
   std::vector<util::Neighbor> QueryDelta(const float* query, size_t k) const;
+  /// Same, over a precomputed live-slot list — QueryBatch gathers the slots
+  /// surviving at version() once and reuses them for every query in the
+  /// window (the stamps cannot change retroactively for a pinned version,
+  /// so the list is identical to what each per-query gather would build).
+  std::vector<util::Neighbor> QueryDelta(const float* query, size_t k,
+                                         const std::vector<int32_t>& live)
+      const;
 
   std::shared_ptr<const EpochState> epoch_;
   std::shared_ptr<const DeltaBuffer> delta_;

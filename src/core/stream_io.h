@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <stdexcept>
 #include <string>
@@ -42,6 +43,28 @@ void ReadVec(std::istream& in, std::vector<T>* v, uint64_t size,
   v->resize(size);
   in.read(reinterpret_cast<char*>(v->data()), size * sizeof(T));
   if (!in) throw std::runtime_error(std::string("truncated ") + what);
+}
+
+/// Bytes left between the current position and the end of the stream, or
+/// UINT64_MAX when the stream is not seekable. Header-derived allocations
+/// are capped by this, so a corrupt header that passes the range checks
+/// still cannot drive a resize beyond what the stream could possibly back,
+/// surfacing as a corrupt-stream runtime_error instead of bad_alloc. The
+/// read position is restored before returning.
+inline uint64_t RemainingBytes(std::istream& in) {
+  const std::istream::pos_type pos = in.tellg();
+  if (pos == std::istream::pos_type(-1)) {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in.tellg();
+  in.seekg(pos);
+  if (!in || end == std::istream::pos_type(-1) || end < pos) {
+    in.clear();
+    in.seekg(pos);
+    return std::numeric_limits<uint64_t>::max();
+  }
+  return static_cast<uint64_t>(end - pos);
 }
 
 /// Reads a WriteVec-prefixed array, rejecting counts above `max_size` so a

@@ -462,6 +462,28 @@ void DistanceMany(Metric metric, const float* data, size_t d,
   }
 }
 
+void DistanceScatter(Metric metric, const float* data, size_t d,
+                     const float* query, const int32_t* ids,
+                     const int32_t* slots, size_t n, double* out) {
+  if (n == 0) return;
+  const double qnorm2 = QueryNorm2(metric, query, d);
+  const float* rows[kGroup];
+  double dist[kGroup];
+  for (size_t i = 0; i < n; i += kGroup) {
+    const size_t g = std::min(kGroup, n - i);
+    for (size_t r = 0; r < g; ++r) {
+      rows[r] = data + static_cast<size_t>(ids[i + r]) * d;
+    }
+    for (size_t r = 0; r < kGroup && i + g + r < n; ++r) {
+      PrefetchRow(data + static_cast<size_t>(ids[i + g + r]) * d, d);
+    }
+    DistanceGroup(metric, rows, g, query, d, qnorm2, dist);
+    for (size_t r = 0; r < g; ++r) {
+      out[slots[i + r]] = dist[r];
+    }
+  }
+}
+
 void VerifyCandidates(Metric metric, const float* data, size_t d,
                       const float* query, const int32_t* ids, size_t n,
                       TopK& topk, int32_t first_id, const uint8_t* deleted) {

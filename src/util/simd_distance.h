@@ -52,6 +52,17 @@ void DistanceMany(Metric metric, const float* data, size_t d,
                   const float* query, const int32_t* ids, size_t n,
                   double* out, int32_t first_id = 0);
 
+/// Scatter-form DistanceMany for the cross-query batch engine: scores the
+/// `n` rows `ids[i]` against `query` and writes each distance to
+/// out[slots[i]] instead of out[i]. `ids` may be any subsequence of a
+/// query's candidate list (the batch engine walks candidates in row-id
+/// blocks), and because every distance is bit-identical to a standalone
+/// util::Distance call, the scattered values are exactly what DistanceMany
+/// would have produced at those slots in any other order.
+void DistanceScatter(Metric metric, const float* data, size_t d,
+                     const float* query, const int32_t* ids,
+                     const int32_t* slots, size_t n, double* out);
+
 /// Batched candidate verification: scores candidates as DistanceMany and
 /// pushes (id, distance) into `topk` in candidate order — drop-in for the
 /// per-candidate Push loops that previously dominated query time.

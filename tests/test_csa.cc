@@ -1,7 +1,11 @@
 #include "core/csa.h"
 
 #include <algorithm>
+#include <cstring>
 #include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -284,6 +288,100 @@ TEST(CsaSearchTest, StateHasOneEntryPerShift) {
   EXPECT_EQ(state.size(), m);
   for (const auto& b : state) {
     EXPECT_EQ(b.pos_hi, b.pos_lo + 1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Corrupt-stream hardening of Deserialize: a flipped header must always
+// surface as std::runtime_error — never as std::bad_alloc or an OOM kill —
+// because the header-derived allocations are capped by what the stream can
+// still back (and n*m overflow is checked before any multiply is trusted).
+// Layout: 8-byte magic "LCCSCSA1", uint64 n at byte 8, uint64 m at byte 16.
+
+std::string SerializedCsa(size_t n, size_t m) {
+  const auto data = RandomStrings(n, m, 4, 99);
+  CircularShiftArray csa;
+  csa.Build(data.data(), n, m);
+  std::ostringstream out(std::ios::binary);
+  csa.Serialize(out);
+  return out.str();
+}
+
+void OverwriteU64(std::string* bytes, size_t offset, uint64_t value) {
+  ASSERT_GE(bytes->size(), offset + sizeof(value));
+  std::memcpy(&(*bytes)[offset], &value, sizeof(value));
+}
+
+TEST(CsaDeserializeTest, HugeRowCountThrowsRuntimeError) {
+  std::string bytes = SerializedCsa(12, 6);
+  // n = 2^32 passes no plausibility test a 100-byte stream could satisfy;
+  // before the budget check this drove a ~48 GiB resize.
+  OverwriteU64(&bytes, 8, uint64_t{1} << 32);
+  std::istringstream in(bytes, std::ios::binary);
+  EXPECT_THROW(CircularShiftArray::Deserialize(in), std::runtime_error);
+}
+
+TEST(CsaDeserializeTest, OverflowingProductThrowsRuntimeError) {
+  std::string bytes = SerializedCsa(12, 6);
+  // n * m wraps uint64: n just under the int32 cap, m = 2^40.
+  OverwriteU64(&bytes, 8, uint64_t{0x7FFFFFFF});
+  OverwriteU64(&bytes, 16, uint64_t{1} << 40);
+  std::istringstream in(bytes, std::ios::binary);
+  EXPECT_THROW(CircularShiftArray::Deserialize(in), std::runtime_error);
+}
+
+TEST(CsaDeserializeTest, StringLengthAbovePackedKeyCapThrowsRuntimeError) {
+  std::string bytes = SerializedCsa(12, 6);
+  // m = 4096 exceeds the 12-bit shift field of the packed heap key; a
+  // stream claiming it must be rejected up front, not trip the Build-side
+  // assert (or silently fold shifts together in Release).
+  OverwriteU64(&bytes, 16, uint64_t{4096});
+  std::istringstream in(bytes, std::ios::binary);
+  EXPECT_THROW(CircularShiftArray::Deserialize(in), std::runtime_error);
+}
+
+TEST(CsaDeserializeTest, RangeLegalHeaderBeyondStreamThrowsRuntimeError) {
+  std::string bytes = SerializedCsa(12, 6);
+  // Both fields individually plausible (fit int32, product doesn't wrap),
+  // but the arrays they describe need ~48 GiB the stream cannot back.
+  OverwriteU64(&bytes, 8, uint64_t{1} << 31);
+  OverwriteU64(&bytes, 16, uint64_t{2048});
+  std::istringstream in(bytes, std::ios::binary);
+  try {
+    CircularShiftArray::Deserialize(in);
+    FAIL() << "corrupt header was accepted";
+  } catch (const std::runtime_error&) {
+  } catch (const std::bad_alloc&) {
+    FAIL() << "corrupt header surfaced as bad_alloc";
+  }
+}
+
+TEST(CsaDeserializeTest, TruncatedArrayThrowsRuntimeError) {
+  std::string bytes = SerializedCsa(12, 6);
+  // Cut inside the first length-prefixed array (magic + n + m + count = 32
+  // bytes, then data_ payload).
+  bytes.resize(48);
+  std::istringstream in(bytes, std::ios::binary);
+  EXPECT_THROW(CircularShiftArray::Deserialize(in), std::runtime_error);
+}
+
+TEST(CsaDeserializeTest, RoundTripStillWorks) {
+  const size_t n = 12, m = 6;
+  const auto data = RandomStrings(n, m, 4, 99);
+  CircularShiftArray csa;
+  csa.Build(data.data(), n, m);
+  std::string bytes = SerializedCsa(n, m);
+  std::istringstream in(bytes, std::ios::binary);
+  const CircularShiftArray restored = CircularShiftArray::Deserialize(in);
+  ASSERT_EQ(restored.n(), n);
+  ASSERT_EQ(restored.m(), m);
+  const std::vector<HashValue> q(m, 1);
+  const auto a = csa.Search(q.data(), 8);
+  const auto b = restored.Search(q.data(), 8);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].len, b[i].len);
   }
 }
 

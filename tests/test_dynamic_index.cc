@@ -17,8 +17,10 @@
 // On failure the harness shrinks the sequence (greedy op removal while the
 // failure reproduces) and reports the minimal op list.
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <future>
 #include <memory>
 #include <optional>
@@ -31,10 +33,12 @@
 #include "baselines/lccs_adapter.h"
 #include "baselines/linear_scan.h"
 #include "core/dynamic_index.h"
+#include "core/serialize.h"
 #include "dataset/synthetic.h"
 #include "eval/runner.h"
 #include "eval/workloads.h"
 #include "util/random.h"
+#include "util/simd_distance.h"
 
 namespace lccs {
 namespace core {
@@ -501,6 +505,77 @@ TEST(DynamicOracleEquivalence, ApproximateModeInvariants) {
   }
   const double recall = eval::DynamicRecall(index, data.queries, 10);
   EXPECT_GT(recall, 0.5) << "approximate recall collapsed after mutations";
+}
+
+// Regression for the tombstone under-fetch bug: the wrapped scheme fetched
+// λ + k - 1 candidates and *then* dropped tombstoned rows, so with enough
+// base tombstones the verified set thinned below k while live rows existed.
+// A save/load round trip is the cleanest reproduction — LoadDynamicIndex
+// collapses every stamp into the base bitmap the scheme itself filters.
+// With the fix, the per-query budget grows by the tombstone count, making
+// the search exhaustive here (budget ≥ n), so the answer must equal the
+// brute-force k-NN over the survivors exactly — ids and bit-identical
+// distances.
+TEST(DynamicIndexTest, DeleteHeavyEpochStillReturnsKAfterReload) {
+  baselines::LccsLshIndex::Params lccs;
+  lccs.m = 16;
+  lccs.lambda = 100;
+  lccs.w = 4.0;
+  DynamicIndex::Options options;
+  options.dim = kDim;
+  options.rebuild_threshold = 1 << 20;  // no consolidation mid-test
+  options.background_rebuild = false;
+  DynamicIndex index(
+      [lccs] { return std::make_unique<baselines::LccsLshIndex>(lccs); },
+      options);
+
+  dataset::SyntheticConfig synth;
+  synth.n = 400;
+  synth.num_queries = 12;
+  synth.dim = kDim;
+  synth.num_clusters = 6;
+  synth.center_scale = 16.0;
+  synth.cluster_stddev = 1.0;
+  synth.seed = 21;
+  const auto data = dataset::GenerateClustered(synth);
+  index.Build(data);
+
+  // Tombstone 3 of every 4 rows: 300 dead, 100 live — far more dead rows
+  // than the λ + k - 1 = 109 candidates the old budget fetched.
+  for (int32_t id = 0; id < static_cast<int32_t>(synth.n); ++id) {
+    if (id % 4 != 0) {
+      ASSERT_TRUE(index.Remove(id));
+    }
+  }
+  ASSERT_EQ(index.live_count(), 100u);
+
+  const std::string path =
+      testing::TempDir() + "/lccs_delete_heavy_reload.lccs";
+  SaveDynamicIndex(path, lccs, index);
+  const auto loaded = LoadDynamicIndex(path, options);
+  ASSERT_EQ(loaded->live_count(), 100u);
+
+  const size_t k = 10;
+  for (size_t q = 0; q < data.num_queries(); ++q) {
+    const float* query = data.queries.Row(q);
+    // Brute-force oracle over the survivors, same distance kernels.
+    std::vector<util::Neighbor> oracle;
+    for (int32_t id = 0; id < static_cast<int32_t>(synth.n); id += 4) {
+      oracle.push_back(
+          {id, util::Distance(data.metric, data.data.Row(id), query, kDim)});
+    }
+    std::sort(oracle.begin(), oracle.end());
+    oracle.resize(k);
+
+    const auto result = loaded->Query(query, k);
+    ASSERT_EQ(result.size(), k) << "under-fetch starved query " << q;
+    for (size_t i = 0; i < k; ++i) {
+      EXPECT_EQ(result[i].id, oracle[i].id) << "query " << q << " rank " << i;
+      EXPECT_EQ(result[i].dist, oracle[i].dist)
+          << "query " << q << " rank " << i;
+    }
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,6 +1,6 @@
 // Serving-engine throughput: QPS + latency percentiles of serve::Server
-// over a ShardedIndex, under three load models (LCCS_BENCH_MODES, default
-// "closed,open,wal"):
+// over a ShardedIndex, under four load models (LCCS_BENCH_MODES, default
+// "closed,open,wal,replication"):
 //
 //   * closed — each client submits, waits, resubmits. Compares the
 //     unbatched single-request path (max_batch = 1: every query is its own
@@ -22,6 +22,15 @@
 //     group-commit claim checkable from the JSON artifact alone:
 //     group_commit should hold >= 80% of the no-WAL mutation rate while
 //     every_record pays an fsync per mutation.
+//   * replication — the price of followers: the same mutation-heavy
+//     closed-loop mix against a group-commit WAL primary with N
+//     serve::Replica followers tailing its serve::LogShipper over
+//     localhost TCP (N swept over LCCS_BENCH_FOLLOWERS, default "0,1,2").
+//     Shipping is asynchronous — acks wait only for local durability — so
+//     primary QPS should be near-flat in N; follower lag at the moment
+//     load stops (records + bytes, from the stream's heartbeats) and
+//     whether every follower caught up within a grace period are the
+//     observable cost.
 //
 // Results are written to a JSON file (argv[1], default
 // BENCH_serve_throughput.json) whose context block records num_cpus /
@@ -31,12 +40,14 @@
 // Knobs: LCCS_BENCH_N (base points), LCCS_BENCH_SHARDS, LCCS_BENCH_CLIENTS,
 // LCCS_BENCH_REQUESTS (per client), LCCS_BENCH_DATASETS (first entry used),
 // LCCS_BENCH_THREADS, LCCS_BENCH_WINDOW_US, LCCS_BENCH_MODES,
-// LCCS_BENCH_OFFERED_QPS.
+// LCCS_BENCH_OFFERED_QPS, LCCS_BENCH_FOLLOWERS.
 
 #include <dirent.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <stdexcept>
@@ -47,6 +58,7 @@
 #include "baselines/linear_scan.h"
 #include "bench_common.h"
 #include "eval/serve_workload.h"
+#include "serve/replication.h"
 #include "serve/server.h"
 #include "serve/sharded_index.h"
 
@@ -56,14 +68,35 @@ namespace {
 
 struct Row {
   std::string method;
-  std::string mode;  ///< "closed", "open" or "wal"
+  std::string mode;  ///< "closed", "open", "wal" or "replication"
   size_t max_batch = 1;
   double mutation_fraction = 0.0;
   double offered_qps = 0.0;          ///< open loop only
   std::string wal_policy = "off";    ///< fsync policy ("off" = no WAL)
   serve::Server::Stats stats;        ///< durability counters (wal mode)
   eval::ServeWorkloadReport report;
+  // Replication mode only: followers attached and their lag when the
+  // offered load stopped (worst follower; bytes come from heartbeats).
+  size_t followers = 0;
+  uint64_t follower_lag_records = 0;
+  uint64_t follower_lag_bytes = 0;
+  bool follower_caught_up = true;  ///< all followers drained within grace
 };
+
+void RemoveDirTree(const std::string& dir) {
+  if (dir.empty()) return;
+  DIR* d = ::opendir(dir.c_str());
+  if (d != nullptr) {
+    for (struct dirent* e = ::readdir(d); e != nullptr; e = ::readdir(d)) {
+      if (std::strcmp(e->d_name, ".") != 0 &&
+          std::strcmp(e->d_name, "..") != 0) {
+        std::remove((dir + "/" + e->d_name).c_str());
+      }
+    }
+    ::closedir(d);
+  }
+  ::rmdir(dir.c_str());
+}
 
 double MutationsPerSecond(const eval::ServeWorkloadReport& report) {
   return report.seconds > 0.0
@@ -174,19 +207,93 @@ Row RunWalConfig(const std::string& method,
     server.Stop();
   }
   wal.reset();
-  if (!wal_dir.empty()) {
-    DIR* d = ::opendir(wal_dir.c_str());
-    if (d != nullptr) {
-      for (struct dirent* e = ::readdir(d); e != nullptr; e = ::readdir(d)) {
-        if (std::strcmp(e->d_name, ".") != 0 &&
-            std::strcmp(e->d_name, "..") != 0) {
-          std::remove((wal_dir + "/" + e->d_name).c_str());
-        }
-      }
-      ::closedir(d);
-    }
-    ::rmdir(wal_dir.c_str());
+  RemoveDirTree(wal_dir);
+  return row;
+}
+
+/// Mutation-heavy closed loop against a group-commit WAL primary with
+/// `num_followers` replicas tailing its log shipper.
+Row RunReplicationConfig(const std::string& method,
+                         const core::DynamicIndex::Factory& factory,
+                         const dataset::Dataset& data, size_t num_shards,
+                         size_t num_clients, size_t requests,
+                         size_t num_threads, size_t num_followers) {
+  serve::ShardedIndex::Options index_options;
+  index_options.num_shards = num_shards;
+  index_options.rebuild_threshold = 1024;
+  serve::ShardedIndex index(factory, index_options);
+  index.Build(data);
+
+  char tmpl[] = "/tmp/lccs_bench_repl_XXXXXX";
+  if (::mkdtemp(tmpl) == nullptr) {
+    throw std::runtime_error("mkdtemp failed for the replication bench");
   }
+  const std::string wal_dir = tmpl;
+  serve::WriteAheadLog::Options wal_options;
+  wal_options.fsync_policy = serve::WriteAheadLog::FsyncPolicy::kGroupCommit;
+  serve::WriteAheadLog wal(wal_dir, wal_options);
+  wal.Recover(&index);
+
+  serve::LogShipper shipper(&index, &wal, serve::LogShipper::Options{});
+  shipper.Start();
+  std::vector<std::unique_ptr<serve::Replica>> replicas;
+  for (size_t i = 0; i < num_followers; ++i) {
+    serve::Replica::Options replica_options;
+    replica_options.factory = factory;
+    replica_options.num_shards = num_shards;
+    replicas.push_back(std::make_unique<serve::Replica>(
+        "127.0.0.1", shipper.port(), replica_options));
+    replicas.back()->Start();
+  }
+
+  serve::Server::Options server_options;
+  server_options.max_batch = 64;
+  server_options.max_delay_us = eval::EnvSize("LCCS_BENCH_WINDOW_US", 20000);
+  server_options.num_threads = num_threads;
+  server_options.wal = &wal;
+  server_options.checkpoint_every = 0;  // GC would force re-bootstraps
+  server_options.shipper = &shipper;
+
+  Row row;
+  row.method = method;
+  row.mode = "replication";
+  row.max_batch = 64;
+  row.mutation_fraction = 0.7;
+  row.wal_policy = "group_commit";
+  row.followers = num_followers;
+  {
+    serve::Server server(&index, server_options);
+    eval::ServeWorkloadOptions workload;
+    workload.num_clients = num_clients;
+    workload.requests_per_client = requests;
+    workload.insert_fraction = 0.5;
+    workload.remove_fraction = 0.2;
+    workload.k = 10;
+    workload.seed = 17;
+    row.report = eval::RunServeWorkload(server, data.queries, workload);
+    // Lag at the instant the offered load stops, before any drain.
+    const uint64_t head = index.state_version();
+    for (const auto& replica : replicas) {
+      const serve::Replica::Progress progress = replica->progress();
+      row.follower_lag_records =
+          std::max(row.follower_lag_records,
+                   head > progress.applied_version
+                       ? head - progress.applied_version
+                       : 0);
+      row.follower_lag_bytes =
+          std::max(row.follower_lag_bytes, progress.lag_bytes);
+    }
+    for (const auto& replica : replicas) {
+      row.follower_caught_up =
+          row.follower_caught_up &&
+          replica->WaitForVersion(head, 10u * 1000 * 1000);
+    }
+    row.stats = server.stats();
+    server.Stop();
+  }
+  for (auto& replica : replicas) replica->Stop();
+  shipper.Stop();
+  RemoveDirTree(wal_dir);
   return row;
 }
 
@@ -202,7 +309,9 @@ int Run(int argc, char** argv) {
   const size_t requests = eval::EnvSize("LCCS_BENCH_REQUESTS", 48);
   const size_t num_threads = eval::EnvSize("LCCS_BENCH_THREADS", 0);
   const std::vector<std::string> modes =
-      EnvList("LCCS_BENCH_MODES", {"closed", "open", "wal"});
+      EnvList("LCCS_BENCH_MODES", {"closed", "open", "wal", "replication"});
+  const std::vector<std::string> follower_counts =
+      EnvList("LCCS_BENCH_FOLLOWERS", {"0", "1", "2"});
   const double offered_qps = static_cast<double>(
       eval::EnvSize("LCCS_BENCH_OFFERED_QPS", 5000));
   const std::string dataset_name = DatasetNames().front();
@@ -270,6 +379,15 @@ int Run(int argc, char** argv) {
                                       num_clients, requests, num_threads,
                                       policy));
         }
+      } else if (mode == "replication") {
+        // Follower sweep: like the durability sweep, the shipper cost is
+        // index-independent, so one method answers the question.
+        if (method != methods.front().first) continue;
+        for (const std::string& count : follower_counts) {
+          rows.push_back(RunReplicationConfig(
+              method, factory, data, num_shards, num_clients, requests,
+              num_threads, std::strtoull(count.c_str(), nullptr, 10)));
+        }
       } else {
         std::fprintf(stderr, "unknown LCCS_BENCH_MODES entry '%s'\n",
                      mode.c_str());
@@ -333,6 +451,24 @@ int Run(int argc, char** argv) {
                 no_wal_mut > 0.0 ? group_commit_mut / no_wal_mut : 0.0);
   }
 
+  bool any_repl = false;
+  util::Table repl_table({"method", "followers", "qps", "mut_per_sec",
+                          "shipped", "lag_records", "lag_KB", "caught_up"});
+  for (const Row& row : rows) {
+    if (row.mode != "replication") continue;
+    any_repl = true;
+    repl_table.AddRow(
+        {row.method, std::to_string(row.followers),
+         util::FormatDouble(row.report.qps, 0),
+         util::FormatDouble(MutationsPerSecond(row.report), 0),
+         std::to_string(row.stats.records_shipped),
+         std::to_string(row.follower_lag_records),
+         util::FormatDouble(
+             static_cast<double>(row.follower_lag_bytes) / 1024.0, 1),
+         row.follower_caught_up ? "yes" : "NO"});
+  }
+  if (any_repl) std::printf("%s\n", repl_table.ToString().c_str());
+
   FILE* out = std::fopen(out_path, "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", out_path);
@@ -356,7 +492,10 @@ int Run(int argc, char** argv) {
         "\"queries\": %zu, \"inserts\": %zu, \"removes\": %zu, "
         "\"shed\": %zu, \"wal_policy\": \"%s\", \"mut_per_sec\": %.1f, "
         "\"wal_fsyncs\": %llu, \"wal_records\": %llu, \"wal_bytes\": %llu, "
-        "\"checkpoints\": %llu, \"recovery_replayed\": %llu}%s\n",
+        "\"checkpoints\": %llu, \"recovery_replayed\": %llu, "
+        "\"followers\": %zu, \"records_shipped\": %llu, "
+        "\"follower_lag_records\": %llu, \"follower_lag_bytes\": %llu, "
+        "\"follower_caught_up\": %s}%s\n",
         row.method.c_str(), row.mode.c_str(), row.max_batch,
         row.mutation_fraction, row.offered_qps, row.report.qps,
         row.report.mean_batch, row.report.p50_us, row.report.p95_us,
@@ -368,6 +507,11 @@ int Run(int argc, char** argv) {
         static_cast<unsigned long long>(row.stats.wal_bytes),
         static_cast<unsigned long long>(row.stats.checkpoints),
         static_cast<unsigned long long>(row.stats.recovery_replayed),
+        row.followers,
+        static_cast<unsigned long long>(row.stats.records_shipped),
+        static_cast<unsigned long long>(row.follower_lag_records),
+        static_cast<unsigned long long>(row.follower_lag_bytes),
+        row.follower_caught_up ? "true" : "false",
         i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");

@@ -15,8 +15,14 @@
 //
 //   lccs_tool wal-dump <wal_dir>
 //       Inspects a serve::WriteAheadLog directory: checkpoints, segments,
-//       per-segment record ranges, and the exact byte offset of any torn
-//       or corrupt suffix — what you reach for before trusting a recovery.
+//       per-segment record ranges, quarantined .orphan segments, and the
+//       exact byte offset of any torn or corrupt suffix — what you reach
+//       for before trusting a recovery.
+//
+//   lccs_tool replica <host> <port> [shards=2] [seconds=10]
+//       Attaches a read-only serve::Replica to a running primary's
+//       serve::LogShipper, tails its WAL stream and prints replication
+//       lag once a second — a live follower in one command.
 //
 //   lccs_tool demo
 //       Self-contained round trip on synthetic data (no files needed).
@@ -26,16 +32,21 @@
 // storage::MmapStore (validated header + checksum) instead of being loaded
 // into RAM — the way to run paper-scale bases on small machines.
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <stdexcept>
 #include <string>
 
+#include "baselines/linear_scan.h"
 #include "core/serialize.h"
 #include "dataset/io.h"
 #include "dataset/synthetic.h"
 #include "eval/workloads.h"
+#include "serve/replication.h"
 #include "serve/wal.h"
 #include "storage/mmap_store.h"
 #include "util/timer.h"
@@ -53,6 +64,7 @@ int Usage() {
                "<queries.fvecs> [k=10] [lambda=200]\n"
                "  lccs_tool convert <in.fvecs|in.bvecs> <out.flat>\n"
                "  lccs_tool wal-dump <wal_dir>\n"
+               "  lccs_tool replica <host> <port> [shards=2] [seconds=10]\n"
                "  lccs_tool demo\n");
   return 2;
 }
@@ -236,6 +248,15 @@ int WalDump(int argc, char** argv) {
     }
     expected_next = scan.last_version + 1;
   }
+  const auto orphans = serve::WriteAheadLog::ListOrphans(dir);
+  if (!orphans.empty()) {
+    std::printf("%zu quarantined orphan segment(s) — stranded past a "
+                "recovery hole, kept for salvage:\n",
+                orphans.size());
+    for (const auto& orphan : orphans) {
+      std::printf("  %s\n", orphan.c_str());
+    }
+  }
   if (!segments.empty() || !checkpoints.empty()) {
     const uint64_t checkpoint_version =
         checkpoints.empty() ? 0 : checkpoints.back().version;
@@ -246,6 +267,48 @@ int WalDump(int argc, char** argv) {
                     expected_next > 0 ? expected_next - 1
                                       : checkpoint_version));
   }
+  return 0;
+}
+
+int ReplicaCmd(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const std::string host = argv[2];
+  const uint16_t port =
+      static_cast<uint16_t>(std::strtoul(argv[3], nullptr, 10));
+  const size_t shards = argc > 4 ? std::strtoul(argv[4], nullptr, 10) : 2;
+  const size_t seconds = argc > 5 ? std::strtoul(argv[5], nullptr, 10) : 10;
+
+  serve::Replica::Options options;
+  options.factory = [] { return std::make_unique<baselines::LinearScan>(); };
+  options.num_shards = shards;
+  serve::Replica replica(host, port, options);
+  replica.Start();
+  std::printf("tailing %s:%u (%zu shards) for %zu s ...\n", host.c_str(),
+              port, shards, seconds);
+  for (size_t s = 0; s < seconds; ++s) {
+    ::sleep(1);
+    const serve::Replica::Progress p = replica.progress();
+    if (!p.error.empty()) {
+      std::fprintf(stderr, "replica poisoned: %s\n", p.error.c_str());
+      return 1;
+    }
+    std::printf("  applied %llu / primary %llu (lag %llu records, %llu "
+                "bytes), %llu applied lifetime, %llu bootstrap(s), "
+                "%llu reconnect(s)%s\n",
+                static_cast<unsigned long long>(p.applied_version),
+                static_cast<unsigned long long>(p.primary_version),
+                static_cast<unsigned long long>(p.lag_records),
+                static_cast<unsigned long long>(p.lag_bytes),
+                static_cast<unsigned long long>(p.records_applied),
+                static_cast<unsigned long long>(p.bootstraps),
+                static_cast<unsigned long long>(p.reconnects),
+                p.connected ? "" : " [disconnected]");
+  }
+  replica.Stop();
+  const serve::Replica::Progress p = replica.progress();
+  std::printf("final state: version %llu, %zu live rows\n",
+              static_cast<unsigned long long>(p.applied_version),
+              replica.index()->live_count());
   return 0;
 }
 
@@ -281,6 +344,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], "query") == 0) return QueryCmd(argc, argv);
     if (std::strcmp(argv[1], "convert") == 0) return Convert(argc, argv);
     if (std::strcmp(argv[1], "wal-dump") == 0) return WalDump(argc, argv);
+    if (std::strcmp(argv[1], "replica") == 0) return ReplicaCmd(argc, argv);
     if (std::strcmp(argv[1], "demo") == 0) return Demo();
     return Usage();
   } catch (const std::exception& e) {

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "serve/replication.h"
+
 namespace lccs {
 namespace serve {
 
@@ -156,6 +158,13 @@ Server::Stats Server::stats() const {
     out.wal_bytes = wal.bytes_appended;
     out.checkpoints = wal.checkpoints;
     out.recovery_replayed = wal.recovery_replayed;
+  }
+  if (options_.shipper != nullptr) {
+    const LogShipper::Stats shipper = options_.shipper->stats();
+    out.followers_connected = shipper.followers_connected;
+    out.followers_active = shipper.followers_active;
+    out.records_shipped = shipper.records_shipped;
+    out.shipped_version = shipper.shipped_version;
   }
   return out;
 }

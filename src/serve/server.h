@@ -17,6 +17,8 @@
 namespace lccs {
 namespace serve {
 
+class LogShipper;  // serve/replication.h
+
 /// What a query future resolves to: the neighbors plus enough metadata to
 /// check the answer against a sequential oracle black-box (the
 /// snapshot-isolation contract tests/test_serve.cc verifies).
@@ -146,6 +148,12 @@ class Server {
     /// With a wal: the writer thread checkpoints after every this many
     /// applied mutations (0 = only explicit CheckpointNow() calls).
     size_t checkpoint_every = 0;
+    /// Log shipper streaming this server's WAL to followers (borrowed, must
+    /// outlive the server; see serve/replication.h). The server never
+    /// drives it — shipping is asynchronous by design, acks only wait for
+    /// local durability — it just mirrors its counters into Stats so one
+    /// stats() call shows the whole primary.
+    const LogShipper* shipper = nullptr;
   };
 
   /// `index` is borrowed and must outlive the server. Its dim() must be
@@ -191,6 +199,12 @@ class Server {
     uint64_t wal_bytes = 0;
     uint64_t checkpoints = 0;
     uint64_t recovery_replayed = 0;
+    // Replication counters, mirrored from the attached LogShipper (all
+    // zero without one) — connected followers and how far the stream got.
+    uint64_t followers_connected = 0;
+    uint64_t followers_active = 0;
+    uint64_t records_shipped = 0;
+    uint64_t shipped_version = 0;
   };
   Stats stats() const;
 

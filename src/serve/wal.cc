@@ -44,11 +44,32 @@ void PutPod(std::vector<unsigned char>* buf, const T& v) {
 }
 
 template <typename T>
-bool GetPod(const std::vector<unsigned char>& buf, size_t* off, T* out) {
-  if (buf.size() < *off + sizeof(T)) return false;
-  std::memcpy(out, buf.data() + *off, sizeof(T));
+bool GetPod(const unsigned char* buf, size_t len, size_t* off, T* out) {
+  if (len < *off + sizeof(T)) return false;
+  std::memcpy(out, buf + *off, sizeof(T));
   *off += sizeof(T);
   return true;
+}
+
+/// Test-only read-failure injection (SetWalReadFailpoint). Consulted before
+/// every segment fread; returning true simulates a transient I/O error.
+std::function<bool(const std::string&, uint64_t)> g_wal_read_failpoint;
+
+/// fread that distinguishes a real I/O error (std::ferror, or the injected
+/// failpoint) from a short read at end-of-file. Throws on error; a short
+/// return without error is EOF / a torn tail, for the caller to classify.
+size_t FreadChecked(std::FILE* f, void* buf, size_t n, const std::string& path,
+                    uint64_t offset) {
+  if (g_wal_read_failpoint && g_wal_read_failpoint(path, offset)) {
+    throw std::runtime_error("WAL segment read I/O error (injected): " + path +
+                             " at offset " + std::to_string(offset));
+  }
+  const size_t got = std::fread(buf, 1, n, f);
+  if (got < n && std::ferror(f)) {
+    throw std::runtime_error("WAL segment read I/O error: " + path +
+                             " at offset " + std::to_string(offset));
+  }
+  return got;
 }
 
 void WriteAllFd(int fd, const void* data, size_t n, const std::string& path) {
@@ -80,10 +101,17 @@ bool ParseNumberedName(const char* name, const char* prefix,
   if (name_len <= prefix_len + suffix_len) return false;
   if (std::strncmp(name, prefix, prefix_len) != 0) return false;
   if (std::strcmp(name + name_len - suffix_len, suffix) != 0) return false;
+  // 2^64 - 1 is 20 digits: any longer run cannot fit, and an in-range run
+  // still needs the overflow guard (e.g. 20 nines). Silently wrapping here
+  // would give a stray file a small first_version and corrupt segment
+  // ordering, checkpoint GC, and recovery.
+  if (name_len - suffix_len - prefix_len > 20) return false;
   uint64_t v = 0;
   for (size_t i = prefix_len; i < name_len - suffix_len; ++i) {
     if (name[i] < '0' || name[i] > '9') return false;
-    v = v * 10 + static_cast<uint64_t>(name[i] - '0');
+    const uint64_t digit = static_cast<uint64_t>(name[i] - '0');
+    if (v > (UINT64_MAX - digit) / 10) return false;
+    v = v * 10 + digit;
   }
   *value = v;
   return true;
@@ -104,28 +132,34 @@ std::vector<unsigned char> EncodeBody(const WriteAheadLog::Record& record) {
   return body;
 }
 
-bool DecodeBody(const std::vector<unsigned char>& body,
-                WriteAheadLog::Record* record) {
+}  // namespace
+
+void SetWalReadFailpoint(
+    std::function<bool(const std::string& path, uint64_t offset)> hook) {
+  g_wal_read_failpoint = std::move(hook);
+}
+
+bool WriteAheadLog::DecodeRecordBody(const unsigned char* body, size_t len,
+                                     Record* record) {
   size_t off = 0;
   uint8_t kind = 0;
-  if (!GetPod(body, &off, &record->version) || !GetPod(body, &off, &kind) ||
-      !GetPod(body, &off, &record->id) || kind > 1) {
+  if (!GetPod(body, len, &off, &record->version) ||
+      !GetPod(body, len, &off, &kind) || !GetPod(body, len, &off, &record->id) ||
+      kind > 1) {
     return false;
   }
   record->is_insert = kind == 0;
   record->vec.clear();
-  if (!record->is_insert) return off == body.size();
+  if (!record->is_insert) return off == len;
   uint32_t dim = 0;
-  if (!GetPod(body, &off, &dim)) return false;
-  if (body.size() - off != static_cast<size_t>(dim) * sizeof(float)) {
+  if (!GetPod(body, len, &off, &dim)) return false;
+  if (len - off != static_cast<size_t>(dim) * sizeof(float)) {
     return false;
   }
   record->vec.resize(dim);
-  std::memcpy(record->vec.data(), body.data() + off, dim * sizeof(float));
+  std::memcpy(record->vec.data(), body + off, dim * sizeof(float));
   return true;
 }
-
-}  // namespace
 
 WriteAheadLog::WriteAheadLog(std::string dir, Options options)
     : dir_(std::move(dir)), options_(std::move(options)) {
@@ -252,6 +286,11 @@ size_t WriteAheadLog::pending_records() const {
   return pending_records_;
 }
 
+uint64_t WriteAheadLog::last_version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_version_ - 1;
+}
+
 WriteAheadLog::Stats WriteAheadLog::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
@@ -271,35 +310,21 @@ void WriteAheadLog::WriteCheckpoint(const ShardedIndex::CheckpointState& state) 
     throw std::runtime_error("cannot open checkpoint temp file: " + tmp);
   }
   try {
-    std::vector<unsigned char> head;
-    head.reserve(kCkptHeaderBytes);
-    head.insert(head.end(), kCkptMagic, kCkptMagic + sizeof(kCkptMagic));
-    PutPod(&head, kCkptFormatVersion);
-    PutPod(&head, storage::kFlatEndianTag);
-
-    std::vector<unsigned char> fixed;
-    fixed.reserve(kCkptFixedBodyBytes);
-    PutPod(&fixed, state.state_version);
-    PutPod(&fixed, static_cast<int64_t>(state.next_id));
-    PutPod(&fixed, static_cast<uint32_t>(state.metric));
-    PutPod(&fixed, static_cast<uint32_t>(state.dim));
-    PutPod(&fixed, static_cast<uint64_t>(state.ids.size()));
-
-    storage::FnvChecksum checksum;
-    const auto write_part = [&](const void* data, size_t n, bool summed) {
+    const std::vector<unsigned char> image = EncodeCheckpoint(state);
+    // Two writes with a failpoint between them, so the kill harness can
+    // leave a half-written image behind (split at the ids/vectors border).
+    const size_t split =
+        std::min(image.size(), kCkptHeaderBytes + kCkptFixedBodyBytes +
+                                   state.ids.size() * sizeof(int32_t));
+    const auto write_part = [&](const void* data, size_t n) {
       if (n == 0) return;
       if (std::fwrite(data, 1, n, f) != n) {
         throw std::runtime_error("checkpoint write failed: " + tmp);
       }
-      if (summed) checksum.Update(data, n);
     };
-    write_part(head.data(), head.size(), false);
-    write_part(fixed.data(), fixed.size(), true);
-    write_part(state.ids.data(), state.ids.size() * sizeof(int32_t), true);
+    write_part(image.data(), split);
     Failpoint("wal:checkpoint:mid_write");
-    write_part(state.vectors.data(), state.vectors.SizeBytes(), true);
-    const uint64_t digest = checksum.Digest();
-    write_part(&digest, sizeof(digest), false);
+    write_part(image.data() + split, image.size() - split);
     storage::FlushAndSyncFile(f, tmp);
   } catch (...) {
     std::fclose(f);
@@ -356,6 +381,24 @@ WriteAheadLog::RecoveryResult WriteAheadLog::Recover(ShardedIndex* index) {
     throw std::runtime_error("WAL: Recover() ran twice");
   }
   RecoveryResult result;
+  // A segment we cannot replay may still hold durable, acked records above
+  // the recovered prefix (a hole can never be bridged, but the bytes are
+  // evidence). Deleting them on a fallback path would be lossy and
+  // unauditable, so they are renamed aside instead (ListOrphans /
+  // `lccs_tool wal-dump` surface them).
+  const auto quarantine = [&](const std::string& path) {
+    struct stat st;
+    const uint64_t bytes =
+        ::stat(path.c_str(), &st) == 0 ? static_cast<uint64_t>(st.st_size) : 0;
+    const std::string orphan = path + ".orphan";
+    std::remove(orphan.c_str());  // stale quarantine from an older recovery
+    if (std::rename(path.c_str(), orphan.c_str()) != 0) {
+      throw std::runtime_error("cannot quarantine orphaned WAL segment: " +
+                               path);
+    }
+    ++result.orphaned_segments;
+    result.orphaned_bytes += bytes;
+  };
 
   // Stray temp files are checkpoint publishes that never happened — dead.
   {
@@ -424,30 +467,39 @@ WriteAheadLog::RecoveryResult WriteAheadLog::Recover(ShardedIndex* index) {
           ++result.replayed;
         });
     if (!scan.clean) {
-      // Torn/corrupt suffix: physically discard it so the on-disk log is
-      // exactly the recovered prefix.
-      struct stat st;
-      if (::stat(path.c_str(), &st) == 0 &&
-          static_cast<uint64_t>(st.st_size) > scan.valid_bytes) {
-        result.truncated_bytes +=
-            static_cast<uint64_t>(st.st_size) - scan.valid_bytes;
-      }
       if (scan.valid_bytes < kWalHeaderBytes) {
-        std::remove(path.c_str());  // even the header is damaged
-      } else if (::truncate(path.c_str(), scan.valid_bytes) != 0) {
-        throw std::runtime_error("cannot truncate torn WAL segment: " + path);
+        // Even the header is damaged: nothing in the file is attributable
+        // to a version, so the whole segment goes to quarantine.
+        quarantine(path);
+      } else {
+        // Torn/corrupt suffix: physically discard it so the on-disk log is
+        // exactly the recovered prefix.
+        struct stat st;
+        if (::stat(path.c_str(), &st) == 0 &&
+            static_cast<uint64_t>(st.st_size) > scan.valid_bytes) {
+          result.truncated_bytes +=
+              static_cast<uint64_t>(st.st_size) - scan.valid_bytes;
+        }
+        if (::truncate(path.c_str(), scan.valid_bytes) != 0) {
+          throw std::runtime_error("cannot truncate torn WAL segment: " + path);
+        }
       }
       stop_after = i + 1;
       break;
     }
   }
-  // Orphans beyond the stop point are unreachable across the hole.
+  // Segments beyond the stop point are unreachable across the hole:
+  // quarantine, never delete.
   for (size_t i = stop_after; i < segments.size(); ++i) {
-    struct stat st;
-    if (::stat(segments[i].path.c_str(), &st) == 0) {
-      result.truncated_bytes += static_cast<uint64_t>(st.st_size);
+    quarantine(segments[i].path);
+  }
+  if (result.orphaned_segments > 0) {
+    // Rename durability is best-effort, like unlink in checkpoint GC: a
+    // resurrected segment is re-quarantined by the next recovery.
+    try {
+      storage::SyncParentDir(segments.front().path);
+    } catch (...) {
     }
-    std::remove(segments[i].path.c_str());
   }
 
   result.final_version = next - 1;
@@ -513,7 +565,7 @@ WriteAheadLog::ScanResult WriteAheadLog::ScanSegment(
 
   ScanResult result;
   unsigned char header[kWalHeaderBytes];
-  if (std::fread(header, 1, sizeof(header), f) != sizeof(header)) {
+  if (FreadChecked(f, header, sizeof(header), path, 0) != sizeof(header)) {
     result.clean = false;
     result.error = "truncated segment header";
     return result;
@@ -544,7 +596,8 @@ WriteAheadLog::ScanResult WriteAheadLog::ScanSegment(
   Record record;
   for (;;) {
     unsigned char prelude[kRecordPreludeBytes];
-    const size_t got = std::fread(prelude, 1, sizeof(prelude), f);
+    const size_t got =
+        FreadChecked(f, prelude, sizeof(prelude), path, result.valid_bytes);
     if (got == 0) break;  // clean end of segment
     if (got < sizeof(prelude)) {
       result.clean = false;
@@ -561,7 +614,8 @@ WriteAheadLog::ScanResult WriteAheadLog::ScanSegment(
       break;
     }
     body.resize(len);
-    if (std::fread(body.data(), 1, len, f) != len) {
+    if (FreadChecked(f, body.data(), len, path,
+                     result.valid_bytes + kRecordPreludeBytes) != len) {
       result.clean = false;
       result.error = "torn record body";
       break;
@@ -573,7 +627,7 @@ WriteAheadLog::ScanResult WriteAheadLog::ScanSegment(
       result.error = "record checksum mismatch";
       break;
     }
-    if (!DecodeBody(body, &record)) {
+    if (!DecodeRecordBody(body.data(), len, &record)) {
       result.clean = false;
       result.error = "malformed record body";
       break;
@@ -591,40 +645,77 @@ WriteAheadLog::ScanResult WriteAheadLog::ScanSegment(
   return result;
 }
 
-ShardedIndex::CheckpointState WriteAheadLog::ReadCheckpoint(
-    const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    throw std::runtime_error("cannot open checkpoint: " + path);
+std::vector<std::string> WriteAheadLog::ListOrphans(const std::string& dir) {
+  std::vector<std::string> out;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    throw std::runtime_error("cannot open WAL directory: " + dir);
   }
-  struct Closer {
-    std::FILE* f;
-    ~Closer() { std::fclose(f); }
-  } closer{f};
+  constexpr char kSuffix[] = ".orphan";
+  constexpr size_t kSuffixLen = sizeof(kSuffix) - 1;
+  for (struct dirent* e = ::readdir(d); e != nullptr; e = ::readdir(d)) {
+    const size_t len = std::strlen(e->d_name);
+    if (len > kSuffixLen &&
+        std::strcmp(e->d_name + len - kSuffixLen, kSuffix) == 0) {
+      out.push_back(dir + "/" + e->d_name);
+    }
+  }
+  ::closedir(d);
+  std::sort(out.begin(), out.end());
+  return out;
+}
 
-  unsigned char head[kCkptHeaderBytes];
-  if (std::fread(head, 1, sizeof(head), f) != sizeof(head)) {
-    throw std::runtime_error("checkpoint header truncated: " + path);
+std::vector<unsigned char> WriteAheadLog::EncodeCheckpoint(
+    const ShardedIndex::CheckpointState& state) {
+  std::vector<unsigned char> out;
+  out.reserve(kCkptHeaderBytes + kCkptFixedBodyBytes +
+              state.ids.size() * sizeof(int32_t) + state.vectors.SizeBytes() +
+              sizeof(uint64_t));
+  out.resize(sizeof(kCkptMagic));
+  std::memcpy(out.data(), kCkptMagic, sizeof(kCkptMagic));
+  PutPod(&out, kCkptFormatVersion);
+  PutPod(&out, storage::kFlatEndianTag);
+  const size_t body_start = out.size();
+  PutPod(&out, state.state_version);
+  PutPod(&out, static_cast<int64_t>(state.next_id));
+  PutPod(&out, static_cast<uint32_t>(state.metric));
+  PutPod(&out, static_cast<uint32_t>(state.dim));
+  PutPod(&out, static_cast<uint64_t>(state.ids.size()));
+  const auto* ids = reinterpret_cast<const unsigned char*>(state.ids.data());
+  out.insert(out.end(), ids, ids + state.ids.size() * sizeof(int32_t));
+  const auto* vecs =
+      reinterpret_cast<const unsigned char*>(state.vectors.data());
+  out.insert(out.end(), vecs, vecs + state.vectors.SizeBytes());
+  storage::FnvChecksum checksum;
+  checksum.Update(out.data() + body_start, out.size() - body_start);
+  PutPod(&out, checksum.Digest());
+  return out;
+}
+
+ShardedIndex::CheckpointState WriteAheadLog::DecodeCheckpoint(
+    const unsigned char* bytes, size_t len, const std::string& context) {
+  if (len < kCkptHeaderBytes) {
+    throw std::runtime_error("checkpoint header truncated: " + context);
   }
   uint32_t format = 0;
   uint32_t endian = 0;
-  std::memcpy(&format, head + 8, sizeof(format));
-  std::memcpy(&endian, head + 12, sizeof(endian));
-  if (std::memcmp(head, kCkptMagic, sizeof(kCkptMagic)) != 0) {
-    throw std::runtime_error("not an LCCS checkpoint file: " + path);
+  std::memcpy(&format, bytes + 8, sizeof(format));
+  std::memcpy(&endian, bytes + 12, sizeof(endian));
+  if (std::memcmp(bytes, kCkptMagic, sizeof(kCkptMagic)) != 0) {
+    throw std::runtime_error("not an LCCS checkpoint file: " + context);
   }
   if (format != kCkptFormatVersion) {
-    throw std::runtime_error("unsupported checkpoint format: " + path);
+    throw std::runtime_error("unsupported checkpoint format: " + context);
   }
   if (endian != storage::kFlatEndianTag) {
     throw std::runtime_error(
-        "checkpoint endianness does not match this machine: " + path);
+        "checkpoint endianness does not match this machine: " + context);
   }
 
-  unsigned char fixed[kCkptFixedBodyBytes];
-  if (std::fread(fixed, 1, sizeof(fixed), f) != sizeof(fixed)) {
-    throw std::runtime_error("checkpoint body truncated: " + path);
+  if (len < kCkptHeaderBytes + kCkptFixedBodyBytes) {
+    throw std::runtime_error("checkpoint body truncated: " + context);
   }
+  const unsigned char* fixed = bytes + kCkptHeaderBytes;
   uint64_t state_version = 0;
   int64_t next_id = 0;
   uint32_t metric = 0;
@@ -639,33 +730,28 @@ ShardedIndex::CheckpointState WriteAheadLog::ReadCheckpoint(
       metric > static_cast<uint32_t>(util::Metric::kJaccard) ||
       dim > (1u << 20) || rows > static_cast<uint64_t>(next_id) ||
       (rows > 0 && dim == 0)) {
-    throw std::runtime_error("checkpoint fields implausible: " + path);
+    throw std::runtime_error("checkpoint fields implausible: " + context);
   }
 
-  struct stat st;
-  if (::stat(path.c_str(), &st) != 0) {
-    throw std::runtime_error("cannot stat checkpoint: " + path);
-  }
-  const uint64_t file_bytes = static_cast<uint64_t>(st.st_size);
   const uint64_t overhead =
       kCkptHeaderBytes + kCkptFixedBodyBytes + sizeof(uint64_t);
   // Validate rows * (4 + 4 * dim) against the payload without forming the
   // (overflowable) product, the ReadFlatHeader trick.
   const uint64_t row_bytes =
       sizeof(int32_t) + static_cast<uint64_t>(dim) * sizeof(float);
-  bool size_ok = file_bytes >= overhead;
+  bool size_ok = len >= overhead;
   if (size_ok) {
-    const uint64_t payload = file_bytes - overhead;
+    const uint64_t payload = len - overhead;
     size_ok = rows == 0 ? payload == 0
                         : payload % row_bytes == 0 && payload / row_bytes == rows;
   }
   if (!size_ok) {
     throw std::runtime_error("checkpoint size does not match its header: " +
-                             path);
+                             context);
   }
 
   storage::FnvChecksum fnv;
-  fnv.Update(fixed, sizeof(fixed));
+  fnv.Update(fixed, kCkptFixedBodyBytes);
   ShardedIndex::CheckpointState state;
   state.state_version = state_version;
   state.next_id = static_cast<int32_t>(next_id);
@@ -674,24 +760,277 @@ ShardedIndex::CheckpointState WriteAheadLog::ReadCheckpoint(
   state.ids.resize(rows);
   state.vectors = util::Matrix(rows, dim);
   if (rows > 0) {
-    if (std::fread(state.ids.data(), sizeof(int32_t), rows, f) != rows) {
-      throw std::runtime_error("checkpoint ids truncated: " + path);
-    }
-    fnv.Update(state.ids.data(), rows * sizeof(int32_t));
-    const size_t floats = static_cast<size_t>(rows) * dim;
-    if (std::fread(state.vectors.data(), sizeof(float), floats, f) != floats) {
-      throw std::runtime_error("checkpoint vectors truncated: " + path);
-    }
-    fnv.Update(state.vectors.data(), floats * sizeof(float));
+    const unsigned char* p = fixed + kCkptFixedBodyBytes;
+    std::memcpy(state.ids.data(), p, rows * sizeof(int32_t));
+    fnv.Update(p, rows * sizeof(int32_t));
+    p += rows * sizeof(int32_t);
+    const size_t vec_bytes = static_cast<size_t>(rows) * dim * sizeof(float);
+    std::memcpy(state.vectors.data(), p, vec_bytes);
+    fnv.Update(p, vec_bytes);
   }
   uint64_t digest = 0;
-  if (std::fread(&digest, sizeof(digest), 1, f) != 1) {
-    throw std::runtime_error("checkpoint checksum truncated: " + path);
-  }
+  std::memcpy(&digest, bytes + len - sizeof(digest), sizeof(digest));
   if (digest != fnv.Digest()) {
-    throw std::runtime_error("checkpoint checksum mismatch: " + path);
+    throw std::runtime_error("checkpoint checksum mismatch: " + context);
   }
   return state;
+}
+
+ShardedIndex::CheckpointState WriteAheadLog::ReadCheckpoint(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot open checkpoint: " + path);
+  }
+  struct Closer {
+    std::FILE* f;
+    ~Closer() { std::fclose(f); }
+  } closer{f};
+
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    throw std::runtime_error("cannot stat checkpoint: " + path);
+  }
+  std::vector<unsigned char> bytes(static_cast<size_t>(st.st_size));
+  if (!bytes.empty() &&
+      std::fread(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
+    throw std::runtime_error("checkpoint read failed: " + path);
+  }
+  return DecodeCheckpoint(bytes.data(), bytes.size(), path);
+}
+
+// --- Tailer ------------------------------------------------------------------
+
+WriteAheadLog::Tailer::Tailer(Tailer&& other) noexcept
+    : dir_(std::move(other.dir_)),
+      file_(other.file_),
+      segment_path_(std::move(other.segment_path_)),
+      segment_first_version_(other.segment_first_version_),
+      offset_(other.offset_),
+      next_version_(other.next_version_),
+      deliver_from_(other.deliver_from_) {
+  other.file_ = nullptr;
+}
+
+WriteAheadLog::Tailer::~Tailer() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+WriteAheadLog::Tailer WriteAheadLog::TailSegments(const std::string& dir,
+                                                  uint64_t start_version) {
+  if (start_version == 0) {
+    throw std::runtime_error("TailSegments: start_version must be >= 1");
+  }
+  Tailer tailer;
+  tailer.dir_ = dir;
+  tailer.next_version_ = start_version;
+  tailer.deliver_from_ = start_version;
+  // Eagerly detect a GC gap (the caller must bootstrap from a checkpoint
+  // instead of tailing); an empty directory just means the writer has not
+  // opened its first segment yet.
+  const std::vector<SegmentInfo> segments = ListSegments(dir);
+  if (!segments.empty() && segments.front().first_version > start_version) {
+    throw std::runtime_error(
+        "TailSegments: version " + std::to_string(start_version) +
+        " already truncated away (oldest segment starts at " +
+        std::to_string(segments.front().first_version) + "): " + dir);
+  }
+  return tailer;
+}
+
+bool WriteAheadLog::Tailer::AdvanceSegment() {
+  const std::vector<SegmentInfo> segments = WriteAheadLog::ListSegments(dir_);
+  const SegmentInfo* best = nullptr;
+  for (const SegmentInfo& s : segments) {
+    if (s.first_version <= next_version_ &&
+        (best == nullptr || s.first_version > best->first_version)) {
+      best = &s;
+    }
+  }
+  if (best == nullptr) {
+    if (!segments.empty()) {
+      throw std::runtime_error(
+          "WAL tail gap: version " + std::to_string(next_version_) +
+          " already truncated away (oldest segment starts at " +
+          std::to_string(segments.front().first_version) + "): " + dir_);
+    }
+    return false;  // nothing on disk yet
+  }
+  if (file_ != nullptr && best->path == segment_path_) {
+    return false;  // no successor yet — stay where we are
+  }
+  std::FILE* f = std::fopen(best->path.c_str(), "rb");
+  if (f == nullptr) {
+    // Listed a moment ago but gone now: checkpoint GC raced us. The next
+    // Poll re-lists and either finds a successor or reports the gap.
+    return false;
+  }
+  unsigned char header[kWalHeaderBytes];
+  size_t got = 0;
+  try {
+    got = FreadChecked(f, header, sizeof(header), best->path, 0);
+  } catch (...) {
+    std::fclose(f);
+    throw;
+  }
+  if (got != sizeof(header)) {
+    std::fclose(f);
+    // The writer creates a segment with a single 24-byte header write; a
+    // short file here is that write still landing. Only if the stream has
+    // moved past this segment is a short header settled damage.
+    for (const SegmentInfo& s : segments) {
+      if (s.first_version > best->first_version) {
+        throw std::runtime_error("WAL tail: truncated segment header: " +
+                                 best->path);
+      }
+    }
+    return false;
+  }
+  uint32_t format = 0;
+  uint32_t endian = 0;
+  uint64_t first_version = 0;
+  std::memcpy(&format, header + 8, sizeof(format));
+  std::memcpy(&endian, header + 12, sizeof(endian));
+  std::memcpy(&first_version, header + 16, sizeof(first_version));
+  if (std::memcmp(header, kWalMagic, sizeof(kWalMagic)) != 0 ||
+      format != kWalFormatVersion || endian != storage::kFlatEndianTag ||
+      first_version != best->first_version) {
+    std::fclose(f);
+    throw std::runtime_error("WAL tail: bad segment header: " + best->path);
+  }
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = f;
+  segment_path_ = best->path;
+  segment_first_version_ = best->first_version;
+  offset_ = kWalHeaderBytes;
+  next_version_ = best->first_version;
+  return true;
+}
+
+uint64_t WriteAheadLog::Tailer::PendingBytes() const {
+  uint64_t pending = 0;
+  for (const SegmentInfo& s : WriteAheadLog::ListSegments(dir_)) {
+    struct stat st;
+    if (::stat(s.path.c_str(), &st) != 0) continue;
+    const uint64_t size = static_cast<uint64_t>(st.st_size);
+    if (file_ != nullptr && s.path == segment_path_) {
+      if (size > offset_) pending += size - offset_;
+    } else if (s.first_version >
+               (file_ != nullptr ? segment_first_version_ : 0)) {
+      if (size > kWalHeaderBytes) pending += size - kWalHeaderBytes;
+    }
+  }
+  return pending;
+}
+
+size_t WriteAheadLog::Tailer::Poll(
+    const std::function<void(const Record&, const unsigned char* frame,
+                             size_t frame_bytes)>& fn,
+    size_t max_records) {
+  size_t delivered = 0;
+  std::vector<unsigned char> frame;
+  Record record;
+  // A short or mangled frame at the write head is an append in flight (the
+  // writer's prelude/body land in two write()s) — wait and retry. The same
+  // bytes are settled corruption once anything exists beyond them: more
+  // bytes in this file, or a later segment.
+  const auto settled = [&](uint64_t frame_end) {
+    struct stat st;
+    if (::stat(segment_path_.c_str(), &st) == 0 &&
+        static_cast<uint64_t>(st.st_size) > frame_end) {
+      return true;
+    }
+    for (const SegmentInfo& s : WriteAheadLog::ListSegments(dir_)) {
+      if (s.first_version > segment_first_version_) return true;
+    }
+    return false;
+  };
+  while (delivered < max_records) {
+    if (file_ == nullptr && !AdvanceSegment()) return delivered;
+    std::clearerr(file_);
+    if (std::fseek(file_, static_cast<long>(offset_), SEEK_SET) != 0) {
+      throw std::runtime_error("WAL tail: seek failed: " + segment_path_);
+    }
+    unsigned char prelude[kRecordPreludeBytes];
+    const size_t got =
+        FreadChecked(file_, prelude, sizeof(prelude), segment_path_, offset_);
+    if (got == 0) {
+      // End of this segment: rotate when the dense successor exists.
+      bool successor = false;
+      bool later = false;
+      for (const SegmentInfo& s : WriteAheadLog::ListSegments(dir_)) {
+        if (s.first_version == next_version_ && s.path != segment_path_) {
+          successor = true;
+        }
+        if (s.first_version > next_version_) later = true;
+      }
+      if (successor) {
+        std::fclose(file_);
+        file_ = nullptr;
+        continue;  // AdvanceSegment opens it
+      }
+      if (later) {
+        throw std::runtime_error(
+            "WAL tail gap: version " + std::to_string(next_version_) +
+            " missing between segments: " + dir_);
+      }
+      return delivered;  // caught up with the writer
+    }
+    if (got < sizeof(prelude)) {
+      if (settled(offset_ + sizeof(prelude))) {
+        throw std::runtime_error("WAL tail: torn record prelude mid-stream: " +
+                                 segment_path_);
+      }
+      return delivered;
+    }
+    uint32_t len = 0;
+    uint64_t checksum = 0;
+    std::memcpy(&len, prelude, sizeof(len));
+    std::memcpy(&checksum, prelude + sizeof(len), sizeof(checksum));
+    if (len < kMinRecordBodyBytes || len > kMaxRecordBodyBytes) {
+      // The prelude is written in one write(); a full prelude with an
+      // implausible length is never an append in flight.
+      throw std::runtime_error("WAL tail: implausible record length: " +
+                               segment_path_);
+    }
+    const uint64_t frame_end = offset_ + kRecordPreludeBytes + len;
+    frame.resize(kRecordPreludeBytes + len);
+    std::memcpy(frame.data(), prelude, kRecordPreludeBytes);
+    const size_t body_got =
+        FreadChecked(file_, frame.data() + kRecordPreludeBytes, len,
+                     segment_path_, offset_ + kRecordPreludeBytes);
+    if (body_got < len) {
+      if (settled(frame_end)) {
+        throw std::runtime_error("WAL tail: torn record body mid-stream: " +
+                                 segment_path_);
+      }
+      return delivered;
+    }
+    storage::FnvChecksum fnv;
+    fnv.Update(frame.data() + kRecordPreludeBytes, len);
+    if (fnv.Digest() != checksum) {
+      if (settled(frame_end)) {
+        throw std::runtime_error("WAL tail: record checksum mismatch: " +
+                                 segment_path_);
+      }
+      return delivered;  // body write still landing — retry later
+    }
+    if (!DecodeRecordBody(frame.data() + kRecordPreludeBytes, len, &record)) {
+      throw std::runtime_error("WAL tail: malformed record body: " +
+                               segment_path_);
+    }
+    if (record.version != next_version_) {
+      throw std::runtime_error("WAL tail: record version out of sequence: " +
+                               segment_path_);
+    }
+    if (record.version >= deliver_from_) {
+      if (fn) fn(record, frame.data(), frame.size());
+      ++delivered;
+    }
+    offset_ = frame_end;
+    ++next_version_;
+  }
+  return delivered;
 }
 
 }  // namespace serve

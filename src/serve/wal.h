@@ -2,6 +2,7 @@
 #define LCCS_SERVE_WAL_H_
 
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <mutex>
 #include <string>
@@ -52,6 +53,14 @@ namespace serve {
 /// rotates to a new segment past Options::segment_bytes so checkpoint
 /// truncation can reclaim whole files.
 ///
+/// The segment stream is also the **replication wire format**: a
+/// serve::LogShipper tails these files (TailSegments) and forwards the raw
+/// record frames — prelude + body, byte for byte — to followers over a
+/// socket, with a checkpoint (the on-disk checkpoint encoding, below) as
+/// the bootstrap. Length-prefixed, checksummed records need no re-framing;
+/// replication adds exactly one wire-only record kind (2 = progress
+/// heartbeat, serve/replication.h) that never appears in segment files.
+///
 /// Checkpoint file: header (magic "LCCSCKP1" + format + endianness tag,
 /// 16 bytes), then the body — state_version (uint64), next_id (int64),
 /// metric (uint32), dim (uint32), row count (uint64), ascending surviving
@@ -64,8 +73,9 @@ namespace serve {
 /// Recovery (Recover): restore the newest valid checkpoint (if none, keep
 /// the caller-built base state), replay every record after it in version
 /// order, stop at the first torn/corrupt record and physically truncate it
-/// away (orphaned later segments are deleted — a hole can never be
-/// bridged), then resume appending at the next dense version.
+/// away (segments stranded past a hole are quarantined as `.orphan` — a
+/// hole can never be bridged, but durable bytes are never deleted on a
+/// fallback path), then resume appending at the next dense version.
 ///
 /// Thread safety: all methods are serialized on an internal mutex, so the
 /// writer thread's Append/Sync can race an external CheckpointNow. Recover
@@ -122,14 +132,21 @@ class WriteAheadLog {
     uint64_t replayed = 0;            ///< records applied from the tail
     uint64_t final_version = 0;       ///< index state_version afterwards
     uint64_t truncated_bytes = 0;     ///< torn/corrupt suffix removed
+    /// Segments stranded past a replay hole (or whose header itself was
+    /// damaged). They may hold durable records above the recovered prefix,
+    /// so they are never deleted: each is renamed to `<name>.orphan` for a
+    /// later audit (lccs_tool wal-dump lists them).
+    uint64_t orphaned_segments = 0;
+    uint64_t orphaned_bytes = 0;
   };
 
   /// Restores `index` to the durable cut: newest valid checkpoint, then the
   /// contiguous valid WAL tail (everything after a torn or corrupt record
-  /// is physically discarded). Positions the log so the next Append must
-  /// carry final_version + 1. Must be called exactly once, before any
-  /// Append — also on a fresh directory, where it is a cheap no-op that
-  /// adopts the index's current state_version as the base.
+  /// is physically discarded; segments stranded beyond a hole are
+  /// quarantined as `.orphan`, never deleted). Positions the log so the
+  /// next Append must carry final_version + 1. Must be called exactly once,
+  /// before any Append — also on a fresh directory, where it is a cheap
+  /// no-op that adopts the index's current state_version as the base.
   RecoveryResult Recover(ShardedIndex* index);
 
   /// Appends one record (two write()s: length+checksum prelude, then the
@@ -147,6 +164,9 @@ class WriteAheadLog {
 
   /// Records appended since the last fsync (0 = everything durable).
   size_t pending_records() const;
+
+  /// Version of the last appended (or recovered) record; 0 before any.
+  uint64_t last_version() const;
 
   /// Persists a logical snapshot (atomically published), deletes older
   /// checkpoint files, and truncates every whole segment whose records all
@@ -195,14 +215,95 @@ class WriteAheadLog {
   /// Scans one segment, invoking `fn` (may be null) for every valid record
   /// in order with its byte offset; stops at the first torn/corrupt record
   /// without throwing (a torn tail is an expected crash artifact). Throws
-  /// only when the file cannot be opened.
+  /// when the file cannot be opened — and when a short read is a real I/O
+  /// error (std::ferror) rather than end-of-file: truncating durable bytes
+  /// because a read transiently failed would silently lose acked records.
   static ScanResult ScanSegment(
       const std::string& path,
       const std::function<void(const Record&, uint64_t offset)>& fn);
 
+  /// `.orphan` files quarantined by Recover(), ascending by name. These are
+  /// former segments stranded past a replay hole; they are kept for audit
+  /// and never parsed as live segments.
+  static std::vector<std::string> ListOrphans(const std::string& dir);
+
   /// Reads and fully validates (magic, endianness, sizes, checksum) one
   /// checkpoint file. Throws std::runtime_error naming what is wrong.
   static ShardedIndex::CheckpointState ReadCheckpoint(const std::string& path);
+
+  /// Checkpoint-file encoding of `state` (header + body + digest), exactly
+  /// the bytes WriteCheckpoint would publish. Replication's bootstrap
+  /// payload — the on-disk encoding is the wire encoding.
+  static std::vector<unsigned char> EncodeCheckpoint(
+      const ShardedIndex::CheckpointState& state);
+
+  /// Inverse of EncodeCheckpoint: validates and decodes an in-memory
+  /// checkpoint image. Throws std::runtime_error (prefixed with `context`)
+  /// on any mismatch.
+  static ShardedIndex::CheckpointState DecodeCheckpoint(
+      const unsigned char* bytes, size_t len, const std::string& context);
+
+  /// Decodes one record *body* (the bytes after the 12-byte prelude; the
+  /// caller has already verified length + checksum). Returns false when the
+  /// body is malformed. Only kinds 0/1 (insert/remove) are accepted — the
+  /// wire-only heartbeat kind is handled in serve/replication.cc.
+  static bool DecodeRecordBody(const unsigned char* body, size_t len,
+                               Record* out);
+
+  // --- Streaming reads (replication) ----------------------------------------
+
+  /// A cursor over the live segment stream of a WAL directory, starting at
+  /// `start_version`. Poll() delivers whole valid records in dense version
+  /// order together with their raw on-disk frame (prelude + body) so a
+  /// LogShipper can forward segment bytes verbatim. A partial record at the
+  /// tail of the newest segment is treated as an append in flight (Poll
+  /// returns and the caller retries later), not as corruption; settled
+  /// corruption — a mangled frame with more data or a successor segment
+  /// beyond it — throws, as does a GC gap (start_version already truncated
+  /// away), which a shipper surfaces by dropping the connection so the
+  /// follower re-bootstraps.
+  class Tailer {
+   public:
+    Tailer(Tailer&& other) noexcept;
+    Tailer& operator=(Tailer&&) = delete;
+    Tailer(const Tailer&) = delete;
+    ~Tailer();
+
+    /// Delivers up to `max_records` next records to `fn` (record, raw
+    /// frame bytes). Returns the number delivered; 0 = caught up (no
+    /// complete new record yet).
+    size_t Poll(const std::function<void(const Record&,
+                                         const unsigned char* frame,
+                                         size_t frame_bytes)>& fn,
+                size_t max_records);
+
+    /// Version the next delivered record will carry.
+    uint64_t next_version() const { return next_version_; }
+
+    /// Bytes on disk beyond the cursor (stat-based; includes any partial
+    /// tail). The shipper reports this as follower lag in bytes.
+    uint64_t PendingBytes() const;
+
+   private:
+    friend class WriteAheadLog;
+    Tailer() = default;
+    bool AdvanceSegment();
+
+    std::string dir_;
+    std::FILE* file_ = nullptr;
+    std::string segment_path_;
+    uint64_t segment_first_version_ = 0;
+    uint64_t offset_ = 0;         ///< read position in the open segment
+    uint64_t next_version_ = 1;   ///< version of the record at offset_
+    uint64_t deliver_from_ = 1;   ///< records below this are skipped silently
+  };
+
+  /// Opens a streaming cursor positioned at `start_version` (which must be
+  /// >= 1). Throws when the directory holds segments but none covers
+  /// start_version (checkpoint GC already reclaimed it) — the caller must
+  /// bootstrap from a checkpoint instead. An empty directory is fine when
+  /// start_version == 1.
+  static Tailer TailSegments(const std::string& dir, uint64_t start_version);
 
  private:
   void Failpoint(const char* site) const;
@@ -225,6 +326,14 @@ class WriteAheadLog {
   bool recovered_ = false;             ///< Recover() ran
   Stats stats_;
 };
+
+/// Test-only read-failure injection for segment scans: when set, the hook is
+/// consulted before every fread in ScanSegment/Tailer with the file path and
+/// byte offset; returning true simulates a transient I/O error at that point
+/// (the read fails as if std::ferror were set). Pass nullptr to clear.
+/// Mirrors storage::SetStorageFailpoint. Not thread-safe; tests only.
+void SetWalReadFailpoint(
+    std::function<bool(const std::string& path, uint64_t offset)> hook);
 
 }  // namespace serve
 }  // namespace lccs

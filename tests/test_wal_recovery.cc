@@ -614,16 +614,131 @@ TEST(WalRecovery, CorruptMidStreamStopsReplayAndDropsOrphans) {
   bytes[offsets[2] + 14] ^= 0xFF;  // inside the record body
   WriteFileBytes(segments[0].path, bytes);
 
+  const size_t segments_before = segments.size();
   auto recovered = MakeIndex(2, seed);
   WriteAheadLog wal(dir.path);
   const WriteAheadLog::RecoveryResult result = wal.Recover(recovered.get());
-  // Replay stops before the damaged record; later segments are orphaned
-  // by the hole and deleted outright.
+  // Replay stops before the damaged record; later segments are stranded
+  // past the hole and quarantined as `.orphan` files — renamed, counted,
+  // and never deleted (durable bytes must survive the fallback path for
+  // post-mortem salvage).
   EXPECT_EQ(result.final_version, 2u);
   EXPECT_EQ(result.replayed, 2u);
   EXPECT_GT(result.truncated_bytes, 0u);
   EXPECT_EQ(WriteAheadLog::ListSegments(dir.path).size(), 1u);
+  EXPECT_EQ(result.orphaned_segments, segments_before - 1);
+  EXPECT_GT(result.orphaned_bytes, 0u);
+  const std::vector<std::string> orphans = WriteAheadLog::ListOrphans(dir.path);
+  EXPECT_EQ(orphans.size(), segments_before - 1);
+  for (const std::string& orphan : orphans) {
+    struct stat st;
+    EXPECT_EQ(::stat(orphan.c_str(), &st), 0) << orphan;
+    EXPECT_GT(st.st_size, 0) << orphan;
+  }
   ExpectMatchesOracle(*recovered, ReplayOracle(seed, 2), 2, seed);
+
+  // A second recovery over the quarantined directory is clean: orphans are
+  // out of the segment namespace and stay where they are.
+  auto again = MakeIndex(3, seed);
+  WriteAheadLog wal2(dir.path);
+  const WriteAheadLog::RecoveryResult second = wal2.Recover(again.get());
+  EXPECT_EQ(second.final_version, 2u);
+  EXPECT_EQ(second.orphaned_segments, 0u);
+  EXPECT_EQ(WriteAheadLog::ListOrphans(dir.path).size(), orphans.size());
+}
+
+TEST(WalRecovery, ReadErrorIsNotMistakenForATornTail) {
+  // A short fread caused by a real I/O error (not end-of-file) must abort
+  // recovery, not silently truncate the log at the failed offset and
+  // replay a shortened history as if it were a torn tail. Injected via the
+  // read failpoint; old code treated every short read as EOF.
+  const uint64_t seed = 43;
+  TempDir dir;
+  auto index = MakeIndex(3, seed);
+  {
+    WriteAheadLog wal(dir.path);
+    wal.Recover(index.get());
+    ApplyAndLog(index.get(), &wal, seed, 1, 12);
+  }
+  const std::vector<WriteAheadLog::SegmentInfo> segments =
+      WriteAheadLog::ListSegments(dir.path);
+  ASSERT_EQ(segments.size(), 1u);
+  struct stat before;
+  ASSERT_EQ(::stat(segments[0].path.c_str(), &before), 0);
+
+  // Fail every read past the 24-byte segment header.
+  SetWalReadFailpoint(
+      [](const std::string&, uint64_t offset) { return offset > 24; });
+  {
+    auto recovered = MakeIndex(2, seed);
+    WriteAheadLog wal(dir.path);
+    EXPECT_THROW(wal.Recover(recovered.get()), std::runtime_error);
+  }
+  SetWalReadFailpoint(nullptr);
+
+  // The failed recovery must not have "repaired" anything: no truncation,
+  // no orphaning — the bytes are intact and a healthy retry replays all.
+  struct stat after;
+  ASSERT_EQ(::stat(segments[0].path.c_str(), &after), 0);
+  EXPECT_EQ(after.st_size, before.st_size);
+  EXPECT_TRUE(WriteAheadLog::ListOrphans(dir.path).empty());
+  auto recovered = MakeIndex(2, seed);
+  WriteAheadLog wal(dir.path);
+  const WriteAheadLog::RecoveryResult result = wal.Recover(recovered.get());
+  EXPECT_EQ(result.final_version, 12u);
+  EXPECT_EQ(result.truncated_bytes, 0u);
+  ExpectMatchesOracle(*recovered, ReplayOracle(seed, 12), 12, seed);
+}
+
+TEST(WalRecovery, RealReadErrorSurfacesAsThrowNotTornTail) {
+  // No injection here: fread from a directory fd fails with EISDIR and
+  // sets the stream's error indicator — a genuine I/O error. Old code
+  // never consulted std::ferror, classified the short read as a torn /
+  // empty tail and reported a clean-looking truncation; it must throw.
+  TempDir dir;
+  EXPECT_THROW(WriteAheadLog::ScanSegment(
+                   dir.path, [](const WriteAheadLog::Record&, uint64_t) {}),
+               std::runtime_error);
+}
+
+TEST(WalRecovery, OverlongNumberedNamesAreRejectedNotWrapped) {
+  // ParseNumberedName used to accumulate digits into a uint64_t without
+  // overflow checks, so a stray `wal_<21+ digits>.log` silently wrapped to
+  // an arbitrary small version and was adopted into the segment order —
+  // recovery could then replay garbage or delete real segments as
+  // duplicates. Overlong or overflowing digit runs must be ignored.
+  const uint64_t seed = 47;
+  TempDir dir;
+  auto index = MakeIndex(3, seed);
+  {
+    WriteAheadLog wal(dir.path);
+    wal.Recover(index.get());
+    ApplyAndLog(index.get(), &wal, seed, 1, 8);
+    wal.WriteCheckpoint(index->CaptureCheckpointState());
+  }
+  ASSERT_EQ(WriteAheadLog::ListSegments(dir.path).size(), 1u);
+  ASSERT_EQ(WriteAheadLog::ListCheckpoints(dir.path).size(), 1u);
+
+  // 21 nines wraps to 0x... something small; 2^64 is exactly 20 digits and
+  // overflows by one; both must stay invisible to the directory scans.
+  const std::string wrap21(21, '9');
+  WriteFileBytes(dir.path + "/wal_" + wrap21 + ".log", {0x00});
+  WriteFileBytes(dir.path + "/wal_18446744073709551616.log", {0x00});
+  WriteFileBytes(dir.path + "/checkpoint_" + wrap21 + ".ckpt", {0x00});
+  WriteFileBytes(dir.path + "/checkpoint_18446744073709551616.ckpt", {0x00});
+  EXPECT_EQ(WriteAheadLog::ListSegments(dir.path).size(), 1u);
+  EXPECT_EQ(WriteAheadLog::ListCheckpoints(dir.path).size(), 1u);
+  // The largest in-range value still parses (boundary stays accepted).
+  WriteFileBytes(dir.path + "/wal_18446744073709551615.log", {0x00});
+  EXPECT_EQ(WriteAheadLog::ListSegments(dir.path).size(), 2u);
+  std::remove((dir.path + "/wal_18446744073709551615.log").c_str());
+
+  // And recovery over the littered directory is unaffected.
+  auto recovered = MakeIndex(2, seed);
+  WriteAheadLog wal(dir.path);
+  const WriteAheadLog::RecoveryResult result = wal.Recover(recovered.get());
+  EXPECT_EQ(result.final_version, 8u);
+  ExpectMatchesOracle(*recovered, ReplayOracle(seed, 8), 8, seed);
 }
 
 TEST(WalRecovery, CorruptNewestCheckpointFallsBackToOlder) {

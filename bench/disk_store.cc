@@ -5,19 +5,29 @@
 // file; then, for each index config (LinearScan, LCCS-LSH), two *forked*
 // children build and query it:
 //
-//   * inmemory — the flat file is loaded into a heap InMemoryStore (what
+//   * inmemory  — the flat file is loaded into a heap InMemoryStore (what
 //     every run looked like before the refactor);
-//   * mmap     — a storage::MmapStore maps the file read-only under a
+//   * mmap      — a storage::MmapStore maps the file read-only under a
 //     residency budget (LCCS_BENCH_BUDGET_MB, default 64), so base-vector
 //     pages are dropped with MADV_DONTNEED whenever the touched-bytes clock
 //     crosses the budget.
+//   * quantized — mmap plus the int8 candidate tier: after the build the
+//     index drops its CSA next-links (ReleaseNextLinks) and attaches a
+//     storage::QuantizedStore, so candidate scoring runs over heap-resident
+//     codes (1 byte/dim) and only the top k * overfetch rows are copy-
+//     gathered (io_uring / pread, storage/uring_reader.h) out of the page
+//     cache for the exact rerank — never faulted through the mapping, so
+//     the residency clock does not tick at serve time. The ROADMAP gate:
+//     warm latency within 1.5x of inmemory at <= 35% of its RSS.
 //
 // One child per run because peak RSS (getrusage ru_maxrss) is a per-process
 // high-water mark: the parent forks, the child builds + queries and reports
 // timings over a pipe, and the parent reads the child's true peak RSS from
 // wait4(). Cold latency is the first query pass after the build (for mmap,
 // after dropping residency — every base page faults back in); warm is the
-// second pass.
+// best of five further passes — steady-state latency, not one sample of it,
+// because a single 32-query pass on a loaded box can read several tens of
+// percent high and the inmemory/quantized ratio below gates CI.
 //
 // Env knobs: LCCS_BENCH_N (default 100000; the paper-scale run uses
 // 1000000), LCCS_BENCH_QUERIES (default 32), LCCS_BENCH_BUDGET_MB.
@@ -27,6 +37,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -42,6 +53,7 @@
 #include "eval/workloads.h"
 #include "storage/flat_file.h"
 #include "storage/mmap_store.h"
+#include "storage/quantized_store.h"
 #include "util/random.h"
 #include "util/timer.h"
 
@@ -52,6 +64,10 @@ struct ChildReport {
   double build_s = 0.0;
   double cold_ms = 0.0;
   double warm_ms = 0.0;
+  /// False when the timed "build" did no indexing work (LinearScan just
+  /// retains the store) — the JSON then reports build_s as null instead of
+  /// a microsecond-scale timer artifact.
+  bool builds = false;
 };
 
 struct RunResult {
@@ -119,10 +135,15 @@ ChildReport RunChild(const std::string& flat_path, const std::string& mode,
   data.name = "disk-store-bench";
   data.metric = util::Metric::kEuclidean;
   std::shared_ptr<storage::MmapStore> mapped;
-  if (mode == "mmap") {
+  if (mode == "mmap" || mode == "quantized") {
     storage::MmapStore::Options options;
     options.verify_checksum = false;  // this process's parent just wrote it
-    options.residency_budget_bytes = budget_bytes;
+    // The quantized tier serves exact rerank rows through the copy-gather
+    // path (pread), never through resident pages, so its mapping only needs
+    // budget for the sequential build/encode sweeps — an eighth of the
+    // exact tier's keeps the RSS high-water down without touching latency.
+    options.residency_budget_bytes =
+        mode == "quantized" ? budget_bytes / 8 : budget_bytes;
     mapped = storage::MmapStore::Open(flat_path, options);
     data.data = mapped;
   } else {
@@ -134,8 +155,21 @@ ChildReport RunChild(const std::string& flat_path, const std::string& mode,
   {
     util::Timer timer;
     index->Build(data);
+    if (mode == "quantized") {
+      // Order matters for peak RSS: free the CSA next-links *before*
+      // allocating the code arrays, so the high-water mark never holds both.
+      if (auto* lccs_index =
+              dynamic_cast<baselines::LccsLshIndex*>(index.get())) {
+        lccs_index->ReleaseNextLinks();
+      }
+      if (storage::EnsureQuantized(data.data.store(), data.metric) ==
+          nullptr) {
+        throw std::runtime_error("quantized tier failed to attach");
+      }
+    }
     report.build_s = timer.ElapsedSeconds();
   }
+  report.builds = index->IndexSizeBytes() > 0 || mode == "quantized";
   if (mapped != nullptr) {
     mapped->ReleaseResidency();  // the cold pass below faults pages back in
   }
@@ -149,6 +183,9 @@ ChildReport RunChild(const std::string& flat_path, const std::string& mode,
   };
   report.cold_ms = pass_ms();
   report.warm_ms = pass_ms();
+  for (int rep = 1; rep < 5; ++rep) {
+    report.warm_ms = std::min(report.warm_ms, pass_ms());
+  }
   return report;
 }
 
@@ -222,7 +259,7 @@ int Run(int argc, char** argv) {
 
   std::vector<RunResult> results;
   for (const std::string index_name : {"LinearScan", "LCCS-LSH"}) {
-    for (const std::string mode : {"inmemory", "mmap"}) {
+    for (const std::string mode : {"inmemory", "mmap", "quantized"}) {
       std::cout << index_name << " / " << mode << "..." << std::flush;
       results.push_back(ForkRun(flat_path, index_name, mode, queries,
                                 num_queries, dim,
@@ -245,19 +282,50 @@ int Run(int argc, char** argv) {
   for (size_t i = 0; i < results.size(); ++i) {
     const RunResult& r = results[i];
     out << "    {\"index\": \"" << r.index << "\", \"mode\": \"" << r.mode
-        << "\", \"build_s\": " << r.timings.build_s
-        << ", \"cold_ms_per_query\": " << r.timings.cold_ms
+        << "\", \"build_s\": ";
+    if (r.timings.builds) {
+      out << r.timings.build_s;
+    } else {
+      out << "null";  // no index construction happened; the timer would
+                      // report sub-microsecond noise
+    }
+    out << ", \"cold_ms_per_query\": " << r.timings.cold_ms
         << ", \"warm_ms_per_query\": " << r.timings.warm_ms
         << ", \"peak_rss_mb\": " << r.peak_rss_mb << "}"
         << (i + 1 < results.size() ? "," : "") << "\n";
   }
+  const auto find_run = [&](const std::string& index,
+                            const std::string& mode) -> const RunResult* {
+    for (const RunResult& r : results) {
+      if (r.index == index && r.mode == mode) return &r;
+    }
+    return nullptr;
+  };
+  const std::vector<std::string> index_names = {"LinearScan", "LCCS-LSH"};
   out << "  ],\n  \"rss_ratio_mmap_vs_inmemory\": {\n";
-  for (size_t i = 0; i + 1 < results.size(); i += 2) {
-    const double ratio = results[i + 1].peak_rss_mb / results[i].peak_rss_mb;
-    out << "    \"" << results[i].index << "\": " << ratio
-        << (i + 2 < results.size() ? "," : "") << "\n";
-    std::cout << results[i].index << ": mmap peak RSS is " << ratio * 100.0
+  for (size_t i = 0; i < index_names.size(); ++i) {
+    const RunResult* heap = find_run(index_names[i], "inmemory");
+    const RunResult* mm = find_run(index_names[i], "mmap");
+    const double ratio = mm->peak_rss_mb / heap->peak_rss_mb;
+    out << "    \"" << index_names[i] << "\": " << ratio
+        << (i + 1 < index_names.size() ? "," : "") << "\n";
+    std::cout << index_names[i] << ": mmap peak RSS is " << ratio * 100.0
               << "% of in-memory\n";
+  }
+  // The quantized-tier acceptance gates (ROADMAP "Quantized candidate
+  // tier"): RSS <= 35% of the in-memory run and warm latency <= 1.5x it.
+  out << "  },\n  \"quantized_vs_inmemory\": {\n";
+  for (size_t i = 0; i < index_names.size(); ++i) {
+    const RunResult* heap = find_run(index_names[i], "inmemory");
+    const RunResult* quant = find_run(index_names[i], "quantized");
+    const double rss_ratio = quant->peak_rss_mb / heap->peak_rss_mb;
+    const double warm_ratio = quant->timings.warm_ms / heap->timings.warm_ms;
+    out << "    \"" << index_names[i] << "\": {\"rss_ratio\": " << rss_ratio
+        << ", \"warm_latency_ratio\": " << warm_ratio << "}"
+        << (i + 1 < index_names.size() ? "," : "") << "\n";
+    std::cout << index_names[i] << ": quantized peak RSS is "
+              << rss_ratio * 100.0 << "% of in-memory, warm latency "
+              << warm_ratio << "x\n";
   }
   out << "  }\n}\n";
   std::cout << "wrote " << out_path << "\n";

@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "storage/quantized_store.h"
+#include "storage/vector_store.h"
 #include "util/matrix.h"
 #include "util/metric.h"
 #include "util/random.h"
@@ -105,6 +107,95 @@ BENCHMARK(BM_VerifyBatched)->Arg(128)->Arg(960)
     ->Unit(benchmark::kMicrosecond);
 
 // ---------------------------------------------------------------------------
+// int8 quantized candidate scoring (storage/quantized_store.h). Same gather
+// shape as the float rows above, but each candidate is d *bytes* of codes +
+// one integer dot product — the first pass of two-phase verification.
+// GB/s here is of code bytes, so compare rows/s (not GB/s) against the
+// float kernels: at equal scan rates the int8 tier moves 4x fewer bytes.
+
+struct QuantizedFixture {
+  storage::InMemoryStore store;
+  std::shared_ptr<const storage::QuantizedStore> quantized;
+  storage::QuantizedStore::PreparedQuery pq;
+  std::vector<int32_t> ids;
+  std::vector<float> out;
+
+  explicit QuantizedFixture(size_t d)
+      : store([d] {
+          util::Matrix m(kRows, d);
+          util::Rng rng(42);
+          rng.FillGaussian(m.data(), kRows * d);
+          return m;
+        }()),
+        ids(kCandidates),
+        out(kCandidates) {
+    quantized =
+        storage::QuantizedStore::Build(store, util::Metric::kEuclidean);
+    std::vector<float> query(d);
+    util::Rng rng(43);
+    rng.FillGaussian(query.data(), d);
+    pq = quantized->Prepare(query.data());
+    for (size_t i = 0; i < kCandidates; ++i) {
+      ids[i] = static_cast<int32_t>(rng.NextBounded(kRows));
+    }
+  }
+};
+
+void SetCodeBytes(benchmark::State& state, size_t d) {
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kCandidates * d));
+}
+
+// Pinned-tier inner loop: the per-candidate kernel alone, bypassing the
+// dispatch, so scalar and AVX2 rows isolate the instruction-set delta.
+void RunDotCodesBench(benchmark::State& state, util::SimdTier tier) {
+  const auto d = static_cast<size_t>(state.range(0));
+  const QuantizedFixture f(d);
+  for (auto _ : state) {
+    int64_t acc = 0;
+    for (const int32_t id : f.ids) {
+      acc += util::simd::DotCodesI8Tier(
+          tier, f.quantized->Codes(static_cast<size_t>(id)),
+          f.pq.weights.data(), d);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  SetCodeBytes(state, d);
+}
+
+void BM_DotCodesI8Scalar(benchmark::State& state) {
+  RunDotCodesBench(state, util::SimdTier::kScalar);
+}
+
+void BM_DotCodesI8Avx2(benchmark::State& state) {
+  if (util::ActiveSimdTier() != util::SimdTier::kAvx2) {
+    state.SkipWithError("AVX2 tier unavailable on this host");
+    return;
+  }
+  RunDotCodesBench(state, util::SimdTier::kAvx2);
+}
+
+// The production entry point: dispatch + float combination per candidate,
+// what LCCS/linear-scan query paths actually pay per pruned candidate.
+void BM_QuantizedScoreCandidates(benchmark::State& state) {
+  const auto d = static_cast<size_t>(state.range(0));
+  QuantizedFixture f(d);
+  for (auto _ : state) {
+    f.quantized->ScoreCandidates(f.pq, f.ids.data(), kCandidates, 0,
+                                 f.out.data());
+    benchmark::DoNotOptimize(f.out.data());
+  }
+  SetCodeBytes(state, d);
+}
+
+BENCHMARK(BM_DotCodesI8Scalar)->Arg(128)->Arg(960)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_DotCodesI8Avx2)->Arg(128)->Arg(960)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_QuantizedScoreCandidates)->Arg(128)->Arg(960)
+    ->Unit(benchmark::kMicrosecond);
+
+// ---------------------------------------------------------------------------
 // Persistent pool vs spawn-per-call, at serving batch sizes. Per-item work
 // models one small query verification (64 rows at d = 128).
 
@@ -174,11 +265,67 @@ BENCHMARK(BM_ParallelForSpawn)->Arg(1)->Arg(8)->Arg(64)
 BENCHMARK(BM_ParallelForPool)->Arg(1)->Arg(8)->Arg(64)
     ->Unit(benchmark::kMicrosecond);
 
+// Correctness gate run before the timing rows: quantize-then-rerank top-10
+// (score every row int8, keep 3 * k, exact-rerank the survivors) must agree
+// with exact-only top-10 to >= 99% recall across 32 queries. A quantizer
+// regression fails the benchmark binary loudly instead of silently shipping
+// pretty-but-wrong GB/s numbers.
+double QuantizedRerankAgreement() {
+  constexpr size_t d = 128, k = 10, num_queries = 32;
+  QuantizedFixture f(d);
+  util::Matrix queries(num_queries, d);
+  util::Rng rng(44);
+  rng.FillGaussian(queries.data(), num_queries * d);
+
+  const size_t keep = 3 * k;
+  std::vector<float> scores(kRows);
+  double hits = 0.0;
+  for (size_t qi = 0; qi < num_queries; ++qi) {
+    const float* query = queries.Row(qi);
+    util::TopK exact(k);
+    util::VerifyCandidates(util::Metric::kEuclidean, f.store.data(), d,
+                           query, nullptr, kRows, exact, 0);
+
+    const auto pq = f.quantized->Prepare(query);
+    f.quantized->ScoreCandidates(pq, nullptr, kRows, 0, scores.data());
+    storage::RerankSelector selector(keep);
+    for (size_t i = 0; i < kRows; ++i) {
+      selector.Offer(scores[i], static_cast<int32_t>(i));
+    }
+    const std::vector<int32_t> pruned = selector.TakeAscendingIds();
+    util::TopK reranked(k);
+    util::VerifyCandidates(util::Metric::kEuclidean, f.store.data(), d,
+                           query, pruned.data(), pruned.size(), reranked);
+
+    const auto want = exact.Sorted();
+    const auto got = reranked.Sorted();
+    for (const util::Neighbor& w : want) {
+      for (const util::Neighbor& g : got) {
+        if (g.id == w.id) {
+          hits += 1.0;
+          break;
+        }
+      }
+    }
+  }
+  return hits / static_cast<double>(k * num_queries);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const double agreement = QuantizedRerankAgreement();
+  if (agreement < 0.99) {
+    std::fprintf(stderr,
+                 "FATAL: quantize-then-rerank recall@10 = %.4f < 0.99 — the "
+                 "int8 tier is mis-ranking candidates\n",
+                 agreement);
+    return 1;
+  }
+  benchmark::AddCustomContext("quantized_rerank_recall_at_10",
+                              std::to_string(agreement));
   // Which kernel tier the dispatch selected — the README's "how do I check
   // what's active" knob. Ends up in the JSON context block too.
   benchmark::AddCustomContext(

@@ -58,6 +58,13 @@ class LccsLshIndex : public AnnIndex {
   /// Likewise the probe count (the CSA is probe-agnostic).
   void set_num_probes(size_t num_probes);
 
+  /// Forwards core::LccsLsh::ReleaseNextLinks — drops a third of the CSA's
+  /// memory for memory-tight serving (bench/disk_store quantized mode);
+  /// queries stay exact, serialization of this instance becomes impossible.
+  void ReleaseNextLinks() {
+    if (scheme_) scheme_->ReleaseNextLinks();
+  }
+
   /// Access to the wrapped scheme (tests and diagnostics).
   const core::MpLccsLsh& scheme() const { return *scheme_; }
 

@@ -2,12 +2,42 @@
 
 #include <algorithm>
 #include <cassert>
+#include <vector>
 
+#include "storage/quantized_store.h"
 #include "util/simd_distance.h"
 #include "util/thread_pool.h"
 
 namespace lccs {
 namespace baselines {
+
+namespace {
+
+/// Quantized first pass of a full scan: scores all n rows on the int8 codes
+/// (contiguous, heap-resident) and keeps the best k' live rows, ascending.
+/// Shared by Query and QueryBatch so both produce the identical pruned set.
+std::vector<int32_t> QuantizedSweep(const storage::QuantizedStore& qs,
+                                    const storage::QuantizedStore::PreparedQuery& pq,
+                                    size_t row_offset, size_t n, size_t keep,
+                                    const uint8_t* deleted) {
+  storage::RerankSelector selector(keep);
+  // Block the contiguous sweep so the score buffer stays cache-resident.
+  constexpr size_t kBlock = 4096;
+  std::vector<float> scores(std::min(n, kBlock));
+  for (size_t row = 0; row < n; row += kBlock) {
+    const size_t len = std::min(kBlock, n - row);
+    qs.ScoreCandidates(pq, /*ids=*/nullptr, len, row_offset + row,
+                       scores.data());
+    for (size_t i = 0; i < len; ++i) {
+      const size_t id = row + i;
+      if (deleted != nullptr && deleted[id] != 0) continue;
+      selector.Offer(scores[i], static_cast<int32_t>(id));
+    }
+  }
+  return selector.TakeAscendingIds();
+}
+
+}  // namespace
 
 void LinearScan::Build(const dataset::Dataset& data) {
   store_ = data.data.store();
@@ -26,6 +56,20 @@ std::vector<util::Neighbor> LinearScan::Query(const float* query,
   const size_t d = store_->cols();
   const size_t n = store_->rows();
   const float* base = store_->data();
+  size_t qoff = 0;
+  const storage::QuantizedStore* qs =
+      storage::ActiveQuantized(store_.get(), metric_, &qoff);
+  if (qs != nullptr && k > 0 && n > storage::RerankKeep(k)) {
+    // Two-phase scan: rank every row on the in-RAM codes, fetch only the
+    // k' survivors' exact rows. Turns an O(n) disk sweep into an O(n)
+    // in-RAM sweep plus k' faults for an mmap-backed store.
+    const std::vector<int32_t> pruned = QuantizedSweep(
+        *qs, qs->Prepare(query), qoff, n, storage::RerankKeep(k),
+        deleted_rows());
+    storage::ExactRerank(*store_, metric_, query, pruned.data(),
+                         pruned.size(), topk);
+    return topk.Sorted();
+  }
   const size_t block =
       d > 0 ? std::max<size_t>(4, (size_t{4} << 20) / (d * sizeof(float))) : n;
   for (size_t row = 0; row < n; row += block) {
@@ -47,6 +91,29 @@ std::vector<std::vector<util::Neighbor>> LinearScan::QueryBatch(
   const float* base = store_->data();
   const storage::VectorStore& rows = *store_;
   const uint8_t* deleted = deleted_rows();
+  size_t qoff = 0;
+  const storage::QuantizedStore* qs =
+      storage::ActiveQuantized(store_.get(), metric_, &qoff);
+  if (qs != nullptr && k > 0 && n > storage::RerankKeep(k)) {
+    // Same two-phase sweep as Query, one query per ParallelFor item — the
+    // pruned sets (and therefore results) match the per-query path exactly.
+    std::vector<std::vector<util::Neighbor>> pruned_results(num_queries);
+    util::ParallelFor(
+        num_queries,
+        [&](size_t begin, size_t end) {
+          for (size_t q = begin; q < end; ++q) {
+            const std::vector<int32_t> pruned = QuantizedSweep(
+                *qs, qs->Prepare(queries + q * d), qoff, n,
+                storage::RerankKeep(k), deleted);
+            util::TopK topk(k);
+            storage::ExactRerank(rows, metric, queries + q * d,
+                                 pruned.data(), pruned.size(), topk);
+            pruned_results[q] = topk.Sorted();
+          }
+        },
+        num_threads);
+    return pruned_results;
+  }
   // Cache blocking: a block of rows is verified against every query in the
   // chunk before moving on, so the block stays resident across queries.
   // ~128 KiB of rows per block.

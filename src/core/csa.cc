@@ -22,6 +22,11 @@ void CircularShiftArray::Build(const HashValue* strings, size_t n, size_t m) {
   data_.assign(strings, strings + n * m);
   sorted_.assign(m * n, 0);
   next_.assign(m * n, 0);
+  if (next_released_) {
+    // Rebuilding restores the links a prior ReleaseNextLinks dropped.
+    next_released_ = false;
+    use_narrowing_ = true;
+  }
 
   // Shift 0 is sorted directly with the circular comparator (ties by id so
   // builds are deterministic).
@@ -384,7 +389,19 @@ void ReadVector(std::istream& in, std::vector<T>* v, uint64_t expected) {
 
 }  // namespace
 
+void CircularShiftArray::ReleaseNextLinks() {
+  std::vector<int32_t>().swap(next_);
+  use_narrowing_ = false;
+  next_released_ = true;
+}
+
 void CircularShiftArray::Serialize(std::ostream& out) const {
+  if (next_released_) {
+    // Programming error, not data corruption: the caller chose the
+    // memory-tight mode and must persist before releasing.
+    throw std::logic_error(
+        "CSA: cannot serialize after ReleaseNextLinks (next links gone)");
+  }
   out.write(kMagic, sizeof(kMagic));
   WritePod(out, static_cast<uint64_t>(n_));
   WritePod(out, static_cast<uint64_t>(m_));

@@ -112,6 +112,18 @@ class CircularShiftArray {
            sorted_.size() * sizeof(int32_t) + next_.size() * sizeof(int32_t);
   }
 
+  /// Frees the next-link arrays (N_i, one third of the index) and disables
+  /// narrowing. Next links only accelerate the binary-search cascade
+  /// (Corollary 3.2) and back Serialize; a memory-tight deployment — e.g.
+  /// bench/disk_store's quantized mode chasing an RSS ceiling — can drop
+  /// them after Build and still answer every query exactly (the ablation
+  /// equivalence property: full-range searches return identical results).
+  /// Irreversible for this instance; Serialize afterwards throws
+  /// std::logic_error rather than writing a structure Deserialize could not
+  /// rebuild.
+  void ReleaseNextLinks();
+  bool next_links_released() const { return next_released_; }
+
   /// Ablation switch: when disabled, Search performs a full-range binary
   /// search on every shift instead of the next-link-narrowed cascade of
   /// Corollary 3.2. Results are identical; only the query cost changes
@@ -248,6 +260,7 @@ class CircularShiftArray {
   size_t n_ = 0;
   size_t m_ = 0;
   bool use_narrowing_ = true;
+  bool next_released_ = false;
   std::vector<HashValue> data_;  // n x m, row-major
   std::vector<int32_t> sorted_;  // m x n: I_i
   std::vector<int32_t> next_;    // m x n: N_i

@@ -16,6 +16,7 @@
 #include "core/stream_io.h"
 #include "storage/flat_file.h"
 #include "storage/mmap_store.h"
+#include "storage/quantized_store.h"
 #include "util/simd_distance.h"
 #include "util/thread_pool.h"
 
@@ -24,9 +25,11 @@ namespace core {
 
 namespace {
 
-// Version 2: an epoch-storage-kind byte follows the row count (inline
-// floats vs a path + checksum reference to the backing flat file).
-constexpr char kStateMagic[8] = {'L', 'C', 'C', 'S', 'D', 'Y', 'N', '2'};
+// Version 3: a has-quantized-codebook byte (and, when set, the codebook
+// itself — codes are re-encoded from the floats at load) follows the epoch
+// index payload. Version 2 added the epoch-storage-kind byte after the row
+// count (inline floats vs a path + checksum reference to a flat file).
+constexpr char kStateMagic[8] = {'L', 'C', 'C', 'S', 'D', 'Y', 'N', '3'};
 constexpr char kStreamName[] = "dynamic index stream";
 
 // Epoch storage kinds of the state stream.
@@ -97,7 +100,7 @@ std::unique_lock<std::shared_mutex> DynamicIndex::WriteLock() const {
 
 std::shared_ptr<EpochState> DynamicIndex::BuildEpoch(
     const Factory& factory, util::Metric metric, size_t dim,
-    storage::VectorStoreRef rows, std::vector<int32_t> ids) {
+    storage::VectorStoreRef rows, std::vector<int32_t> ids, bool quantize) {
   auto epoch = std::make_shared<EpochState>();
   epoch->data.name = "dynamic-epoch";
   epoch->data.metric = metric;
@@ -112,6 +115,12 @@ std::shared_ptr<EpochState> DynamicIndex::BuildEpoch(
     epoch->index = factory();
     epoch->index->Build(epoch->data);
     epoch->index->set_deleted_filter(&epoch->deleted);
+    if (quantize) {
+      // After the index build on purpose: building first lets the index
+      // free its scratch before the codes (1 byte/dim/row) are allocated,
+      // keeping peak RSS at max(build, serve) instead of their sum.
+      storage::EnsureQuantized(epoch->data.data.store(), metric);
+    }
   }
   return epoch;
 }
@@ -142,7 +151,7 @@ void DynamicIndex::Build(const dataset::Dataset& data) {
     std::vector<int32_t> ids(data.n());
     for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int32_t>(i);
     auto epoch = BuildEpoch(factory_, data.metric, data.dim(), std::move(rows),
-                            std::move(ids));
+                            std::move(ids), options_.quantize);
 
     auto lock = WriteLock();
     options_.metric = data.metric;
@@ -309,7 +318,18 @@ void DynamicIndex::EnsureDeltaCapacityLocked() {
   const size_t capacity =
       delta_ == nullptr ? kInitialDeltaCapacity
                         : std::max(kInitialDeltaCapacity, delta_->capacity * 2);
-  auto grown = std::make_shared<DeltaBuffer>(capacity, d);
+  // The generation chain keeps one codebook: a grown buffer inherits its
+  // predecessor's (the codes are copied verbatim below), and the first
+  // buffer adopts the epoch's quantized sibling if one exists — so delta
+  // rows are always scorable under the same codebook the epoch uses.
+  std::shared_ptr<const storage::QuantizedStore> codebook;
+  if (delta_ != nullptr) {
+    codebook = delta_->codebook;
+  } else if (options_.quantize && epoch_ != nullptr &&
+             epoch_->data.data.store() != nullptr) {
+    codebook = epoch_->data.data.store()->QuantizedShared();
+  }
+  auto grown = std::make_shared<DeltaBuffer>(capacity, d, std::move(codebook));
   if (delta_len_ > 0) {
     // Clone the used prefix; snapshots pinning the old generation keep
     // reading it untouched. Stamps transfer verbatim — they are versions,
@@ -322,6 +342,11 @@ void DynamicIndex::EnsureDeltaCapacityLocked() {
       grown->deleted_at[s].store(
           delta_->deleted_at[s].load(std::memory_order_relaxed),
           std::memory_order_relaxed);
+    }
+    if (grown->codebook != nullptr) {
+      std::memcpy(grown->codes.get(), delta_->codes.get(), delta_len_ * d);
+      std::memcpy(grown->terms.get(), delta_->terms.get(),
+                  delta_len_ * sizeof(float));
     }
   }
   delta_ = std::move(grown);
@@ -343,6 +368,11 @@ int32_t DynamicIndex::Insert(const float* vec) {
     // readers never touch this memory, so the plain writes are race-free.
     std::memcpy(delta_->rows.get() + slot * options_.dim, vec,
                 options_.dim * sizeof(float));
+    if (delta_->codebook != nullptr) {
+      delta_->codebook->EncodeRow(vec,
+                                  delta_->codes.get() + slot * options_.dim,
+                                  &delta_->terms[slot]);
+    }
     delta_->ids[slot] = id;
     ++delta_len_;
     ++version_;
@@ -578,7 +608,8 @@ void DynamicIndex::RunRebuild() {
     // lock held, from the immutable capture. Old epoch keeps serving, and
     // snapshots acquired before the install below stay pinned to it.
     auto epoch = BuildEpoch(factory_, options_.metric, options_.dim,
-                            std::move(rows), std::move(ids));
+                            std::move(rows), std::move(ids),
+                            options_.quantize);
 
     // Install: reconcile mutations that raced the build, then swap.
     {
@@ -613,12 +644,26 @@ void DynamicIndex::RunRebuild() {
         delta_.reset();
         delta_len_ = 0;
       } else {
+        // The fresh generation adopts the *new* epoch's codebook (min/max
+        // ranges moved with the consolidated points), so leftover rows are
+        // re-encoded rather than copied — the old codes were under the old
+        // codebook.
+        std::shared_ptr<const storage::QuantizedStore> codebook;
+        if (options_.quantize && epoch->data.data.store() != nullptr) {
+          codebook = epoch->data.data.store()->QuantizedShared();
+        }
         auto fresh = std::make_shared<DeltaBuffer>(
-            std::max(kInitialDeltaCapacity, 2 * leftover), d);
+            std::max(kInitialDeltaCapacity, 2 * leftover), d,
+            std::move(codebook));
         for (size_t s = 0; s < leftover; ++s) {
           const size_t src = delta_end + s;
           std::memcpy(fresh->rows.get() + s * d, delta_->rows.get() + src * d,
                       d * sizeof(float));
+          if (fresh->codebook != nullptr) {
+            fresh->codebook->EncodeRow(fresh->rows.get() + s * d,
+                                       fresh->codes.get() + s * d,
+                                       &fresh->terms[s]);
+          }
           fresh->ids[s] = delta_->ids[src];
           fresh->deleted_at[s].store(
               delta_->deleted_at[src].load(std::memory_order_relaxed),
@@ -736,6 +781,19 @@ void DynamicIndex::SerializeState(std::ostream& out, const EpochWriter& writer,
     const uint8_t has_index = epoch_->index != nullptr ? 1 : 0;
     WritePod(out, has_index);
     if (has_index) writer(out, *epoch_->index);
+    // Quantized tier: only the codebook is persisted — codes are a pure
+    // function of (floats, codebook) and re-encode deterministically at
+    // load, so the save stays small and a corrupt-code class of failures
+    // cannot exist. QuantizedShared (not ActiveQuantized) on purpose: the
+    // attachment is state; the LCCS_QUANTIZED escape hatch is serving
+    // policy and must not silently strip saves.
+    std::shared_ptr<const storage::QuantizedStore> quantized =
+        epoch_->data.data.store() != nullptr
+            ? epoch_->data.data.store()->QuantizedShared()
+            : nullptr;
+    const uint8_t has_quantized = quantized != nullptr ? 1 : 0;
+    WritePod(out, has_quantized);
+    if (has_quantized) quantized->SerializeCodebook(out);
   }
 
   // Delta region, same flattened layout as the vectors it replaced.
@@ -879,6 +937,23 @@ std::unique_ptr<DynamicIndex> DynamicIndex::DeserializeState(
     }
     epoch->index = reader(in, epoch->data);
     epoch->index->set_deleted_filter(&epoch->deleted);
+    uint8_t has_quantized = 0;
+    ReadPod(in, &has_quantized);
+    if (has_quantized > 1) {
+      throw std::runtime_error(
+          "dynamic index stream corrupt: bad quantized flag");
+    }
+    if (has_quantized) {
+      // Validates magic/cols/checksum before allocating, then re-encodes
+      // the codes from the restored floats — deterministic, so the tier
+      // serves identically to the one that was saved.
+      storage::QuantizedStore::Codebook codebook =
+          storage::QuantizedStore::DeserializeCodebook(in, dim);
+      auto store = epoch->data.data.store();
+      store->AttachQuantized(std::make_shared<const storage::QuantizedStore>(
+          *store, options.metric, std::move(codebook)));
+      index->options_.quantize = true;
+    }
   }
   // Saved epoch tombstones are all base tombstones (stamps collapse at save
   // time); no row is stamped post-install yet.
@@ -936,12 +1011,27 @@ std::unique_ptr<DynamicIndex> DynamicIndex::DeserializeState(
   index->delta_len_ = delta_ids.size();
   index->version_ = 1;
   if (index->delta_len_ > 0) {
+    // A restored quantized epoch lends its codebook to the delta, exactly
+    // as EnsureDeltaCapacityLocked would; loaded rows re-encode below.
+    std::shared_ptr<const storage::QuantizedStore> codebook;
+    if (index->options_.quantize &&
+        index->epoch_->data.data.store() != nullptr) {
+      codebook = index->epoch_->data.data.store()->QuantizedShared();
+    }
     auto delta = std::make_shared<DeltaBuffer>(
-        std::max(kInitialDeltaCapacity, 2 * index->delta_len_), dim);
+        std::max(kInitialDeltaCapacity, 2 * index->delta_len_), dim,
+        std::move(codebook));
     std::memcpy(delta->rows.get(), delta_rows.data(),
                 delta_rows.size() * sizeof(float));
     std::memcpy(delta->ids.get(), delta_ids.data(),
                 delta_ids.size() * sizeof(int32_t));
+    if (delta->codebook != nullptr) {
+      for (size_t s = 0; s < delta_ids.size(); ++s) {
+        delta->codebook->EncodeRow(delta->rows.get() + s * dim,
+                                   delta->codes.get() + s * dim,
+                                   &delta->terms[s]);
+      }
+    }
     for (size_t s = 0; s < delta_dead.size(); ++s) {
       if (delta_dead[s]) {
         delta->deleted_at[s].store(1, std::memory_order_relaxed);

@@ -5,11 +5,53 @@
 #include <cstdlib>
 #include <utility>
 
+#include "storage/quantized_store.h"
 #include "util/simd_distance.h"
 #include "util/thread_pool.h"
 
 namespace lccs {
 namespace core {
+
+namespace {
+
+/// First pass of two-phase verification: scores every live candidate on the
+/// store's quantized sibling (heap-resident int8 codes — no disk faults) and
+/// keeps the best k' = RerankKeep(k) ids, returned ascending so the exact
+/// rerank scores them in a deterministic order. Returns false — caller runs
+/// the classic exact-only path — when no quantized tier is active or the
+/// live candidate list is not larger than k' (then pruning could only drop
+/// candidates the exact pass would have scored anyway, so the quantized and
+/// exact paths degenerate to the same verification).
+bool QuantizedPrune(const storage::VectorStore& store, util::Metric metric,
+                    const float* query,
+                    const std::vector<LccsCandidate>& cands,
+                    const uint8_t* deleted, size_t k,
+                    std::vector<int32_t>* pruned) {
+  size_t row_offset = 0;
+  const storage::QuantizedStore* qs =
+      storage::ActiveQuantized(&store, metric, &row_offset);
+  if (qs == nullptr || k == 0) return false;
+  const size_t keep = storage::RerankKeep(k);
+  std::vector<int32_t> live;
+  live.reserve(cands.size());
+  for (const LccsCandidate& c : cands) {
+    if (deleted != nullptr && deleted[c.id] != 0) continue;
+    live.push_back(c.id);
+  }
+  if (live.size() <= keep) return false;
+  const storage::QuantizedStore::PreparedQuery pq = qs->Prepare(query);
+  std::vector<float> scores(live.size());
+  qs->ScoreCandidates(pq, live.data(), live.size(), row_offset,
+                      scores.data());
+  storage::RerankSelector selector(keep);
+  for (size_t i = 0; i < live.size(); ++i) {
+    selector.Offer(scores[i], live[i]);
+  }
+  *pruned = selector.TakeAscendingIds();
+  return true;
+}
+
+}  // namespace
 
 LccsLsh::LccsLsh(std::unique_ptr<lsh::HashFamily> family, util::Metric metric)
     : family_(std::move(family)), metric_(metric) {
@@ -106,6 +148,16 @@ std::vector<util::Neighbor> LccsLsh::Query(const float* query, size_t k,
   AppendCandidates(query, scratch->hash.data(), CandidateBudget(k, lambda),
                    scratch.get(), &candidates);
   std::vector<int32_t> ids;
+  if (QuantizedPrune(*store_, metric_, query, candidates, deleted_rows(), k,
+                     &ids)) {
+    // Two-phase path: only the k' survivors' exact rows are touched — in
+    // place for heap stores, via a copy gather for budget-mapped ones. The
+    // pruned list is already tombstone-filtered.
+    util::TopK topk(k);
+    storage::ExactRerank(*store_, metric_, query, ids.data(), ids.size(),
+                         topk);
+    return topk.Sorted();
+  }
   ids.reserve(candidates.size());
   for (const LccsCandidate& c : candidates) ids.push_back(c.id);
   store_->PrefetchRows(ids.data(), ids.size());
@@ -170,6 +222,31 @@ std::vector<std::vector<util::Neighbor>> LccsLsh::QueryBatch(
                             &cands[q]});
           }
           csa_.CollectFromHeapInterleaved(jobs.data(), jobs.size(), count);
+        }
+      },
+      num_threads);
+
+  // Phase 2.5: quantized first-pass prune. When the store carries an active
+  // quantized sibling, each query's candidate list is rewritten to its k'
+  // survivors (ascending ids, tombstones already dropped) before the exact
+  // phases — so the blocked gather below faults only survivor rows, exactly
+  // like the per-query two-phase path. The rewrite preserves the
+  // Query ≡ QueryBatch identity: both paths verify the same pruned set in
+  // the same ascending order.
+  util::ParallelFor(
+      num_queries,
+      [&](size_t begin, size_t end) {
+        std::vector<int32_t> pruned;
+        for (size_t q = begin; q < end; ++q) {
+          if (!QuantizedPrune(*store_, metric_, queries + q * d_, cands[q],
+                              deleted, k, &pruned)) {
+            continue;
+          }
+          std::vector<LccsCandidate> replaced(pruned.size());
+          for (size_t i = 0; i < pruned.size(); ++i) {
+            replaced[i] = LccsCandidate{pruned[i], 0};
+          }
+          cands[q] = std::move(replaced);
         }
       },
       num_threads);

@@ -88,6 +88,11 @@ class LccsLsh {
   /// CircularShiftArray::set_use_narrowing).
   void set_use_narrowing(bool enabled) { csa_.set_use_narrowing(enabled); }
 
+  /// Frees the CSA's next-link arrays (one third of the index) at the cost
+  /// of full-range binary searches per shift; results are unchanged. See
+  /// CircularShiftArray::ReleaseNextLinks for the serialization caveat.
+  void ReleaseNextLinks() { csa_.ReleaseNextLinks(); }
+
   /// Binds a previously serialized CSA instead of hashing + rebuilding
   /// (see core/serialize.h). The CSA must have been built over exactly this
   /// data with this index's family; n/m consistency is checked.

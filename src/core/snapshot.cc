@@ -9,13 +9,21 @@
 namespace lccs {
 namespace core {
 
-DeltaBuffer::DeltaBuffer(size_t capacity_, size_t dim_)
+DeltaBuffer::DeltaBuffer(
+    size_t capacity_, size_t dim_,
+    std::shared_ptr<const storage::QuantizedStore> codebook_)
     : capacity(capacity_),
       dim(dim_),
       rows(new float[capacity_ * dim_]),
       ids(new int32_t[capacity_]),
       // Value-initialization zeroes the stamps: every slot starts live.
-      deleted_at(new std::atomic<uint64_t>[capacity_]()) {}
+      deleted_at(new std::atomic<uint64_t>[capacity_]()),
+      codebook(std::move(codebook_)) {
+  if (codebook != nullptr) {
+    codes.reset(new uint8_t[capacity_ * dim_]);
+    terms.reset(new float[capacity_]);
+  }
+}
 
 std::vector<util::Neighbor> Snapshot::FilterEpoch(
     std::vector<util::Neighbor> stat, size_t k) const {
@@ -61,6 +69,29 @@ std::vector<util::Neighbor> Snapshot::QueryDelta(
     const float* query, size_t k, const std::vector<int32_t>& live) const {
   if (live.empty() || k == 0) return {};
   util::TopK topk(k);
+  const size_t keep = storage::RerankKeep(k);
+  if (delta_->codebook != nullptr && live.size() > keep &&
+      storage::QuantizedServingEnabled()) {
+    // Quantized first pass over the delta codes, mirroring the epoch-side
+    // two-phase verification: the pruned slots come back ascending, the
+    // order the exact pass below offers them in — same as the unpruned
+    // path, since `live` is ascending too.
+    const storage::QuantizedStore& qs = *delta_->codebook;
+    const storage::QuantizedStore::PreparedQuery pq = qs.Prepare(query);
+    storage::RerankSelector selector(keep);
+    for (const int32_t slot : live) {
+      const float score =
+          qs.ScoreCodes(pq, delta_->codes.get() + static_cast<size_t>(slot) * dim_,
+                        delta_->terms[static_cast<size_t>(slot)]);
+      selector.Offer(score, slot);
+    }
+    const std::vector<int32_t> pruned = selector.TakeAscendingIds();
+    util::VerifyCandidates(metric_, delta_->rows.get(), dim_, query,
+                           pruned.data(), pruned.size(), topk);
+    std::vector<util::Neighbor> result = topk.Sorted();
+    for (util::Neighbor& nb : result) nb.id = delta_->ids[nb.id];
+    return result;
+  }
   util::VerifyCandidates(metric_, delta_->rows.get(), dim_, query,
                          live.data(), live.size(), topk);
   std::vector<util::Neighbor> result = topk.Sorted();

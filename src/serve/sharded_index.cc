@@ -95,6 +95,7 @@ ShardedIndex::ShardedIndex(core::DynamicIndex::Factory factory,
   shard_options.dim = options_.dim;
   shard_options.rebuild_threshold = options_.rebuild_threshold;
   shard_options.background_rebuild = options_.shard_background_rebuild;
+  shard_options.quantize = options_.quantize;
   shards_.reserve(options_.num_shards);
   local_to_global_.reserve(options_.num_shards);
   for (size_t s = 0; s < options_.num_shards; ++s) {
@@ -136,6 +137,7 @@ void ShardedIndex::Build(const dataset::Dataset& data) {
   shard_options.dim = d;
   shard_options.rebuild_threshold = options_.rebuild_threshold;
   shard_options.background_rebuild = options_.shard_background_rebuild;
+  shard_options.quantize = options_.quantize;
   shard_options.spill_dir = options_.spill_dir;
 
   // Build fresh shards outside the lock — queries keep serving the old
@@ -316,6 +318,7 @@ void ShardedIndex::RestoreCheckpointState(const CheckpointState& state) {
   shard_options.dim = d > 0 ? d : options_.dim;
   shard_options.rebuild_threshold = options_.rebuild_threshold;
   shard_options.background_rebuild = options_.shard_background_rebuild;
+  shard_options.quantize = options_.quantize;
   shard_options.spill_dir = options_.spill_dir;
 
   // Fresh shards are populated and built outside the lock — queries keep

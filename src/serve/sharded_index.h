@@ -128,6 +128,10 @@ class ShardedIndex : public baselines::AnnIndex {
     /// which bounds concurrent rebuilds globally — a per-shard trigger
     /// cannot.
     bool shard_background_rebuild = false;
+    /// Forwarded to every shard's DynamicIndex::Options::quantize: each
+    /// shard epoch gets an int8 storage::QuantizedStore sibling and serves
+    /// candidate scoring through the two-phase quantized pipeline.
+    bool quantize = false;
     /// Forwarded to every shard's DynamicIndex::Options::spill_dir: when
     /// non-empty, shard consolidations stream survivors to flat files there
     /// and serve them memory-mapped instead of materializing per-shard

@@ -79,6 +79,17 @@ class MmapStore : public VectorStore {
   void PrefetchRange(size_t begin, size_t n) const override;
   void NoteTouched(size_t n) const override;
   void NoteGather(size_t n) const override;
+  /// Under a residency budget, scattered rerank rows must be copied, not
+  /// faulted: an in-place gather maps a page per row (16 with fault-around)
+  /// and advances the drop clock, serially re-faulting the working set.
+  bool PrefersCopyGather() const override {
+    return options_.residency_budget_bytes > 0;
+  }
+  /// pread-based copy when a budget is active (the fd is kept open for
+  /// this): the rows come out of the page cache without touching the page
+  /// tables, so the copy neither grows RSS nor charges the clock. Without a
+  /// budget, the default in-place memcpy is used.
+  void ReadRowsInto(const int32_t* ids, size_t n, float* out) const override;
   const MmapStore* BackingMmap(size_t* row_offset) const override {
     if (row_offset != nullptr) *row_offset = 0;
     return this;
@@ -103,6 +114,9 @@ class MmapStore : public VectorStore {
   void DropLocked() const;
 
   Options options_;
+  /// Open file descriptor for the pread gather path; -1 when no residency
+  /// budget is active (the mapping alone then keeps the file referenced).
+  int fd_ = -1;
   size_t page_bytes_ = 4096;
   mutable std::atomic<size_t> touched_bytes_{0};
   mutable std::mutex release_mutex_;

@@ -1,0 +1,82 @@
+#ifndef LCCS_STORAGE_URING_READER_H_
+#define LCCS_STORAGE_URING_READER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lccs {
+namespace storage {
+
+/// Batched positional reads over io_uring, raw syscalls only (no liburing).
+///
+/// The quantized tier's exact rerank copy-gathers k' scattered rows per
+/// query out of the page cache (storage/mmap_store.cc ReadRowsInto). Issued
+/// as one pread(2) per row, the syscall overhead — ~0.5-1us each under
+/// modern mitigations — is the single largest serve-time cost of the tier
+/// at paper scale (20 rows ≈ 13us against a ~60us query). One ring submit
+/// covers the whole gather: every read is queued as an SQE and a single
+/// io_uring_enter(submit = n, wait = n) both ships and reaps them.
+///
+/// One reader per thread (Get() hands out a thread_local instance), so the
+/// ring needs no locking and there is never more than one batch in flight
+/// per ring: after each ReadBatch the queues are drained back to empty,
+/// which keeps the head/tail bookkeeping trivial.
+///
+/// Fallback, not a dependency: the first failed io_uring_setup (kernel
+/// built without it, seccomp sandbox, io_uring_disabled sysctl) latches a
+/// process-wide "unsupported" flag, Get() returns nullptr from then on, and
+/// every caller keeps its plain pread loop. Short reads inside a batch are
+/// reported per segment and finished by the caller the same way.
+class UringReader {
+ public:
+  /// One positional read: `len` bytes at file offset `off` into `buf`.
+  struct Segment {
+    void* buf;
+    uint64_t off;
+    uint32_t len;
+  };
+
+  ~UringReader();
+
+  UringReader(const UringReader&) = delete;
+  UringReader& operator=(const UringReader&) = delete;
+
+  /// The calling thread's reader, or nullptr when io_uring is unavailable
+  /// (then callers must use their synchronous fallback).
+  static UringReader* Get();
+
+  /// Reads all `n` segments from `fd`. Returns true when every segment
+  /// completed with exactly `len` bytes; false on any error or short read —
+  /// the caller falls back to pread for the whole batch (re-reading a
+  /// prefix that already landed is harmless: reads are idempotent).
+  /// Batches larger than the ring are shipped in ring-sized chunks.
+  bool ReadBatch(int fd, const Segment* segments, size_t n);
+
+ private:
+  UringReader() = default;
+
+  bool Init();
+  bool SubmitChunk(int fd, const Segment* segments, size_t n);
+
+  int ring_fd_ = -1;
+  unsigned sq_entries_ = 0;
+  // Mapped ring state (kernel-shared): see io_uring_setup(2).
+  void* sq_ring_ = nullptr;
+  size_t sq_ring_bytes_ = 0;
+  void* cq_ring_ = nullptr;  ///< == sq_ring_ under IORING_FEAT_SINGLE_MMAP
+  size_t cq_ring_bytes_ = 0;
+  void* sqes_ = nullptr;
+  size_t sqes_bytes_ = 0;
+  unsigned* sq_tail_ = nullptr;
+  unsigned* sq_mask_ = nullptr;
+  unsigned* sq_array_ = nullptr;
+  unsigned* cq_head_ = nullptr;
+  unsigned* cq_tail_ = nullptr;
+  unsigned* cq_mask_ = nullptr;
+  void* cqes_ = nullptr;
+};
+
+}  // namespace storage
+}  // namespace lccs
+
+#endif  // LCCS_STORAGE_URING_READER_H_

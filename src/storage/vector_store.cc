@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <stdexcept>
+#include <vector>
 
 namespace lccs {
 namespace storage {
@@ -37,6 +38,25 @@ void VectorStore::PrefetchRange(size_t begin, size_t n) const {
   const size_t prime = n < 4 ? n : 4;
   for (size_t i = 0; i < prime; ++i) PrefetchLine(Row(begin + i));
   NoteTouched(n);
+}
+
+void VectorStore::ReadRowsInto(const int32_t* ids, size_t n,
+                               float* out) const {
+  const size_t row_bytes = cols() * sizeof(float);
+  for (size_t i = 0; i < n; ++i) {
+    std::memcpy(out + i * cols(), Row(static_cast<size_t>(ids[i])),
+                row_bytes);
+  }
+}
+
+const QuantizedStore* VectorStore::AttachQuantized(
+    std::shared_ptr<const QuantizedStore> quantized) const {
+  std::lock_guard<std::mutex> lock(quantized_mu_);
+  if (quantized_ == nullptr && quantized != nullptr) {
+    quantized_ = std::move(quantized);
+    quantized_raw_.store(quantized_.get(), std::memory_order_release);
+  }
+  return quantized_.get();
 }
 
 std::string InMemoryStore::DebugName() const {
@@ -77,6 +97,19 @@ void SliceStore::PrefetchRange(size_t begin, size_t n) const {
   parent_->PrefetchRange(first_row_ + begin, n);
 }
 
+void SliceStore::ReadRowsInto(const int32_t* ids, size_t n,
+                              float* out) const {
+  if (first_row_ == 0) {
+    parent_->ReadRowsInto(ids, n, out);
+    return;
+  }
+  std::vector<int32_t> translated(n);
+  for (size_t i = 0; i < n; ++i) {
+    translated[i] = ids[i] + static_cast<int32_t>(first_row_);
+  }
+  parent_->ReadRowsInto(translated.data(), n, out);
+}
+
 const MmapStore* SliceStore::BackingMmap(size_t* row_offset) const {
   size_t parent_offset = 0;
   const MmapStore* backing = parent_->BackingMmap(&parent_offset);
@@ -84,6 +117,26 @@ const MmapStore* SliceStore::BackingMmap(size_t* row_offset) const {
     *row_offset = parent_offset + first_row_;
   }
   return backing;
+}
+
+const QuantizedStore* SliceStore::Quantized(size_t* row_offset) const {
+  // A sibling attached directly to the slice (rare) covers slice-local ids;
+  // otherwise translate into a sibling attached to the parent, exactly as
+  // BackingMmap translates row offsets.
+  const QuantizedStore* own = VectorStore::Quantized(row_offset);
+  if (own != nullptr) return own;
+  size_t parent_offset = 0;
+  const QuantizedStore* parent_q = parent_->Quantized(&parent_offset);
+  if (parent_q != nullptr && row_offset != nullptr) {
+    *row_offset = parent_offset + first_row_;
+  }
+  return parent_q;
+}
+
+std::shared_ptr<const QuantizedStore> SliceStore::QuantizedShared() const {
+  std::shared_ptr<const QuantizedStore> own = VectorStore::QuantizedShared();
+  if (own != nullptr) return own;
+  return parent_->QuantizedShared();
 }
 
 std::string SliceStore::DebugName() const {

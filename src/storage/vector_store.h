@@ -1,9 +1,11 @@
 #ifndef LCCS_STORAGE_VECTOR_STORE_H_
 #define LCCS_STORAGE_VECTOR_STORE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <type_traits>
 
@@ -13,6 +15,7 @@ namespace lccs {
 namespace storage {
 
 class MmapStore;
+class QuantizedStore;
 
 /// Read access to a dense row-major float matrix of base or query vectors —
 /// the one data structure every index in this repository verifies candidates
@@ -92,6 +95,48 @@ class VectorStore {
     return nullptr;
   }
 
+  /// The int8 quantized sibling attached to this store, if any, with
+  /// `*row_offset` set to this store's first row inside it — the same
+  /// row-translation contract as BackingMmap, so a SliceStore view of a
+  /// quantized base scores its slice-local candidate ids against the right
+  /// code rows. nullptr when no quantized tier is attached. Lock-free (one
+  /// atomic load); called on every query.
+  virtual const QuantizedStore* Quantized(size_t* row_offset) const {
+    if (row_offset != nullptr) *row_offset = 0;
+    return quantized_raw_.load(std::memory_order_acquire);
+  }
+
+  /// Owning handle to the attached quantized sibling (for epoch install and
+  /// serialization, which must keep it alive past this store). Null when
+  /// none is attached; SliceStore forwards to its parent.
+  virtual std::shared_ptr<const QuantizedStore> QuantizedShared() const {
+    std::lock_guard<std::mutex> lock(quantized_mu_);
+    return quantized_;
+  }
+
+  /// Attaches a quantized sibling covering exactly this store's rows.
+  /// First-wins: if a sibling is already attached (e.g. two threads raced
+  /// EnsureQuantized), the existing one is kept and returned — attachment
+  /// is logically const because it never changes the float vectors anyone
+  /// reads, only adds an advisory scoring tier.
+  const QuantizedStore* AttachQuantized(
+      std::shared_ptr<const QuantizedStore> quantized) const;
+
+  /// True when scattered candidate rows should be *copied* out of the store
+  /// (ReadRowsInto) rather than read in place through data(). A
+  /// budget-governed MmapStore says yes: faulting a scattered row maps a
+  /// whole page (and the kernel's fault-around maps ~16), so an in-place
+  /// rerank gather both grows residency and advances the drop clock, while
+  /// a copy leaves the mapping untouched. Heap stores say no — in-place
+  /// reads are already just loads.
+  virtual bool PrefersCopyGather() const { return false; }
+
+  /// Copies the `n` rows listed in `ids` into `out` (n * cols() floats,
+  /// row-major, in ids order). Default: memcpy from the contiguous base;
+  /// MmapStore overrides with pread when a residency budget is active, so
+  /// the copy bypasses the mapping entirely (page cache, not page tables).
+  virtual void ReadRowsInto(const int32_t* ids, size_t n, float* out) const;
+
   /// True when holding a shared_ptr to this store guarantees the vectors
   /// themselves stay valid (heap-owned, mmap, or a view of such a store).
   /// BorrowedStore returns false: it pins nothing, the caller's buffer
@@ -117,6 +162,12 @@ class VectorStore {
   const float* base_ = nullptr;
   size_t rows_ = 0;
   size_t cols_ = 0;
+  // Attached quantized sibling. The shared_ptr (under the mutex) owns it;
+  // the raw atomic mirrors it so the per-query Quantized() lookup is one
+  // acquire load. mutable: see AttachQuantized.
+  mutable std::mutex quantized_mu_;
+  mutable std::shared_ptr<const QuantizedStore> quantized_;
+  mutable std::atomic<const QuantizedStore*> quantized_raw_{nullptr};
 };
 
 /// Heap-owned store adopting (or copying) a util::Matrix. The store every
@@ -177,6 +228,12 @@ class SliceStore : public VectorStore {
   void NoteTouched(size_t n) const override { parent_->NoteTouched(n); }
   void NoteGather(size_t n) const override { parent_->NoteGather(n); }
   const MmapStore* BackingMmap(size_t* row_offset) const override;
+  const QuantizedStore* Quantized(size_t* row_offset) const override;
+  std::shared_ptr<const QuantizedStore> QuantizedShared() const override;
+  bool PrefersCopyGather() const override {
+    return parent_->PrefersCopyGather();
+  }
+  void ReadRowsInto(const int32_t* ids, size_t n, float* out) const override;
   bool KeepsVectorsAlive() const override {
     return parent_->KeepsVectorsAlive();
   }

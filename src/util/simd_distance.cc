@@ -262,7 +262,46 @@ void JaccardRowsAvx2(const float* const* rows, size_t nrows, const float* q,
   }
 }
 
+// Integer kernel of the quantized tier: sum of codes[j] * weights[j].
+// `_mm256_maddubs_epi16` (u8 x s8 pairs) would halve the widening work, but
+// it saturates its int16 pair sums — two products of up to 255 * 127 exceed
+// 32767 — so codes are widened to int16 and accumulated with
+// `_mm256_madd_epi16`, whose int32 pair sums are exact for the |w| <= 4095,
+// d <= 8192 contract in the header. The horizontal reduction widens the
+// eight int32 lanes to int64 (their total may exceed int32), making the
+// result the exact integer the scalar loop computes.
+__attribute__((target("avx2")))
+int64_t DotCodesI8Avx2(const uint8_t* codes, const int16_t* weights,
+                       size_t d) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t j = 0;
+  for (; j + 16 <= d; j += 16) {
+    const __m256i c = _mm256_cvtepu8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes + j)));
+    const __m256i w = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(weights + j));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(c, w));
+  }
+  alignas(32) int32_t lanes[8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  int64_t sum = 0;
+  for (int lane = 0; lane < 8; ++lane) sum += lanes[lane];
+  for (; j < d; ++j) {
+    sum += static_cast<int64_t>(codes[j]) * weights[j];
+  }
+  return sum;
+}
+
 #endif  // LCCS_SIMD_X86
+
+int64_t DotCodesI8Scalar(const uint8_t* codes, const int16_t* weights,
+                         size_t d) {
+  int64_t sum = 0;
+  for (size_t j = 0; j < d; ++j) {
+    sum += static_cast<int64_t>(codes[j]) * weights[j];
+  }
+  return sum;
+}
 
 SimdTier DetectTier() {
 #if LCCS_SIMD_X86
@@ -424,6 +463,22 @@ double Jaccard(const float* a, const float* b, size_t d) {
   }
 #endif
   return ScalarJaccard(a, b, d);
+}
+
+int64_t DotCodesI8(const uint8_t* codes, const int16_t* weights, size_t d) {
+  return DotCodesI8Tier(ActiveSimdTier(), codes, weights, d);
+}
+
+int64_t DotCodesI8Tier(SimdTier tier, const uint8_t* codes,
+                       const int16_t* weights, size_t d) {
+#if LCCS_SIMD_X86
+  if (tier == SimdTier::kAvx2 && __builtin_cpu_supports("avx2")) {
+    return DotCodesI8Avx2(codes, weights, d);
+  }
+#else
+  (void)tier;
+#endif
+  return DotCodesI8Scalar(codes, weights, d);
 }
 
 }  // namespace simd

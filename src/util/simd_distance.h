@@ -40,6 +40,24 @@ double Angular(const float* a, const float* b, size_t d);
 double Hamming(const float* a, const float* b, size_t d);
 double Jaccard(const float* a, const float* b, size_t d);
 
+/// Weighted dot product between a uint8 code row and an int16 weight vector
+/// — the scoring primitive of the quantized candidate tier
+/// (storage::QuantizedStore). The sum is an exact integer, so the scalar and
+/// AVX2 tiers agree bit-for-bit (asserted by tests/test_quantized_store.cc);
+/// the caller folds it into a float score with per-query constants.
+///
+/// Weights must satisfy |w| <= 4095 and d <= 8192: the AVX2 kernel
+/// accumulates `madd_epi16` pairs in int32 lanes, and 255 * 4095 * 2 per
+/// step times d/16 steps stays below 2^31 exactly up to that bound (the
+/// QuantizedStore quantizes query weights into that range and refuses wider
+/// dimensions).
+int64_t DotCodesI8(const uint8_t* codes, const int16_t* weights, size_t d);
+
+/// Tier-pinned variant for the bit-identity tests and microbenchmarks;
+/// requesting kAvx2 on a CPU without it falls back to scalar.
+int64_t DotCodesI8Tier(SimdTier tier, const uint8_t* codes,
+                       const int16_t* weights, size_t d);
+
 }  // namespace simd
 
 /// Batched distances from `query` to `n` candidate rows of the row-major

@@ -260,6 +260,52 @@ TEST_F(StorageTest, ResidencyBudgetDropsPages) {
   EXPECT_EQ(std::memcmp(store->data(), m.data(), m.SizeBytes()), 0);
 }
 
+TEST_F(StorageTest, CopyGatherReadsRowsWithoutFaultingTheMapping) {
+  const auto m = RandomMatrix(300, 24, 21);
+  const std::string path = Path("gather.flat");
+  WriteFlatFile(path, m);
+  MmapStore::Options options;
+  options.residency_budget_bytes = 8 * 24 * sizeof(float);
+  const auto store = MmapStore::Open(path, options);
+  EXPECT_TRUE(store->PrefersCopyGather());
+
+  // Scattered ids including both edges; n = 1 takes the single-pread path,
+  // the large batch exceeds the io_uring ring (64 entries) so chunking is
+  // exercised too (and the whole test passes identically where io_uring is
+  // unavailable and the pread fallback serves every read).
+  for (const size_t count : {size_t{1}, size_t{7}, size_t{150}}) {
+    std::vector<int32_t> ids;
+    for (size_t i = 0; i < count; ++i) {
+      ids.push_back(static_cast<int32_t>((i * 131 + 17) % m.rows()));
+    }
+    ids.front() = 0;
+    ids.back() = static_cast<int32_t>(m.rows() - 1);
+    std::vector<float> out(count * m.cols());
+    store->ReadRowsInto(ids.data(), ids.size(), out.data());
+    for (size_t i = 0; i < count; ++i) {
+      ASSERT_EQ(std::memcmp(out.data() + i * m.cols(),
+                            m.data() + static_cast<size_t>(ids[i]) * m.cols(),
+                            m.cols() * sizeof(float)),
+                0)
+          << "row " << ids[i] << " in batch of " << count;
+    }
+  }
+
+  // Without a budget the store has no gather fd and no copy-gather
+  // preference; the base-class memcpy path must serve the same bytes.
+  const auto plain = MmapStore::Open(path);
+  EXPECT_FALSE(plain->PrefersCopyGather());
+  const int32_t ids[2] = {3, 299};
+  std::vector<float> out(2 * m.cols());
+  plain->ReadRowsInto(ids, 2, out.data());
+  EXPECT_EQ(std::memcmp(out.data(), m.data() + 3 * m.cols(),
+                        m.cols() * sizeof(float)),
+            0);
+  EXPECT_EQ(std::memcmp(out.data() + m.cols(), m.data() + 299 * m.cols(),
+                        m.cols() * sizeof(float)),
+            0);
+}
+
 TEST_F(StorageTest, VectorStoreRefSharesUntilWritten) {
   VectorStoreRef a(RandomMatrix(10, 3, 9));
   VectorStoreRef b = a;  // shares
